@@ -1,0 +1,280 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"testing"
+	"testing/quick"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestGFMulProperties(t *testing.T) {
+	// Known products in GF(2^8) (FIPS-197 examples).
+	if got := gfMul(0x57, 0x83); got != 0xc1 {
+		t.Errorf("57*83 = %#x, want 0xc1", got)
+	}
+	if got := gfMul(0x57, 0x13); got != 0xfe {
+		t.Errorf("57*13 = %#x, want 0xfe", got)
+	}
+	// Commutativity and identity via quick.
+	if err := quick.Check(func(a, b byte) bool {
+		return gfMul(a, b) == gfMul(b, a) && gfMul(a, 1) == a && gfMul(a, 0) == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Distributivity: a*(b^c) == a*b ^ a*c.
+	if err := quick.Check(func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFInv(t *testing.T) {
+	if gfInv(0) != 0 {
+		t.Error("inv(0) must be 0")
+	}
+	for x := 1; x < 256; x++ {
+		if got := gfMul(byte(x), gfInv(byte(x))); got != 1 {
+			t.Fatalf("x * inv(x) = %#x for x=%#x", got, x)
+		}
+	}
+}
+
+func TestSboxKnownValues(t *testing.T) {
+	// FIPS-197 S-box corners.
+	cases := map[byte]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16, 0xc9: 0xdd}
+	for in, want := range cases {
+		if got := sbox[in]; got != want {
+			t.Errorf("sbox[%#x] = %#x, want %#x", in, got, want)
+		}
+	}
+	// Bijectivity.
+	var seen [256]bool
+	for _, v := range sbox {
+		if seen[v] {
+			t.Fatal("sbox not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+// TestKeyExpansionAgainstStdlib validates ExpandKey256 end-to-end: a host
+// AES implementation built from our round keys must match crypto/aes.
+func TestKeyExpansionAgainstStdlib(t *testing.T) {
+	rks := ExpandKey256(testKey)
+	// Host reference encryption using our expansion + table S-box.
+	encrypt := func(block [16]byte) [16]byte {
+		s := block
+		xor := func(rk [16]byte) {
+			for i := range s {
+				s[i] ^= rk[i]
+			}
+		}
+		sub := func() {
+			for i := range s {
+				s[i] = sbox[s[i]]
+			}
+		}
+		shift := func() {
+			var n [16]byte
+			for c := 0; c < 4; c++ {
+				for r := 0; r < 4; r++ {
+					n[r+4*c] = s[r+4*((c+r)%4)]
+				}
+			}
+			s = n
+		}
+		mix := func() {
+			for c := 0; c < 4; c++ {
+				a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+				s[4*c] = gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3
+				s[4*c+1] = a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3
+				s[4*c+2] = a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3)
+				s[4*c+3] = gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2)
+			}
+		}
+		xor(rks[0])
+		for r := 1; r <= 13; r++ {
+			sub()
+			shift()
+			mix()
+			xor(rks[r])
+		}
+		sub()
+		shift()
+		xor(rks[14])
+		return s
+	}
+
+	block, err := stdaes.NewCipher(testKey[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SP 800-38A F.1.5 plaintext plus a few arbitrary blocks.
+	inputs := [][16]byte{
+		{0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a},
+		{},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+	}
+	for _, in := range inputs {
+		want := make([]byte, 16)
+		block.Encrypt(want, in[:])
+		got := encrypt(in)
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("encrypt(%x) = %x, want %x", in, got, want)
+		}
+	}
+}
+
+// TestSP80038AVector runs the NIST SP 800-38A F.1.5 AES-256-ECB test
+// vector through the full PIM data path.
+func TestSP80038AVector(t *testing.T) {
+	dev, err := pim.NewDevice(pim.Config{Target: pim.Fulcrum, Ranks: 1, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := newCipher(dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte{0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a}
+	want := []byte{0xf3, 0xee, 0xd1, 0xbd, 0xb5, 0xd2, 0xa0, 0x3c, 0x06, 0x4b, 0x5a, 0x7e, 0x3d, 0xb1, 0x81, 0xf8}
+	if err := c.loadState([][]byte{pt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Encrypt(ExpandKey256(testKey)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.readState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[0], want) {
+		t.Fatalf("PIM AES-256-ECB = %x, want %x (SP 800-38A F.1.5)", out[0], want)
+	}
+}
+
+// TestLadderMatchesSboxCommand verifies the two S-box realizations — the
+// bitsliced device command and the explicit GF(2^8) inversion ladder —
+// produce identical ciphertext.
+func TestLadderMatchesSboxCommand(t *testing.T) {
+	run := func(useLadder bool) [][]byte {
+		dev, err := pim.NewDevice(pim.Config{Target: pim.BitSerial, Ranks: 1, Functional: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := newCipher(dev, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.useLadder = useLadder
+		blocks := make([][]byte, 4)
+		for i := range blocks {
+			blocks[i] = make([]byte, 16)
+			for j := range blocks[i] {
+				blocks[i][j] = byte(i*16 + j)
+			}
+		}
+		if err := c.loadState(blocks); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Encrypt(ExpandKey256(testKey)); err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.readState(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cmd, ladder := run(false), run(true)
+	for i := range cmd {
+		if !bytes.Equal(cmd[i], ladder[i]) {
+			t.Fatalf("block %d: command path %x != ladder path %x", i, cmd[i], ladder[i])
+		}
+	}
+}
+
+// TestEncryptDecryptRoundTrip runs decrypt(encrypt(x)) == x on PIM.
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	dev, err := pim.NewDevice(pim.Config{Target: pim.BankLevel, Ranks: 1, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := newCipher(dev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := [][]byte{
+		bytes.Repeat([]byte{0xAB}, 16),
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		bytes.Repeat([]byte{0}, 16),
+	}
+	rks := ExpandKey256(testKey)
+	if err := c.loadState(blocks); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Encrypt(rks); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Decrypt(rks); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.readState(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blocks {
+		if !bytes.Equal(out[i], blocks[i]) {
+			t.Fatalf("block %d round trip = %x, want %x", i, out[i], blocks[i])
+		}
+	}
+}
+
+func TestShiftRowsInverse(t *testing.T) {
+	var c cipher
+	for i := range c.state {
+		c.state[i] = pim.ObjID(i + 1)
+	}
+	orig := c.state
+	c.shiftRows(false)
+	shifted := c.state
+	c.shiftRows(true)
+	if c.state != orig {
+		t.Fatalf("inverse shiftRows did not restore state: %v", c.state)
+	}
+	if shifted == orig {
+		t.Fatal("shiftRows was a no-op")
+	}
+}
+
+func TestBenchInfoAndSizes(t *testing.T) {
+	enc, dec := NewEncrypt(), NewDecrypt()
+	if enc.Info().Name != "aes-enc" || dec.Info().Name != "aes-dec" {
+		t.Error("names")
+	}
+	if enc.DefaultSize(false) != 1_035_544_320 {
+		t.Error("paper input size")
+	}
+	if enc.DefaultSize(true)%16 != 0 {
+		t.Error("functional size must be whole blocks")
+	}
+}
+
+func TestBitSerialFastestForAES(t *testing.T) {
+	times := map[pim.Target]float64{}
+	for _, tgt := range pim.AllTargets {
+		res, err := NewEncrypt().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[tgt] = res.Metrics.KernelMS
+	}
+	if !(times[pim.BitSerial] < times[pim.Fulcrum] && times[pim.Fulcrum] < times[pim.BankLevel]) {
+		t.Errorf("AES kernel ordering = %v, want bit-serial < Fulcrum < bank-level (paper §VIII)", times)
+	}
+}

@@ -1,0 +1,97 @@
+// Package aes implements the PIMbench AES-256 ECB encryption and decryption
+// benchmarks. The data path runs entirely through PIM commands: the state is
+// held as 16 byte-vectors (one per state byte position, SIMD across all
+// blocks), the S-box is evaluated as logic — GF(2^8) inversion by
+// exponentiation (x^254) built from PIM shift/and/xor/select multiply
+// ladders, plus the affine transform as rotate/XOR networks — matching the
+// paper's approach of realizing the lookup table with logic gates. Key
+// expansion runs on the host.
+package aes
+
+// Host-side GF(2^8) helpers: used for key expansion and for generating the
+// S-box programmatically (no magic tables).
+
+// gfMul multiplies in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1.
+func gfMul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfInv returns the multiplicative inverse (0 maps to 0), via x^254.
+func gfInv(x byte) byte {
+	// x^254 = x^2 * x^4 * ... * x^128.
+	sq := gfMul(x, x)
+	p := sq
+	for i := 0; i < 6; i++ {
+		sq = gfMul(sq, sq)
+		p = gfMul(p, sq)
+	}
+	return p
+}
+
+func rotl8(b byte, k uint) byte { return b<<k | b>>(8-k) }
+
+// sboxForward applies the AES S-box to one byte (inversion + affine).
+func sboxForward(x byte) byte {
+	b := gfInv(x)
+	return b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63
+}
+
+var sbox = func() [256]byte {
+	var t [256]byte
+	for i := 0; i < 256; i++ {
+		t[i] = sboxForward(byte(i))
+	}
+	return t
+}()
+
+// ExpandKey256 runs AES-256 key expansion, returning 15 round keys of 16
+// bytes each (FIPS-197 order: byte r+4c of a round key is word c, byte r).
+func ExpandKey256(key [32]byte) [15][16]byte {
+	const nk, nr = 8, 14
+	var w [4 * (nr + 1)]uint32
+	for i := 0; i < nk; i++ {
+		w[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1) << 24
+	for i := nk; i < len(w); i++ {
+		t := w[i-1]
+		switch {
+		case i%nk == 0:
+			t = t<<8 | t>>24 // RotWord
+			t = subWord(t) ^ rcon
+			rcon = uint32(gfMul(byte(rcon>>24), 2)) << 24
+		case i%nk == 4:
+			t = subWord(t)
+		}
+		w[i] = w[i-nk] ^ t
+	}
+	var rks [15][16]byte
+	for r := 0; r <= nr; r++ {
+		for c := 0; c < 4; c++ {
+			word := w[4*r+c]
+			rks[r][0+4*c] = byte(word >> 24)
+			rks[r][1+4*c] = byte(word >> 16)
+			rks[r][2+4*c] = byte(word >> 8)
+			rks[r][3+4*c] = byte(word)
+		}
+	}
+	return rks
+}
+
+func subWord(t uint32) uint32 {
+	return uint32(sbox[byte(t>>24)])<<24 | uint32(sbox[byte(t>>16)])<<16 |
+		uint32(sbox[byte(t>>8)])<<8 | uint32(sbox[byte(t)])
+}

@@ -1,0 +1,404 @@
+package aes
+
+import "pimeval/pim"
+
+// cipher drives the AES-256 data path on a PIM device. The state is 16
+// UInt8 objects, one per byte position, each holding that byte for every
+// block (bitsliced across blocks rather than bits — the natural SIMD layout
+// for word-oriented PIM).
+type cipher struct {
+	dev *pim.Device
+	// useLadder selects the pure-logic GF(2^8) inversion ladder for
+	// SubBytes instead of the pimAesSbox command — the ablation comparing
+	// the two S-box realizations (see bench_test.go).
+	useLadder bool
+	state     [16]pim.ObjID
+	// scratch pool for the GF multiply ladders; xt1/xt2 are reserved for
+	// xtime so its arguments can never alias its scratch.
+	acc, tmp, t1, t2, t3 pim.ObjID
+	xt1, xt2             pim.ObjID
+	squares              [7]pim.ObjID
+}
+
+// newCipher allocates the state and scratch objects for n blocks.
+func newCipher(dev *pim.Device, blocks int64) (*cipher, error) {
+	c := &cipher{dev: dev}
+	var err error
+	alloc := func() pim.ObjID {
+		var id pim.ObjID
+		if err == nil {
+			id, err = dev.Alloc(blocks, pim.UInt8)
+		}
+		return id
+	}
+	for i := range c.state {
+		c.state[i] = alloc()
+	}
+	c.acc, c.tmp, c.t1, c.t2, c.t3 = alloc(), alloc(), alloc(), alloc(), alloc()
+	c.xt1, c.xt2 = alloc(), alloc()
+	for i := range c.squares {
+		c.squares[i] = alloc()
+	}
+	return c, err
+}
+
+// free releases every object.
+func (c *cipher) free() error {
+	ids := append([]pim.ObjID{c.acc, c.tmp, c.t1, c.t2, c.t3, c.xt1, c.xt2}, c.state[:]...)
+	ids = append(ids, c.squares[:]...)
+	for _, id := range ids {
+		if err := c.dev.Free(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadState uploads block data (nil slices in model-only mode).
+func (c *cipher) loadState(blocks [][]byte) error {
+	for i, id := range c.state {
+		var col []byte
+		if blocks != nil {
+			col = make([]byte, len(blocks))
+			for b := range blocks {
+				col[b] = blocks[b][i]
+			}
+		}
+		if err := pim.CopyToDevice(c.dev, id, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readState downloads the state back into per-block byte arrays.
+func (c *cipher) readState(n int) ([][]byte, error) {
+	out := make([][]byte, n)
+	for b := range out {
+		out[b] = make([]byte, 16)
+	}
+	for i, id := range c.state {
+		col := make([]byte, n)
+		if err := pim.CopyFromDevice(c.dev, id, col); err != nil {
+			return nil, err
+		}
+		for b := range out {
+			out[b][i] = col[b]
+		}
+	}
+	return out, nil
+}
+
+// drainState charges the device-to-host transfer in model-only mode.
+func (c *cipher) drainState() error {
+	for _, id := range c.state {
+		if err := pim.CopyFromDevice(c.dev, id, []byte(nil)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xtime computes dst = GF-double(src). dst must differ from src and neither
+// argument may be the reserved xt1/xt2 scratch objects.
+func (c *cipher) xtime(src, dst pim.ObjID) error {
+	d := c.dev
+	if err := d.ShiftR(src, 7, c.xt1); err != nil { // high bit -> 0/1
+		return err
+	}
+	if err := d.ShiftL(src, 1, dst); err != nil {
+		return err
+	}
+	if err := d.XorScalar(dst, 0x1b, c.xt2); err != nil {
+		return err
+	}
+	return d.Select(c.xt1, c.xt2, dst, dst)
+}
+
+// gfMulObj computes dst = a*b in GF(2^8) with a Russian-peasant ladder of
+// PIM shift/and/xor/select commands. dst may alias a or b.
+func (c *cipher) gfMulObj(a, b, dst pim.ObjID) error {
+	d := c.dev
+	if err := d.Broadcast(c.acc, 0); err != nil {
+		return err
+	}
+	if err := d.CopyDeviceToDevice(a, c.tmp); err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		if err := d.AndScalar(b, 1<<i, c.t1); err != nil {
+			return err
+		}
+		if err := d.ShiftR(c.t1, i, c.t1); err != nil { // 0/1 mask
+			return err
+		}
+		if err := d.Xor(c.acc, c.tmp, c.t2); err != nil {
+			return err
+		}
+		if err := d.Select(c.t1, c.t2, c.acc, c.acc); err != nil {
+			return err
+		}
+		if i < 7 {
+			if err := c.xtime(c.tmp, c.t3); err != nil {
+				return err
+			}
+			c.tmp, c.t3 = c.t3, c.tmp
+		}
+	}
+	return d.CopyDeviceToDevice(c.acc, dst)
+}
+
+// gfInvObj computes dst = src^254 (the GF inverse; 0 -> 0) via the
+// square-multiply chain x^2 * x^4 * ... * x^128. dst may alias src.
+func (c *cipher) gfInvObj(src, dst pim.ObjID) error {
+	// squares[i] = src^(2^(i+1)).
+	if err := c.gfMulObj(src, src, c.squares[0]); err != nil {
+		return err
+	}
+	for i := 1; i < 7; i++ {
+		if err := c.gfMulObj(c.squares[i-1], c.squares[i-1], c.squares[i]); err != nil {
+			return err
+		}
+	}
+	if err := c.dev.CopyDeviceToDevice(c.squares[0], dst); err != nil {
+		return err
+	}
+	for i := 1; i < 7; i++ {
+		if err := c.gfMulObj(dst, c.squares[i], dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotl computes dst = byte-rotate-left(src, k). dst must differ from src.
+func (c *cipher) rotl(src pim.ObjID, k int, dst pim.ObjID) error {
+	d := c.dev
+	if err := d.ShiftL(src, k, dst); err != nil {
+		return err
+	}
+	if err := d.ShiftR(src, 8-k, c.t1); err != nil {
+		return err
+	}
+	return d.Or(dst, c.t1, dst)
+}
+
+// subByte applies the forward S-box to one state object in place.
+func (c *cipher) subByte(s pim.ObjID) error {
+	if err := c.gfInvObj(s, s); err != nil {
+		return err
+	}
+	// affine: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+	if err := c.dev.CopyDeviceToDevice(s, c.t3); err != nil { // b
+		return err
+	}
+	for k := 1; k <= 4; k++ {
+		if err := c.rotl(c.t3, k, c.t2); err != nil {
+			return err
+		}
+		if err := c.dev.Xor(s, c.t2, s); err != nil {
+			return err
+		}
+	}
+	return c.dev.XorScalar(s, 0x63, s)
+}
+
+// invSubByte applies the inverse S-box: inverse affine, then GF inverse.
+func (c *cipher) invSubByte(s pim.ObjID) error {
+	// inverse affine: rotl(s,1) ^ rotl(s,3) ^ rotl(s,6) ^ 0x05
+	if err := c.dev.CopyDeviceToDevice(s, c.t3); err != nil {
+		return err
+	}
+	first := true
+	for _, k := range []int{1, 3, 6} {
+		if err := c.rotl(c.t3, k, c.t2); err != nil {
+			return err
+		}
+		if first {
+			if err := c.dev.CopyDeviceToDevice(c.t2, s); err != nil {
+				return err
+			}
+			first = false
+			continue
+		}
+		if err := c.dev.Xor(s, c.t2, s); err != nil {
+			return err
+		}
+	}
+	if err := c.dev.XorScalar(s, 0x05, s); err != nil {
+		return err
+	}
+	return c.gfInvObj(s, s)
+}
+
+// subBytes applies the S-box to the whole state: through the device's
+// bitsliced S-box command by default (the PIMeval pimAesSbox path), or
+// through the explicit GF(2^8) inversion ladder in ablation mode.
+func (c *cipher) subBytes(inverse bool) error {
+	for _, s := range c.state {
+		var err error
+		switch {
+		case c.useLadder && inverse:
+			err = c.invSubByte(s)
+		case c.useLadder:
+			err = c.subByte(s)
+		case inverse:
+			err = c.dev.SboxInv(s, s)
+		default:
+			err = c.dev.Sbox(s, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shiftRows permutes the state objects (free: pure renaming, since each
+// byte position is its own vector).
+func (c *cipher) shiftRows(inverse bool) {
+	var next [16]pim.ObjID
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			shift := row
+			if inverse {
+				shift = 4 - row
+			}
+			src := row + 4*((col+shift)%4)
+			next[row+4*col] = c.state[src]
+		}
+	}
+	c.state = next
+}
+
+// addRoundKey XORs the round key bytes into the state.
+func (c *cipher) addRoundKey(rk [16]byte) error {
+	for i, s := range c.state {
+		if err := c.dev.XorScalar(s, int64(rk[i]), s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mixColumn transforms one column in place with the xtime trick:
+// s'_i = s_i ^ t ^ xtime(s_i ^ s_{i+1}), t = s_0^s_1^s_2^s_3.
+func (c *cipher) mixColumn(col int) error {
+	d := c.dev
+	s := c.state[4*col : 4*col+4]
+	// t = s0^s1^s2^s3 into t3.
+	if err := d.Xor(s[0], s[1], c.t3); err != nil {
+		return err
+	}
+	if err := d.Xor(c.t3, s[2], c.t3); err != nil {
+		return err
+	}
+	if err := d.Xor(c.t3, s[3], c.t3); err != nil {
+		return err
+	}
+	// Keep original s0 for the wrap-around term.
+	if err := d.CopyDeviceToDevice(s[0], c.tmp); err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		next := c.tmp // original s0 for the last row
+		if i < 3 {
+			next = s[i+1]
+		}
+		if err := d.Xor(s[i], next, c.t1); err != nil {
+			return err
+		}
+		if err := c.xtime(c.t1, c.t2); err != nil {
+			return err
+		}
+		if err := d.Xor(s[i], c.t3, s[i]); err != nil {
+			return err
+		}
+		if err := d.Xor(s[i], c.t2, s[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// invMixColumn applies the inverse transform via the pre-conditioning
+// identity: u = xtime^2(s0^s2), v = xtime^2(s1^s3); s0^=u s2^=u s1^=v s3^=v;
+// then the forward MixColumn.
+func (c *cipher) invMixColumn(col int) error {
+	d := c.dev
+	s := c.state[4*col : 4*col+4]
+	apply := func(a, b pim.ObjID) error {
+		if err := d.Xor(a, b, c.t1); err != nil {
+			return err
+		}
+		if err := c.xtime(c.t1, c.t2); err != nil {
+			return err
+		}
+		if err := c.xtime(c.t2, c.t1); err != nil {
+			return err
+		}
+		if err := d.Xor(a, c.t1, a); err != nil {
+			return err
+		}
+		return d.Xor(b, c.t1, b)
+	}
+	if err := apply(s[0], s[2]); err != nil {
+		return err
+	}
+	if err := apply(s[1], s[3]); err != nil {
+		return err
+	}
+	return c.mixColumn(col)
+}
+
+// Encrypt runs the full AES-256 encryption over the loaded state.
+func (c *cipher) Encrypt(rks [15][16]byte) error {
+	if err := c.addRoundKey(rks[0]); err != nil {
+		return err
+	}
+	for r := 1; r <= 13; r++ {
+		if err := c.subBytes(false); err != nil {
+			return err
+		}
+		c.shiftRows(false)
+		for col := 0; col < 4; col++ {
+			if err := c.mixColumn(col); err != nil {
+				return err
+			}
+		}
+		if err := c.addRoundKey(rks[r]); err != nil {
+			return err
+		}
+	}
+	if err := c.subBytes(false); err != nil {
+		return err
+	}
+	c.shiftRows(false)
+	return c.addRoundKey(rks[14])
+}
+
+// Decrypt runs the full AES-256 inverse cipher.
+func (c *cipher) Decrypt(rks [15][16]byte) error {
+	if err := c.addRoundKey(rks[14]); err != nil {
+		return err
+	}
+	for r := 13; r >= 1; r-- {
+		c.shiftRows(true)
+		if err := c.subBytes(true); err != nil {
+			return err
+		}
+		if err := c.addRoundKey(rks[r]); err != nil {
+			return err
+		}
+		for col := 0; col < 4; col++ {
+			if err := c.invMixColumn(col); err != nil {
+				return err
+			}
+		}
+	}
+	c.shiftRows(true)
+	if err := c.subBytes(true); err != nil {
+		return err
+	}
+	return c.addRoundKey(rks[0])
+}

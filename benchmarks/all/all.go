@@ -1,0 +1,40 @@
+// Package all links every PIMbench application into the suite registry.
+// Importing it (usually for side effects) makes suite.All return the full
+// 18-benchmark Table I lineup.
+package all
+
+import (
+	// Each import registers its benchmark(s) via init.
+	_ "pimeval/benchmarks/aes"
+	_ "pimeval/benchmarks/apriori"
+	_ "pimeval/benchmarks/axpy"
+	_ "pimeval/benchmarks/brightness"
+	_ "pimeval/benchmarks/downsample"
+	_ "pimeval/benchmarks/filterbykey"
+	_ "pimeval/benchmarks/gemm"
+	_ "pimeval/benchmarks/gemv"
+	_ "pimeval/benchmarks/histogram"
+	_ "pimeval/benchmarks/kmeans"
+	_ "pimeval/benchmarks/knn"
+	_ "pimeval/benchmarks/linreg"
+	_ "pimeval/benchmarks/pca"
+	_ "pimeval/benchmarks/prefixsum"
+	_ "pimeval/benchmarks/radixsort"
+	_ "pimeval/benchmarks/spmv"
+	_ "pimeval/benchmarks/stringmatch"
+	_ "pimeval/benchmarks/transitiveclosure"
+	_ "pimeval/benchmarks/trianglecount"
+	_ "pimeval/benchmarks/vecadd"
+	_ "pimeval/benchmarks/vgg"
+)
+
+// Names returns the Table I benchmark names in registry (alphabetical)
+// order. It exists so callers need not import suite just to enumerate.
+func Names() []string {
+	return []string{
+		"aes-dec", "aes-enc", "axpy", "brightness", "downsample",
+		"filterbykey", "gemm", "gemv", "histogram", "kmeans", "knn",
+		"linreg", "radixsort", "trianglecount", "vecadd",
+		"vgg13", "vgg16", "vgg19",
+	}
+}

@@ -1,0 +1,212 @@
+package all
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	bs := suite.All()
+	if len(bs) != 18 {
+		t.Fatalf("registry has %d benchmarks, want 18 (Table I)", len(bs))
+	}
+	names := Names()
+	for i, b := range bs {
+		if b.Info().Name != names[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, b.Info().Name, names[i])
+		}
+	}
+	if _, err := suite.ByName("vecadd"); err != nil {
+		t.Error(err)
+	}
+	if _, err := suite.ByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestFunctionalSmallAllBenchmarksAllTargets is the suite-wide functional
+// verification (paper Section V-E i): every benchmark must produce
+// reference-matching output on every architecture.
+func TestFunctionalSmallAllBenchmarksAllTargets(t *testing.T) {
+	for _, b := range suite.All() {
+		for _, tgt := range pim.AllTargets {
+			b, tgt := b, tgt
+			t.Run(b.Info().Name+"/"+tgt.String(), func(t *testing.T) {
+				t.Parallel()
+				res, err := b.Run(suite.Config{Target: tgt, Ranks: 1, Functional: true})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if !res.Verified {
+					t.Fatal("functional verification failed")
+				}
+				if res.Metrics.KernelMS <= 0 {
+					t.Error("no kernel time recorded")
+				}
+				if res.CPU.TimeMS <= 0 || res.GPU.TimeMS <= 0 {
+					t.Error("baselines missing")
+				}
+			})
+		}
+	}
+}
+
+// TestExtensionsRegistered checks the future-work kernels are present but
+// excluded from the Table I lineup.
+func TestExtensionsRegistered(t *testing.T) {
+	exts := suite.Extensions()
+	want := []string{"apriori", "pca", "prefixsum", "spmv", "stringmatch", "transitiveclosure"}
+	if len(exts) != len(want) {
+		t.Fatalf("extensions = %d, want %d", len(exts), len(want))
+	}
+	for i, e := range exts {
+		if e.Info().Name != want[i] {
+			t.Errorf("extensions[%d] = %q, want %q", i, e.Info().Name, want[i])
+		}
+		if !e.Info().Extension {
+			t.Errorf("%s must be marked Extension", e.Info().Name)
+		}
+	}
+	for _, b := range suite.All() {
+		if b.Info().Extension {
+			t.Errorf("extension %s leaked into Table I lineup", b.Info().Name)
+		}
+	}
+}
+
+// TestFunctionalExtensionsAllTargets verifies the future-work kernels on
+// every architecture.
+func TestFunctionalExtensionsAllTargets(t *testing.T) {
+	for _, b := range suite.Extensions() {
+		for _, tgt := range pim.AllTargets {
+			b, tgt := b, tgt
+			t.Run(b.Info().Name+"/"+tgt.String(), func(t *testing.T) {
+				t.Parallel()
+				res, err := b.Run(suite.Config{Target: tgt, Ranks: 1, Functional: true})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if !res.Verified {
+					t.Fatal("functional verification failed")
+				}
+			})
+		}
+	}
+}
+
+// TestPortabilityIdenticalOpMix is the paper's central API claim in test
+// form: the same benchmark implementation, run unmodified on all three
+// architectures, must issue the identical operation mix — only the costs
+// may differ.
+func TestPortabilityIdenticalOpMix(t *testing.T) {
+	for _, b := range suite.All() {
+		b := b
+		t.Run(b.Info().Name, func(t *testing.T) {
+			t.Parallel()
+			var ref map[string]float64
+			for _, tgt := range pim.AllTargets {
+				res, err := b.Run(suite.Config{Target: tgt, Ranks: 1, Functional: true})
+				if err != nil {
+					t.Fatalf("%v: %v", tgt, err)
+				}
+				if ref == nil {
+					ref = res.OpMix
+					continue
+				}
+				if len(res.OpMix) != len(ref) {
+					t.Fatalf("%v: op-mix keys differ: %v vs %v", tgt, res.OpMix, ref)
+				}
+				for k, v := range ref {
+					got := res.OpMix[k]
+					if diff := got - v; diff > 1e-9 || diff < -1e-9 {
+						t.Fatalf("%v: op %q mix %v vs %v", tgt, k, got, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFunctionalAnalogTarget runs the whole Table I suite on the analog
+// bit-serial extension architecture: the functional results must verify
+// just like on the paper's three digital designs.
+func TestFunctionalAnalogTarget(t *testing.T) {
+	for _, b := range suite.All() {
+		b := b
+		t.Run(b.Info().Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := b.Run(suite.Config{Target: pim.AnalogBitSerial, Ranks: 1, Functional: true})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !res.Verified {
+				t.Fatal("functional verification failed on analog target")
+			}
+		})
+	}
+}
+
+// TestModelScaleExtensions runs the future-work kernels at full input
+// sizes in model-only mode.
+func TestModelScaleExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model-scale pass skipped in -short mode")
+	}
+	for _, b := range suite.Extensions() {
+		for _, tgt := range pim.AllTargets {
+			b, tgt := b, tgt
+			t.Run(b.Info().Name+"/"+tgt.String(), func(t *testing.T) {
+				t.Parallel()
+				res, err := b.Run(suite.Config{Target: tgt, Ranks: 32})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if res.Metrics.KernelMS <= 0 {
+					t.Error("no kernel time")
+				}
+			})
+		}
+	}
+}
+
+// TestModelScaleAllBenchmarks runs every benchmark at paper-scale inputs in
+// model-only mode on the main 32-rank configuration and sanity-checks the
+// shape of the results.
+func TestModelScaleAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model-scale pass skipped in -short mode")
+	}
+	for _, b := range suite.All() {
+		for _, tgt := range pim.AllTargets {
+			b, tgt := b, tgt
+			t.Run(b.Info().Name+"/"+tgt.String(), func(t *testing.T) {
+				t.Parallel()
+				res, err := b.Run(suite.Config{Target: tgt, Ranks: 32})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if !res.VerifiedSkipped {
+					t.Error("model-only run must mark verification skipped")
+				}
+				if res.Metrics.KernelMS <= 0 {
+					t.Error("no kernel time")
+				}
+				if res.N != b.DefaultSize(false) {
+					t.Errorf("N = %d, want paper size %d", res.N, b.DefaultSize(false))
+				}
+				withDM, kernelOnly := res.SpeedupCPU()
+				if withDM <= 0 || kernelOnly <= 0 {
+					t.Errorf("speedups = %v / %v", withDM, kernelOnly)
+				}
+				if kernelOnly < withDM {
+					t.Errorf("kernel-only speedup (%v) must be >= with-DM (%v)", kernelOnly, withDM)
+				}
+				if len(res.OpMix) == 0 {
+					t.Error("empty op mix")
+				}
+			})
+		}
+	}
+}

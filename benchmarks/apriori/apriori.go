@@ -1,0 +1,204 @@
+// Package apriori implements the frequent-itemset kernel from the paper's
+// extension list (Section II: "apriori from DRAM-CAM"). The transaction
+// database lives resident in PIM as per-item bitmaps (one bit per
+// transaction); the support of an itemset is the popcount of the AND of
+// its item rows — DRAM-CAM's associative matching. Level 1 counts single
+// items; level 2 counts all frequent-item pairs, with candidate generation
+// and thresholding on the host.
+package apriori
+
+import (
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+const (
+	items = 64
+	// supportFraction is the frequency threshold for "frequent".
+	supportNum, supportDen = 1, 4
+)
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark.
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "apriori",
+		Domain:     "Database",
+		Access:     suite.AccessPattern{Sequential: true, Random: true},
+		HostPhase:  true,
+		PaperInput: "268,435,456 transactions x 64 items (future-work kernel)",
+		Extension:  true,
+	}
+}
+
+// DefaultSize returns the transaction count.
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 4096
+	}
+	return 268_435_456
+}
+
+// genDB builds per-item transaction bitmaps with planted frequent items:
+// item i appears with probability falling from ~1/2 (item 0) downward, so
+// a handful of items and pairs clear the support threshold.
+func genDB(n int64) [][]byte {
+	rng := workload.RNG(206)
+	db := make([][]byte, items)
+	for i := range db {
+		db[i] = make([]byte, n/8)
+		den := int32(i + 2) // item i present with probability 1/(i+2)
+		for t := int64(0); t < n; t++ {
+			if rng.Int31n(den) == 0 {
+				db[i][t/8] |= 1 << (t % 8)
+			}
+		}
+	}
+	return db
+}
+
+func popcount(bm []byte) int64 {
+	var c int64
+	for _, b := range bm {
+		for ; b != 0; b &= b - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, n := r.Dev, r.Size
+	rowBytes := n / 8
+
+	var db [][]byte
+	if cfg.Functional {
+		db = genDB(n)
+	}
+
+	// Resident item bitmaps, one object region per item.
+	mat, err := dev.Alloc(items*rowBytes, pim.UInt8)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	var flat []byte
+	if cfg.Functional {
+		flat = make([]byte, 0, items*rowBytes)
+		for _, row := range db {
+			flat = append(flat, row...)
+		}
+	}
+	if err := pim.CopyToDevice(dev, mat, flat); err != nil {
+		return suite.Result{}, err
+	}
+	rowA, err := dev.Alloc(rowBytes, pim.UInt8)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	rowB, err := dev.AllocAssociated(rowA)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	inter, err := dev.AllocAssociated(rowA)
+	if err != nil {
+		return suite.Result{}, err
+	}
+
+	// support(i) or support(i,j) via gather + AND + popcount + reduce.
+	support := func(i, j int64) (int64, error) {
+		if err := dev.CopyDeviceToDeviceRange(mat, i*rowBytes, rowA, 0, rowBytes); err != nil {
+			return 0, err
+		}
+		if j < 0 {
+			if err := dev.PopCount(rowA, inter); err != nil {
+				return 0, err
+			}
+			return dev.RedSum(inter)
+		}
+		if err := dev.CopyDeviceToDeviceRange(mat, j*rowBytes, rowB, 0, rowBytes); err != nil {
+			return 0, err
+		}
+		if err := dev.And(rowA, rowB, inter); err != nil {
+			return 0, err
+		}
+		if err := dev.PopCount(inter, inter); err != nil {
+			return 0, err
+		}
+		return dev.RedSum(inter)
+	}
+
+	threshold := n * supportNum / supportDen
+	verified := true
+	if cfg.Functional {
+		// Level 1: frequent single items.
+		var frequent []int64
+		for i := int64(0); i < items; i++ {
+			s, err := support(i, -1)
+			if err != nil {
+				return suite.Result{}, err
+			}
+			if want := popcount(db[i]); s != want {
+				verified = false
+			}
+			if s >= threshold {
+				frequent = append(frequent, i)
+			}
+		}
+		// Host candidate generation (all frequent pairs), then level 2.
+		dev.RecordHostKernel(int64(len(frequent)*len(frequent))*8, int64(len(frequent)*len(frequent)), false)
+		var pairs int
+		for a := 0; a < len(frequent); a++ {
+			for bIdx := a + 1; bIdx < len(frequent); bIdx++ {
+				i, j := frequent[a], frequent[bIdx]
+				s, err := support(i, j)
+				if err != nil {
+					return suite.Result{}, err
+				}
+				and := make([]byte, rowBytes)
+				for w := range and {
+					and[w] = db[i][w] & db[j][w]
+				}
+				if s != popcount(and) {
+					verified = false
+				}
+				if s >= threshold {
+					pairs++
+				}
+			}
+		}
+		// Item 0 (p~1/2) must be frequent; nothing rarer than item 2 can be.
+		if len(frequent) == 0 || frequent[0] != 0 {
+			verified = false
+		}
+	} else {
+		// Model scale: level 1 over all items, level 2 over a frequent
+		// subset of ~8 items -> 28 pair probes.
+		if err := dev.WithRepeat(items, func() error { _, err := support(0, -1); return err }); err != nil {
+			return suite.Result{}, err
+		}
+		dev.RecordHostKernel(64*8, 64, false)
+		if err := dev.WithRepeat(28, func() error { _, err := support(0, 1); return err }); err != nil {
+			return suite.Result{}, err
+		}
+	}
+	for _, id := range []pim.ObjID{mat, rowA, rowB, inter} {
+		if err := dev.Free(id); err != nil {
+			return suite.Result{}, err
+		}
+	}
+
+	// Baselines: bitmap AND + popcount over the same probes.
+	probes := int64(items + 28)
+	k := suite.Kernel{Bytes: probes * rowBytes * 2, Ops: probes * rowBytes / 4}
+	return r.Finish(b, verified, suite.CPUCost(k), suite.GPUCost(k)), nil
+}

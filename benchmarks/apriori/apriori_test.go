@@ -1,0 +1,55 @@
+package apriori
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestGenDBDensityOrdering(t *testing.T) {
+	db := genDB(4096)
+	if len(db) != items {
+		t.Fatalf("items = %d", len(db))
+	}
+	// Item 0 (~1/2 density) must be much more frequent than item 40.
+	if popcount(db[0]) < 3*popcount(db[40]) {
+		t.Errorf("density ordering broken: item0=%d item40=%d", popcount(db[0]), popcount(db[40]))
+	}
+}
+
+func TestPopcountHelper(t *testing.T) {
+	if got := popcount([]byte{0xFF, 0x01, 0x00}); got != 9 {
+		t.Fatalf("popcount = %d, want 9", got)
+	}
+}
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: support counts wrong", tgt)
+		}
+	}
+}
+
+// TestBitSerialLeadsAssociativeMatching: apriori is pure AND + popcount +
+// reduction over bitmaps — the DRAM-CAM associative-processing pattern the
+// bit-serial design was built for.
+func TestBitSerialLeadsAssociativeMatching(t *testing.T) {
+	kernels := map[pim.Target]float64{}
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels[tgt] = res.Metrics.KernelMS
+	}
+	if kernels[pim.BitSerial] >= kernels[pim.Fulcrum] {
+		t.Errorf("bit-serial (%v ms) must beat Fulcrum (%v ms) on associative matching",
+			kernels[pim.BitSerial], kernels[pim.Fulcrum])
+	}
+}

@@ -1,0 +1,92 @@
+// Package axpy implements the PIMbench AXPY benchmark (y = a*x + y, from
+// InSituBench): one scalar multiply plus one add, the smallest kernel where
+// Fulcrum's single-cycle multiplier beats bit-serial PIM.
+package axpy
+
+import (
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+const scaleFactor = 7
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark.
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "axpy",
+		Domain:     "Linear Algebra",
+		Access:     suite.AccessPattern{Sequential: true},
+		PaperInput: "16,777,216 32-bit INT",
+	}
+}
+
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 1 << 14
+	}
+	return 16_777_216
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, n := r.Dev, r.Size
+
+	var xs, ys []int32
+	if cfg.Functional {
+		rng := workload.RNG(102)
+		xs = workload.Int32Vector(rng, int(n), -1000, 1000)
+		ys = workload.Int32Vector(rng, int(n), -1000, 1000)
+	}
+
+	objX, err := dev.Alloc(n, pim.Int32)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	objY, err := dev.AllocAssociated(objX)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, objX, xs); err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, objY, ys); err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.ScaledAdd(objX, objY, objY, scaleFactor); err != nil {
+		return suite.Result{}, err
+	}
+	verified := true
+	var out []int32
+	if cfg.Functional {
+		out = make([]int32, n)
+	}
+	if err := pim.CopyFromDevice(dev, objY, out); err != nil {
+		return suite.Result{}, err
+	}
+	for i := range out {
+		if out[i] != scaleFactor*xs[i]+ys[i] {
+			verified = false
+			break
+		}
+	}
+	if err := dev.Free(objX); err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.Free(objY); err != nil {
+		return suite.Result{}, err
+	}
+
+	cpu := suite.CPUCost(suite.Kernel{Bytes: 12 * n, Ops: 2 * n})
+	gpu := suite.GPUCost(suite.Kernel{Bytes: 12 * n, Ops: 2 * n})
+	return r.Finish(b, verified, cpu, gpu), nil
+}

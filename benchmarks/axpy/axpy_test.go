@@ -1,0 +1,50 @@
+package axpy
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: y = a*x + y wrong", tgt)
+		}
+	}
+}
+
+// TestFulcrumWinsAXPY checks the paper's AXPY conclusion: Fulcrum's
+// efficient multiply gives it the best kernel time.
+func TestFulcrumWinsAXPY(t *testing.T) {
+	kernels := map[pim.Target]float64{}
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels[tgt] = res.Metrics.KernelMS
+	}
+	if kernels[pim.Fulcrum] >= kernels[pim.BitSerial] {
+		t.Errorf("Fulcrum (%v ms) must beat bit-serial (%v ms): quadratic mul", kernels[pim.Fulcrum], kernels[pim.BitSerial])
+	}
+	if kernels[pim.Fulcrum] >= kernels[pim.BankLevel] {
+		t.Errorf("Fulcrum (%v ms) must beat bank-level (%v ms): GDL", kernels[pim.Fulcrum], kernels[pim.BankLevel])
+	}
+}
+
+func TestOpMixMulAdd(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 1, Functional: true, Size: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ScaledAdd = one scalar multiply + one add.
+	if res.OpMix["mul"] != 0.5 || res.OpMix["add"] != 0.5 {
+		t.Errorf("AXPY op mix = %v, want 50/50 mul/add", res.OpMix)
+	}
+}

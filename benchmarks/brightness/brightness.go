@@ -1,0 +1,103 @@
+// Package brightness implements the PIMbench brightness benchmark (after
+// SIMDRAM): add a coefficient to every RGB byte with saturation, realized
+// on PIM as add + min + max — all cheap element-wise ops, which is why
+// every PIM variant beats both CPU and GPU here.
+package brightness
+
+import (
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+const coefficient = 40
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark.
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "brightness",
+		Domain:     "Image Processing",
+		Access:     suite.AccessPattern{Sequential: true},
+		PaperInput: "1.4e9 pixels, 24-bit .bmp",
+	}
+}
+
+// DefaultSize returns the pixel count.
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 64 * 64
+	}
+	return 1_400_000_000
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, n := r.Dev, r.Size
+	bytes := 3 * n // all three channels in one flat object
+
+	var pix []byte
+	if cfg.Functional {
+		w := 64
+		pix = workload.RandomImage(workload.RNG(108), w, int(n)/w).Pix
+	}
+
+	// Saturating add needs signed headroom: pixels are processed as int16.
+	var wide []int16
+	if cfg.Functional {
+		wide = make([]int16, bytes)
+		for i, v := range pix {
+			wide[i] = int16(v)
+		}
+	}
+	obj, err := dev.Alloc(bytes, pim.Int16)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, obj, wide); err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.AddScalar(obj, coefficient, obj); err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.MinScalar(obj, 255, obj); err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.MaxScalar(obj, 0, obj); err != nil {
+		return suite.Result{}, err
+	}
+	verified := true
+	var out []int16
+	if cfg.Functional {
+		out = make([]int16, bytes)
+	}
+	if err := pim.CopyFromDevice(dev, obj, out); err != nil {
+		return suite.Result{}, err
+	}
+	for i := range out {
+		want := int16(pix[i]) + coefficient
+		if want > 255 {
+			want = 255
+		}
+		if out[i] != want {
+			verified = false
+			break
+		}
+	}
+	if err := dev.Free(obj); err != nil {
+		return suite.Result{}, err
+	}
+
+	k := suite.Kernel{Bytes: 2 * bytes, Ops: 3 * bytes}
+	cpu := suite.CPUCost(k)
+	gpu := suite.GPUCost(k)
+	return r.Finish(b, verified, cpu, gpu), nil
+}

@@ -1,0 +1,76 @@
+package downsample
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestRefBoxKnown(t *testing.T) {
+	// 4x2 channel: two 2x2 boxes.
+	ch := []byte{
+		10, 20, 30, 40,
+		50, 60, 70, 80,
+	}
+	out := refBox(ch, 4, 2)
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0] != (10+20+50+60)/4 || out[1] != (30+40+70+80)/4 {
+		t.Fatalf("refBox = %v", out)
+	}
+}
+
+func TestRefBoxSaturatedValues(t *testing.T) {
+	ch := []byte{255, 255, 255, 255}
+	if out := refBox(ch, 2, 2); out[0] != 255 {
+		t.Fatalf("all-255 box = %d", out[0])
+	}
+}
+
+func TestFunctionalWithinTolerance(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true, Size: 64 * 32})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: box filter outside +-1 tolerance", tgt)
+		}
+	}
+}
+
+// TestAllVariantsBeatCPUAndGPUKernel checks the paper's downsampling claim:
+// all three PIM variants outperform CPU and GPU.
+func TestAllVariantsBeatCPUAndGPUKernel(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, _ := res.SpeedupCPU(); w <= 1 {
+			t.Errorf("%v: downsample speedup vs CPU = %v, want > 1", tgt, w)
+		}
+		if s := res.SpeedupGPU(); s <= 1 {
+			t.Errorf("%v: downsample kernel speedup vs GPU = %v, want > 1", tgt, s)
+		}
+		if e := res.EnergyReductionCPU(); e <= 1 {
+			t.Errorf("%v: downsample energy reduction = %v, want > 1", tgt, e)
+		}
+	}
+}
+
+func TestOpMixAddShift(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.BitSerial, Ranks: 1, Functional: true, Size: 64 * 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 8: downsampling = adds and shifts (plus the averaging logic).
+	if res.OpMix["add"] == 0 || res.OpMix["shift"] == 0 {
+		t.Errorf("op mix missing add/shift: %v", res.OpMix)
+	}
+	if res.OpMix["mul"] != 0 || res.OpMix["reduction"] != 0 {
+		t.Errorf("unexpected ops in mix: %v", res.OpMix)
+	}
+}

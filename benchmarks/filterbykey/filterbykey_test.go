@@ -1,0 +1,76 @@
+package filterbykey
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestFunctionalGatherAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true, Size: 1 << 12})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: gathered rows wrong", tgt)
+		}
+	}
+}
+
+// TestHostGatherDominates checks the paper's 99%-host observation.
+func TestHostGatherDominates(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.BitSerial, Ranks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	total := m.TotalMS()
+	if m.HostMS/total < 0.5 {
+		t.Errorf("host share = %.2f, want the dominant share (paper: 99%%)", m.HostMS/total)
+	}
+	if m.KernelMS/total > 0.05 {
+		t.Errorf("kernel share = %.2f, want tiny (one predicate command)", m.KernelMS/total)
+	}
+}
+
+// TestSmallCPUWinGPULoss checks the Figure 9/10a shape.
+func TestSmallCPUWinGPULoss(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, _ := res.SpeedupCPU(); w <= 1 || w > 6 {
+			t.Errorf("%v: filter speedup = %v, want small win over CPU", tgt, w)
+		}
+		if s := res.SpeedupGPU(); s >= 1 {
+			t.Errorf("%v: filter vs GPU = %v, want < 1", tgt, s)
+		}
+	}
+}
+
+// TestBitmapIsOneBytePerRecord verifies the transfer model: the fetched
+// bitmap must be 1 byte per record, not the 4-byte key width.
+func TestBitmapIsOneBytePerRecord(t *testing.T) {
+	const n = 1 << 16
+	res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 1, Size: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics.DeviceToHostBytes; got != n {
+		t.Errorf("bitmap transfer = %d bytes, want %d (1 B/record)", got, n)
+	}
+	// Table upload is excluded from the measured region (resident data).
+	if got := res.Metrics.HostToDeviceBytes; got != 0 {
+		t.Errorf("h2d = %d bytes, want 0 (resident table)", got)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	sel := float64(threshold) / float64(keyRange)
+	if sel < 0.0099 || sel > 0.0101 {
+		t.Fatalf("threshold %d of %d is %.4f selectivity, want ~1%%", threshold, keyRange, sel)
+	}
+}

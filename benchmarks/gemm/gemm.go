@@ -1,0 +1,123 @@
+// Package gemm implements the PIMbench matrix-matrix multiply benchmark,
+// realized as batched GEMV (paper Section VIII): one GEMV pass per column
+// of the right-hand matrix. GEMM is the suite's compute-bound stress case —
+// no PIM variant wins it.
+package gemm
+
+import (
+	"pimeval/benchmarks/gemv"
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark.
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "gemm",
+		Domain:     "Linear Algebra",
+		Access:     suite.AccessPattern{Sequential: true},
+		PaperInput: "23,521 x 4,096 and 4,096 x 512 32-bit INT",
+	}
+}
+
+// DefaultSize returns M (the left matrix height); K and N follow the mode.
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 8
+	}
+	return 23_521
+}
+
+// dims returns (K, N) for the mode.
+func dims(functional bool) (int64, int64) {
+	if functional {
+		return 16, 4
+	}
+	return 4096, 512
+}
+
+// Ref computes C = A x B on the host (row-major, int64 accumulate).
+func Ref(a, bm []int32, m, k, n int64) []int64 {
+	c := make([]int64, m*n)
+	for i := int64(0); i < m; i++ {
+		for j := int64(0); j < n; j++ {
+			var s int64
+			for t := int64(0); t < k; t++ {
+				s += int64(a[i*k+t]) * int64(bm[t*n+j])
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, m := r.Dev, r.Size
+	k, n := dims(cfg.Functional)
+
+	var amat, bmat []int32
+	if cfg.Functional {
+		rng := workload.RNG(104)
+		amat = workload.Matrix(rng, int(m), int(k), -50, 50)
+		bmat = workload.Matrix(rng, int(k), int(n), -50, 50)
+	}
+
+	objA, err := dev.Alloc(m*k, pim.Int32)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, objA, amat); err != nil {
+		return suite.Result{}, err
+	}
+
+	verified := true
+	if cfg.Functional {
+		want := Ref(amat, bmat, m, k, n)
+		xRep := make([]int32, m*k)
+		for j := int64(0); j < n; j++ {
+			for i := int64(0); i < m; i++ {
+				for t := int64(0); t < k; t++ {
+					xRep[i*k+t] = bmat[t*n+j]
+				}
+			}
+			y, err := gemv.KernelHostReplicated(dev, objA, xRep, m, k)
+			if err != nil {
+				return suite.Result{}, err
+			}
+			for i := int64(0); i < m; i++ {
+				if y[i] != want[i*n+j] {
+					verified = false
+				}
+			}
+		}
+	} else {
+		// Model scale: charge one representative column n times.
+		err := dev.WithRepeat(n, func() error {
+			_, err := gemv.KernelHostReplicated(dev, objA, nil, m, k)
+			return err
+		})
+		if err != nil {
+			return suite.Result{}, err
+		}
+	}
+	if err := dev.Free(objA); err != nil {
+		return suite.Result{}, err
+	}
+
+	flops := 2 * m * k * n
+	bytes := 4 * (m*k + k*n + m*n)
+	cpu := suite.CPUCost(suite.Kernel{Bytes: bytes, Ops: flops, Dense: true})
+	gpu := suite.GPUCost(suite.Kernel{Bytes: bytes, Ops: flops, Dense: true})
+	return r.Finish(b, verified, cpu, gpu), nil
+}

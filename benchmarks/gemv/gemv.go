@@ -1,0 +1,163 @@
+// Package gemv implements the PIMbench matrix-vector multiply benchmark.
+// The PIM formulation tiles the input vector across the matrix rows with a
+// device-to-device broadcast copy, multiplies element-wise, and reduces each
+// row with a segmented reduction — two bulk PIM commands regardless of the
+// matrix height.
+package gemv
+
+import (
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark.
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "gemv",
+		Domain:     "Linear Algebra",
+		Access:     suite.AccessPattern{Sequential: true},
+		PaperInput: "2,352,160 x 8,192 32-bit INT",
+	}
+}
+
+// DefaultSize returns the matrix row count; the column count is the paper's
+// 8,192 in model mode and 64 in functional mode.
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 8
+	}
+	return 287 // 287 x 8,192 = 2,352,128 elements ~ Table I
+}
+
+// Cols returns the matrix width for the mode.
+func Cols(functional bool) int64 {
+	if functional {
+		return 64
+	}
+	return 8192
+}
+
+// Ref computes the golden y = M.x on the host.
+func Ref(mat, x []int32, rows, cols int64) []int64 {
+	y := make([]int64, rows)
+	for i := int64(0); i < rows; i++ {
+		var s int64
+		for j := int64(0); j < cols; j++ {
+			s += int64(mat[i*cols+j]) * int64(x[j])
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Kernel runs the PIM GEMV on an existing device and returns the row sums
+// (nil in model-only mode). The vector is broadcast-tiled across the matrix
+// rows on the device (a cheap controller broadcast). Shared with the VGG
+// benchmark.
+func Kernel(dev *pim.Device, mat pim.ObjID, x pim.ObjID, rows, cols int64) ([]int64, error) {
+	xt, err := dev.AllocAssociated(mat)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = dev.Free(xt) }()
+	if err := dev.CopyDeviceToDevice(x, xt); err != nil {
+		return nil, err
+	}
+	return mulReduce(dev, mat, xt, cols)
+}
+
+// KernelHostReplicated runs GEMV the way the paper's GEMM does: the host
+// replicates the vector to the matrix layout and re-uploads it for every
+// call — PIMeval's data-allocation limitation (Section V-E) that makes GEMM
+// data movement dominate. xRep is the host-side replicated buffer (nil in
+// model-only mode).
+func KernelHostReplicated(dev *pim.Device, mat pim.ObjID, xRep []int32, rows, cols int64) ([]int64, error) {
+	xt, err := dev.AllocAssociated(mat)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = dev.Free(xt) }()
+	// The replication is streamed by the host directly into the upload, so
+	// the whole re-layout is accounted as the h2d data movement below.
+	if err := pim.CopyToDevice(dev, xt, xRep); err != nil {
+		return nil, err
+	}
+	return mulReduce(dev, mat, xt, cols)
+}
+
+func mulReduce(dev *pim.Device, mat, xt pim.ObjID, cols int64) ([]int64, error) {
+	prod, err := dev.AllocAssociated(mat)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = dev.Free(prod) }()
+	if err := dev.Mul(mat, xt, prod); err != nil {
+		return nil, err
+	}
+	return dev.RedSumSeg(prod, cols)
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, rows := r.Dev, r.Size
+	cols := Cols(cfg.Functional)
+
+	var mat, x []int32
+	if cfg.Functional {
+		rng := workload.RNG(103)
+		mat = workload.Matrix(rng, int(rows), int(cols), -100, 100)
+		x = workload.Int32Vector(rng, int(cols), -100, 100)
+	}
+
+	objM, err := dev.Alloc(rows*cols, pim.Int32)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	objX, err := dev.Alloc(cols, pim.Int32)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, objM, mat); err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, objX, x); err != nil {
+		return suite.Result{}, err
+	}
+	y, err := Kernel(dev, objM, objX, rows, cols)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	verified := true
+	if cfg.Functional {
+		want := Ref(mat, x, rows, cols)
+		for i := range want {
+			// The device accumulates in int64 but stores int32 products;
+			// inputs are bounded so no wraparound occurs here.
+			if y[i] != want[i] {
+				verified = false
+				break
+			}
+		}
+	}
+	if err := dev.Free(objM); err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.Free(objX); err != nil {
+		return suite.Result{}, err
+	}
+
+	n := rows * cols
+	cpu := suite.CPUCost(suite.Kernel{Bytes: 4 * n, Ops: 2 * n, Dense: true})
+	gpu := suite.GPUCost(suite.Kernel{Bytes: 4 * n, Ops: 2 * n, Dense: true})
+	return r.Finish(b, verified, cpu, gpu), nil
+}

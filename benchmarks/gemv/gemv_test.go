@@ -1,0 +1,176 @@
+package gemv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestRefKnownValues(t *testing.T) {
+	// [1 2; 3 4] * [5, 6] = [17, 39]
+	mat := []int32{1, 2, 3, 4}
+	x := []int32{5, 6}
+	y := Ref(mat, x, 2, 2)
+	if y[0] != 17 || y[1] != 39 {
+		t.Fatalf("Ref = %v", y)
+	}
+}
+
+func TestKernelMatchesRef(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		dev, err := pim.NewDevice(pim.Config{Target: tgt, Ranks: 1, Functional: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rows, cols = 7, 16
+		mat := make([]int32, rows*cols)
+		x := make([]int32, cols)
+		for i := range mat {
+			mat[i] = int32(i%13) - 6
+		}
+		for i := range x {
+			x[i] = int32(i) - 8
+		}
+		objM, err := dev.Alloc(rows*cols, pim.Int32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objX, err := dev.Alloc(cols, pim.Int32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pim.CopyToDevice(dev, objM, mat); err != nil {
+			t.Fatal(err)
+		}
+		if err := pim.CopyToDevice(dev, objX, x); err != nil {
+			t.Fatal(err)
+		}
+		y, err := Kernel(dev, objM, objX, rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Ref(mat, x, rows, cols)
+		for i := range want {
+			if y[i] != want[i] {
+				t.Fatalf("%v: y[%d] = %d, want %d", tgt, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHostReplicatedMatchesBroadcast(t *testing.T) {
+	dev, err := pim.NewDevice(pim.Config{Target: pim.Fulcrum, Ranks: 1, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows, cols = 4, 8
+	mat := make([]int32, rows*cols)
+	x := make([]int32, cols)
+	for i := range mat {
+		mat[i] = int32(i) - 15
+	}
+	for i := range x {
+		x[i] = int32(2*i) - 7
+	}
+	objM, _ := dev.Alloc(rows*cols, pim.Int32)
+	objX, _ := dev.Alloc(cols, pim.Int32)
+	_ = pim.CopyToDevice(dev, objM, mat)
+	_ = pim.CopyToDevice(dev, objX, x)
+	yBroadcast, err := Kernel(dev, objM, objX, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xRep := make([]int32, rows*cols)
+	for r := 0; r < rows; r++ {
+		copy(xRep[r*cols:], x)
+	}
+	yHost, err := KernelHostReplicated(dev, objM, xRep, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range yBroadcast {
+		if yBroadcast[i] != yHost[i] {
+			t.Fatalf("paths disagree at %d: %d vs %d", i, yBroadcast[i], yHost[i])
+		}
+	}
+}
+
+// TestReplicationPathCostsMoreDataMovement verifies the GEMM-vs-GEMV
+// distinction: the host-replicated path must charge far more host-to-device
+// traffic than the broadcast path.
+func TestReplicationPathCostsMoreDataMovement(t *testing.T) {
+	const rows, cols = 1024, 512
+	run := func(hostRep bool) pim.Metrics {
+		dev, err := pim.NewDevice(pim.Config{Target: pim.Fulcrum, Ranks: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objM, _ := dev.Alloc(rows*cols, pim.Int32)
+		objX, _ := dev.Alloc(cols, pim.Int32)
+		if hostRep {
+			if _, err := KernelHostReplicated(dev, objM, nil, rows, cols); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := Kernel(dev, objM, objX, rows, cols); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dev.Metrics()
+	}
+	broadcast, replicated := run(false), run(true)
+	if replicated.HostToDeviceBytes < int64(rows*cols*4) {
+		t.Errorf("replicated path h2d = %d bytes, want >= %d", replicated.HostToDeviceBytes, rows*cols*4)
+	}
+	if broadcast.HostToDeviceBytes != 0 {
+		t.Errorf("broadcast path h2d = %d bytes, want 0", broadcast.HostToDeviceBytes)
+	}
+	if broadcast.CopyMS >= replicated.CopyMS {
+		t.Errorf("broadcast copy time %v must be below replicated %v", broadcast.CopyMS, replicated.CopyMS)
+	}
+}
+
+func TestRefQuickAgainstNaive(t *testing.T) {
+	f := func(seed uint8) bool {
+		rows, cols := int64(1+seed%5), int64(1+seed%7)
+		mat := make([]int32, rows*cols)
+		x := make([]int32, cols)
+		for i := range mat {
+			mat[i] = int32(seed) * int32(i%3)
+		}
+		for i := range x {
+			x[i] = int32(i) - int32(seed%4)
+		}
+		y := Ref(mat, x, rows, cols)
+		for r := int64(0); r < rows; r++ {
+			var s int64
+			for c := int64(0); c < cols; c++ {
+				s += int64(mat[r*cols+c]) * int64(x[c])
+			}
+			if y[r] != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFulcrumWinsGEMV(t *testing.T) {
+	times := map[pim.Target]float64{}
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[tgt] = res.Metrics.KernelMS
+	}
+	if times[pim.Fulcrum] >= times[pim.BitSerial] {
+		t.Errorf("Fulcrum (%v ms) must beat bit-serial (%v ms) on GEMV (paper §VIII)",
+			times[pim.Fulcrum], times[pim.BitSerial])
+	}
+}

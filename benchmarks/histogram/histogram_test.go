@@ -1,0 +1,64 @@
+package histogram
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestFunctionalCountsAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true, Size: 64 * 16})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: histogram counts wrong", tgt)
+		}
+	}
+}
+
+// TestReductionLimitsBitSerial checks the paper's observation that
+// reduction dominates the histogram op mix and runtime.
+func TestReductionDominatesOpMix(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.BitSerial, Ranks: 1, Functional: true, Size: 64 * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpMix["reduction"] < 0.4 || res.OpMix["eq"] < 0.4 {
+		t.Errorf("histogram mix must be ~half eq, ~half reduction: %v", res.OpMix)
+	}
+}
+
+// TestSpeedupOverCPUNotGPU checks the paper's Figure 9/10a shape: every
+// variant beats the CPU; the GPU beats the bit-parallel variants. Our
+// bit-serial lands at rough GPU parity (its hardware row popcount makes
+// reductions cheaper than the paper's model) — bounded rather than <1.
+func TestSpeedupOverCPUNotGPU(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, _ := res.SpeedupCPU(); w <= 1 {
+			t.Errorf("%v: histogram vs CPU = %v, want > 1 (paper: all variants)", tgt, w)
+		}
+		s := res.SpeedupGPU()
+		if tgt == pim.BitSerial {
+			if s > 8 {
+				t.Errorf("bit-serial histogram vs GPU = %v, want near parity at most", s)
+			}
+			continue
+		}
+		if s >= 1 {
+			t.Errorf("%v: histogram vs GPU = %v, want < 1 (paper)", tgt, s)
+		}
+	}
+}
+
+func TestKeySpace(t *testing.T) {
+	if keys != 256 {
+		t.Fatalf("keys = %d, want 256 (8-bit channels)", keys)
+	}
+}

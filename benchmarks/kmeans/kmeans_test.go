@@ -1,0 +1,92 @@
+package kmeans
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+func TestRefAssign(t *testing.T) {
+	xs := []int32{0, 10, 100}
+	ys := []int32{0, 0, 0}
+	cx := []int64{1, 99}
+	cy := []int64{0, 0}
+	got := refAssign(xs, ys, cx, cy)
+	want := []int{0, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assign = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFunctionalConverges(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true, Size: 2000})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: k-means did not converge to the planted clusters", tgt)
+		}
+	}
+}
+
+// TestAllVariantsBeatCPU checks the paper's claim: simple-op composition
+// gives every architecture a significant speedup.
+func TestAllVariantsBeatCPU(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _ := res.SpeedupCPU()
+		if w <= 1 {
+			t.Errorf("%v: k-means speedup = %v, want > 1 (paper §VIII)", tgt, w)
+		}
+	}
+}
+
+func TestOpMixIsSimpleOps(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 1, Functional: true, Size: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: sub, add, min, eq dominate; no multiply at all.
+	if res.OpMix["mul"] != 0 {
+		t.Errorf("k-means issues multiplies: %v", res.OpMix)
+	}
+	for _, k := range []string{"sub", "min", "eq", "reduction"} {
+		if res.OpMix[k] == 0 {
+			t.Errorf("k-means missing %s ops: %v", k, res.OpMix)
+		}
+	}
+}
+
+func TestClusteredPointsStayAssigned(t *testing.T) {
+	// Sanity on the generator contract the verification relies on.
+	xs, ys, centers := workload.ClusteredPoints(workload.RNG(1), 1000, defaultK, 300)
+	if len(centers) != defaultK {
+		t.Fatalf("centers = %d", len(centers))
+	}
+	cx := make([]int64, defaultK)
+	cy := make([]int64, defaultK)
+	for i, c := range centers {
+		cx[i], cy[i] = int64(c[0]), int64(c[1])
+	}
+	assign := refAssign(xs, ys, cx, cy)
+	counts := make([]int, defaultK)
+	for _, a := range assign {
+		counts[a]++
+	}
+	// Grid spacing 4000 vs spread 300: assignments must be clean.
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1000 {
+		t.Fatal("assignment lost points")
+	}
+}

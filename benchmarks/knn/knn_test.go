@@ -1,0 +1,53 @@
+package knn
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestClassifyMajority(t *testing.T) {
+	dist := []int64{1, 2, 3, 4, 5, 100, 200}
+	labels := []int32{2, 2, 1, 2, 1, 0, 0}
+	// k=5 nearest: labels 2,2,1,2,1 -> majority 2.
+	if got := classify(dist, labels); got != 2 {
+		t.Fatalf("classify = %d, want 2", got)
+	}
+}
+
+func TestClassifyTieBreaksByIndex(t *testing.T) {
+	// Equal distances resolve deterministically by index order.
+	dist := []int64{5, 5, 5, 5, 5, 5}
+	labels := []int32{0, 0, 0, 1, 1, 1}
+	if got := classify(dist, labels); got != 0 {
+		t.Fatalf("tie break classify = %d, want 0 (first k indices)", got)
+	}
+}
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true, Size: 512})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: classifications diverge from reference", tgt)
+		}
+	}
+}
+
+func TestModestSpeedup(t *testing.T) {
+	// Paper: "modest speedups" — the host selection phase bounds KNN.
+	res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.SpeedupCPU()
+	if w < 0.8 || w > 4 {
+		t.Errorf("KNN speedup = %v, want modest (~1-2x)", w)
+	}
+	if res.Metrics.HostMS <= 0 {
+		t.Error("KNN must record a host phase")
+	}
+}

@@ -1,0 +1,134 @@
+// Package linreg implements the PIMbench 2-D linear-regression benchmark:
+// least-squares slope and intercept from the classic sums (sum x, sum y,
+// sum xy, sum x^2), all computed as PIM multiply + reduction; the final
+// two divisions happen on the host. Reduction-to-multiply ratio is high, so
+// bit-serial and Fulcrum land close together — the paper's observation.
+package linreg
+
+import (
+	"math"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark.
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "linreg",
+		Domain:     "Supervised Learning",
+		Access:     suite.AccessPattern{Sequential: true},
+		PaperInput: "1,500,000,000 2D points",
+	}
+}
+
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 1 << 14
+	}
+	return 1_500_000_000
+}
+
+// Fit solves the least-squares line from the four sums.
+func Fit(n, sx, sy, sxy, sxx int64) (slope, intercept float64) {
+	den := float64(n)*float64(sxx) - float64(sx)*float64(sx)
+	if den == 0 {
+		return 0, 0
+	}
+	slope = (float64(n)*float64(sxy) - float64(sx)*float64(sy)) / den
+	intercept = (float64(sy) - slope*float64(sx)) / float64(n)
+	return slope, intercept
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, n := r.Dev, r.Size
+
+	var xs, ys []int32
+	if cfg.Functional {
+		xs, ys = workload.LinearPoints(workload.RNG(111), int(n), 3, 17, 5)
+	}
+
+	objX, err := dev.Alloc(n, pim.Int32)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	objY, err := dev.AllocAssociated(objX)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	tmp, err := dev.AllocAssociated(objX)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, objX, xs); err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, objY, ys); err != nil {
+		return suite.Result{}, err
+	}
+
+	sx, err := dev.RedSum(objX)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	sy, err := dev.RedSum(objY)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.Mul(objX, objY, tmp); err != nil {
+		return suite.Result{}, err
+	}
+	sxy, err := dev.RedSum(tmp)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.Mul(objX, objX, tmp); err != nil {
+		return suite.Result{}, err
+	}
+	sxx, err := dev.RedSum(tmp)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev.RecordHostKernel(64, 16, false) // final divisions
+
+	verified := true
+	if cfg.Functional {
+		slope, intercept := Fit(n, sx, sy, sxy, sxx)
+		// The generator draws points on y = 3x + 17 with +-5 noise.
+		if math.Abs(slope-3) > 0.05 || math.Abs(intercept-17) > 5 {
+			verified = false
+		}
+		// Cross-check the sums against a host pass.
+		var wsx, wsy, wsxy, wsxx int64
+		for i := range xs {
+			wsx += int64(xs[i])
+			wsy += int64(ys[i])
+			wsxy += int64(xs[i]) * int64(ys[i])
+			wsxx += int64(xs[i]) * int64(xs[i])
+		}
+		if sx != wsx || sy != wsy || sxy != wsxy || sxx != wsxx {
+			verified = false
+		}
+	}
+	for _, id := range []pim.ObjID{objX, objY, tmp} {
+		if err := dev.Free(id); err != nil {
+			return suite.Result{}, err
+		}
+	}
+
+	k := suite.Kernel{Bytes: 8 * n, Ops: 6 * n}
+	cpu := suite.CPUCost(k)
+	gpu := suite.GPUCost(k)
+	return r.Finish(b, verified, cpu, gpu), nil
+}

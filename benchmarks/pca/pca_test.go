@@ -1,0 +1,57 @@
+package pca
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: covariance/PCA verification failed", tgt)
+		}
+	}
+}
+
+func TestOpMixMulReduction(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 1, Functional: true, Size: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"mul", "reduction", "sub"} {
+		if res.OpMix[k] == 0 {
+			t.Errorf("PCA mix missing %s: %v", k, res.OpMix)
+		}
+	}
+}
+
+func TestFulcrumWinsPCA(t *testing.T) {
+	// Multiply-heavy statistics: Fulcrum must lead, as for GEMV/AXPY.
+	kernels := map[pim.Target]float64{}
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels[tgt] = res.Metrics.KernelMS
+	}
+	if kernels[pim.Fulcrum] >= kernels[pim.BitSerial] {
+		t.Errorf("Fulcrum (%v) must beat bit-serial (%v) on covariance multiplies",
+			kernels[pim.Fulcrum], kernels[pim.BitSerial])
+	}
+}
+
+func TestDims(t *testing.T) {
+	if dims != 8 {
+		t.Fatalf("dims = %d", dims)
+	}
+	if !New().Info().Extension {
+		t.Error("PCA must be an extension kernel")
+	}
+}

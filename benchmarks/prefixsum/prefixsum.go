@@ -1,0 +1,101 @@
+// Package prefixsum implements the prefix-sum (scan) kernel from the
+// paper's future-work list (Section II: "related to scan from PrIM and
+// InSituBench"). The PIM formulation is a Kogge-Stone inclusive scan:
+// log2(N) rounds of a shifted device-to-device copy plus one element-wise
+// add, so the whole scan is ~2*log2(N) PIM commands regardless of N.
+package prefixsum
+
+import (
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark.
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "prefixsum",
+		Domain:     "Linear Algebra",
+		Access:     suite.AccessPattern{Sequential: true},
+		PaperInput: "67,108,864 32-bit INT (future-work kernel)",
+		Extension:  true,
+	}
+}
+
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 1 << 12
+	}
+	return 67_108_864
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, n := r.Dev, r.Size
+
+	var vals []int32
+	if cfg.Functional {
+		vals = workload.Int32Vector(workload.RNG(201), int(n), -100, 100)
+	}
+
+	x, err := dev.Alloc(n, pim.Int32)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	shifted, err := dev.AllocAssociated(x)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, x, vals); err != nil {
+		return suite.Result{}, err
+	}
+	// Kogge-Stone: x[i] += x[i-d] for d = 1, 2, 4, ...
+	for d := int64(1); d < n; d <<= 1 {
+		if err := dev.Broadcast(shifted, 0); err != nil {
+			return suite.Result{}, err
+		}
+		if err := dev.CopyDeviceToDeviceRange(x, 0, shifted, d, n-d); err != nil {
+			return suite.Result{}, err
+		}
+		if err := dev.Add(x, shifted, x); err != nil {
+			return suite.Result{}, err
+		}
+	}
+	verified := true
+	var out []int32
+	if cfg.Functional {
+		out = make([]int32, n)
+	}
+	if err := pim.CopyFromDevice(dev, x, out); err != nil {
+		return suite.Result{}, err
+	}
+	if cfg.Functional {
+		var acc int32
+		for i := range vals {
+			acc += vals[i]
+			if out[i] != acc {
+				verified = false
+				break
+			}
+		}
+	}
+	if err := dev.Free(x); err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.Free(shifted); err != nil {
+		return suite.Result{}, err
+	}
+
+	// Baselines: two-pass parallel scan.
+	k := suite.Kernel{Bytes: 16 * n, Ops: 2 * n}
+	return r.Finish(b, verified, suite.CPUCost(k), suite.GPUCost(k)), nil
+}

@@ -1,0 +1,65 @@
+package prefixsum
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: scan wrong", tgt)
+		}
+	}
+}
+
+func TestNonPowerOfTwoLength(t *testing.T) {
+	// Kogge-Stone must handle lengths that are not powers of two.
+	res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 1, Functional: true, Size: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("non-power-of-two scan wrong")
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.BitSerial, Ranks: 1, Functional: true, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("length-1 scan wrong")
+	}
+}
+
+func TestLogarithmicCommandCount(t *testing.T) {
+	// 2x the input adds exactly one round (broadcast + copy + add).
+	run := func(n int64) float64 {
+		res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 1, Size: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics.KernelMS
+	}
+	small, big := run(1<<20), run(1<<21)
+	if big <= small {
+		t.Errorf("doubling N must add a round: %v vs %v", big, small)
+	}
+	if big > 3*small {
+		t.Errorf("scan must scale logarithmically, got %v vs %v", big, small)
+	}
+}
+
+func TestIsExtension(t *testing.T) {
+	if !New().Info().Extension {
+		t.Error("prefix sum must be marked a future-work extension")
+	}
+}

@@ -1,0 +1,64 @@
+package radixsort
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestFunctionalSortsAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true, Size: 2048})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: output not sorted", tgt)
+		}
+	}
+}
+
+func TestHostPhaseDominates(t *testing.T) {
+	// The paper: sorting/scatter on the host bounds radix sort.
+	res, err := New().Run(suite.Config{Target: pim.BitSerial, Ranks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.HostMS <= m.KernelMS {
+		t.Errorf("host (%v ms) must exceed PIM kernel (%v ms)", m.HostMS, m.KernelMS)
+	}
+	w, _ := res.SpeedupCPU()
+	if w < 0.5 || w > 3 {
+		t.Errorf("radix sort speedup %v, want ~1 (slight, host-bound)", w)
+	}
+}
+
+func TestGPUWinsRadixSort(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := res.SpeedupGPU(); s >= 1 {
+			t.Errorf("%v: speedup vs GPU = %v, want < 1 (paper: significant slowdown)", tgt, s)
+		}
+	}
+}
+
+func TestPassesAndBuckets(t *testing.T) {
+	if passes != 4 || buckets != 256 {
+		t.Fatalf("expected 4 passes of 8-bit digits, got %d passes of %d buckets", passes, buckets)
+	}
+}
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if !info.HostPhase || info.Domain != "Sort" {
+		t.Errorf("Info = %+v", info)
+	}
+	if New().DefaultSize(false) != 67_108_864 {
+		t.Error("paper input size")
+	}
+}

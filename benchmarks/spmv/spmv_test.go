@@ -1,0 +1,47 @@
+package spmv
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: SpMV result wrong", tgt)
+		}
+	}
+}
+
+// TestGatherDominates checks the paper's sparse-kernel story: the host
+// gather (and its upload) dominates, which is why sparse algorithms are
+// "not easily supported" on PIM.
+func TestGatherDominates(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.BitSerial, Ranks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.HostMS+m.CopyMS <= m.KernelMS {
+		t.Errorf("gather+upload (%v ms) must dominate the kernel (%v ms)", m.HostMS+m.CopyMS, m.KernelMS)
+	}
+	w, _ := res.SpeedupCPU()
+	if w >= 1 {
+		t.Errorf("SpMV speedup = %v, want < 1 (gather-bound)", w)
+	}
+}
+
+func TestExtensionFlag(t *testing.T) {
+	if !New().Info().Extension {
+		t.Error("spmv must be an extension kernel")
+	}
+	if New().Info().Access.Random != true {
+		t.Error("spmv is random-access")
+	}
+}

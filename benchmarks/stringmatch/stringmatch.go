@@ -1,0 +1,138 @@
+// Package stringmatch implements the exact string-match kernel from the
+// paper's future-work list (Section II: "string match from Phoenix",
+// "apriori from DRAM-CAM" — the associative-matching pattern). The text is
+// resident in PIM memory; for each pattern byte the kernel forms a shifted
+// view of the text (device-to-device), compares it against the byte with
+// one equality command, and ANDs into a running match mask — the DRAM-CAM
+// style of massively-parallel exact pattern matching. A final reduction
+// yields the occurrence count.
+package stringmatch
+
+import (
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+// pattern is the needle searched for; the generator plants it explicitly.
+var pattern = []byte("PIMBENCH")
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark.
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "stringmatch",
+		Domain:     "Database",
+		Access:     suite.AccessPattern{Sequential: true},
+		PaperInput: "268,435,456 bytes, 8-byte pattern (future-work kernel)",
+		Extension:  true,
+	}
+}
+
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 1 << 14
+	}
+	return 268_435_456
+}
+
+// makeText builds a random text with planted pattern occurrences.
+func makeText(n int64) ([]byte, int64) {
+	rng := workload.RNG(202)
+	text := workload.Bytes(rng, int(n))
+	stride := n / 50
+	if stride < int64(len(pattern)) {
+		stride = int64(len(pattern))
+	}
+	for i := int64(0); i+int64(len(pattern)) <= n; i += stride {
+		copy(text[i:], pattern)
+	}
+	// Count actual occurrences (random bytes could collide, and plants at
+	// stride < len(pattern) could overlap).
+	var count int64
+	for i := int64(0); i+int64(len(pattern)) <= n; i++ {
+		match := true
+		for j, p := range pattern {
+			if text[i+int64(j)] != p {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+		}
+	}
+	return text, count
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, n := r.Dev, r.Size
+	m := int64(len(pattern))
+
+	var text []byte
+	var want int64
+	if cfg.Functional {
+		text, want = makeText(n)
+	}
+
+	txt, err := dev.Alloc(n, pim.UInt8)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	shifted, err := dev.AllocAssociated(txt)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	eq, err := dev.AllocAssociated(txt)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	match, err := dev.AllocAssociated(txt)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, txt, text); err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.Broadcast(match, 1); err != nil {
+		return suite.Result{}, err
+	}
+	for j := int64(0); j < m; j++ {
+		// shifted[i] = text[i+j]; the tail can never start a full match.
+		if err := dev.Broadcast(shifted, 0); err != nil {
+			return suite.Result{}, err
+		}
+		if err := dev.CopyDeviceToDeviceRange(txt, j, shifted, 0, n-j); err != nil {
+			return suite.Result{}, err
+		}
+		if err := dev.EqScalar(shifted, int64(pattern[j]), eq); err != nil {
+			return suite.Result{}, err
+		}
+		if err := dev.And(match, eq, match); err != nil {
+			return suite.Result{}, err
+		}
+	}
+	count, err := dev.RedSum(match)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	verified := !cfg.Functional || count == want
+	for _, id := range []pim.ObjID{txt, shifted, eq, match} {
+		if err := dev.Free(id); err != nil {
+			return suite.Result{}, err
+		}
+	}
+
+	// Baselines: SIMD memmem-style scan (first-byte filter + verify).
+	k := suite.Kernel{Bytes: 2 * n, Ops: 2 * n}
+	return r.Finish(b, verified, suite.CPUCost(k), suite.GPUCost(k)), nil
+}

@@ -1,0 +1,65 @@
+package stringmatch
+
+import (
+	"bytes"
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestMakeTextPlantsPattern(t *testing.T) {
+	text, count := makeText(1 << 12)
+	if count == 0 {
+		t.Fatal("no occurrences planted")
+	}
+	if !bytes.Contains(text, pattern) {
+		t.Fatal("pattern not in text")
+	}
+	// The reported count must equal a bytes.Index scan (overlap-aware).
+	var want int64
+	for i := 0; i+len(pattern) <= len(text); i++ {
+		if bytes.Equal(text[i:i+len(pattern)], pattern) {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("makeText count = %d, scan = %d", count, want)
+	}
+}
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: occurrence count wrong", tgt)
+		}
+	}
+}
+
+func TestPatternAtTextEnd(t *testing.T) {
+	// A text exactly one pattern long: size = len(pattern)*2 so the plant
+	// at offset 0 exists and the tail cannot produce a phantom match.
+	res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 1, Functional: true, Size: int64(2 * len(pattern))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("boundary handling wrong")
+	}
+}
+
+func TestCommandCountScalesWithPattern(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.BitSerial, Ranks: 1, Size: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One eq + one and per pattern byte, one broadcast each, one final
+	// reduction: eq fraction must reflect the 8-byte pattern.
+	if res.OpMix["eq"] == 0 || res.OpMix["and"] == 0 || res.OpMix["reduction"] == 0 {
+		t.Errorf("op mix = %v", res.OpMix)
+	}
+}

@@ -1,0 +1,297 @@
+// Package suite defines the common framework of the PIMbench benchmark
+// suite: run configuration, result records with the paper's metrics
+// (kernel / host / data-movement breakdown, energy, op mix, CPU/GPU
+// baselines), the benchmark registry, and the feature extraction used by
+// the Figure-1 diversity analysis.
+package suite
+
+import (
+	"fmt"
+	"sort"
+
+	"pimeval/internal/hostmodel"
+	"pimeval/pim"
+)
+
+// Config selects how one benchmark run executes.
+type Config struct {
+	Target pim.Target
+	// Memory selects DDR4 (default) or HBM2 (the future-work study).
+	Memory pim.Memory
+	// Ranks of the PIM module; 0 = the paper's 32.
+	Ranks int
+	// Functional runs data-carrying simulation with verification. When
+	// false the run is model-only and uses the paper's input sizes (or
+	// Size, if set).
+	Functional bool
+	// Size overrides the benchmark's primary input dimension; 0 = default
+	// (a small functional size or the paper's Table I size, by mode).
+	Size int64
+	// EmitReport captures the artifact-style statistics report (Listing 3)
+	// in Result.Report.
+	EmitReport bool
+	// Trace captures the device command trace (most recent 64Ki entries)
+	// in Result.Trace.
+	Trace bool
+	// Geometry overrides for sensitivity sweeps; 0 = paper defaults.
+	BanksPerRank     int
+	SubarraysPerBank int
+	RowsPerSubarray  int
+	ColsPerRow       int
+}
+
+// DeviceConfig materializes the pim.Config for this run.
+func (c Config) DeviceConfig() pim.Config {
+	return pim.Config{
+		Target:           c.Target,
+		Memory:           c.Memory,
+		Ranks:            c.Ranks,
+		Functional:       c.Functional,
+		BanksPerRank:     c.BanksPerRank,
+		SubarraysPerBank: c.SubarraysPerBank,
+		RowsPerSubarray:  c.RowsPerSubarray,
+		ColsPerRow:       c.ColsPerRow,
+	}
+}
+
+// HostCost is a baseline machine's modeled cost for the full benchmark.
+type HostCost struct {
+	TimeMS   float64
+	EnergyMJ float64
+}
+
+// Result is the outcome of one benchmark run.
+type Result struct {
+	Benchmark string
+	Target    pim.Target
+	N         int64 // primary input dimension actually used
+	Metrics   pim.Metrics
+	OpMix     map[string]float64
+	CPU       HostCost // paper's EPYC baseline (roofline model)
+	GPU       HostCost // paper's A100 baseline (roofline model)
+	// Verified reports that the functional output matched the golden
+	// reference; model-only runs leave it false with VerifiedSkipped set.
+	Verified        bool
+	VerifiedSkipped bool
+	// Report holds the artifact-style statistics report when the run was
+	// configured with EmitReport.
+	Report string
+	// Trace holds the rendered command trace when configured with Trace.
+	Trace string
+}
+
+// SpeedupCPU returns the paper's Figure-9 speedups over the CPU baseline:
+// with data movement (copy+host+kernel) and kernel-only (kernel+host).
+func (r Result) SpeedupCPU() (withDM, kernelOnly float64) {
+	m := r.Metrics
+	if t := m.TotalMS(); t > 0 {
+		withDM = r.CPU.TimeMS / t
+	}
+	if t := m.KernelMS + m.HostMS; t > 0 {
+		kernelOnly = r.CPU.TimeMS / t
+	}
+	return withDM, kernelOnly
+}
+
+// SpeedupGPU returns the Figure-10a speedup over the GPU baseline: both
+// sides exclude host<->device transfer (PCIe/CXL is common to both).
+func (r Result) SpeedupGPU() float64 {
+	if t := r.Metrics.KernelMS + r.Metrics.HostMS; t > 0 {
+		return r.GPU.TimeMS / t
+	}
+	return 0
+}
+
+// EnergyReductionCPU returns the Figure-11 energy-reduction factor vs the
+// CPU baseline, charging PIM with transfer, host, kernel, and host idle
+// energy.
+func (r Result) EnergyReductionCPU() float64 {
+	m := r.Metrics
+	if e := m.TotalMJ() + m.IdleMJ(); e > 0 {
+		return r.CPU.EnergyMJ / e
+	}
+	return 0
+}
+
+// EnergyReductionGPU returns the Figure-10b factor; CPU idle energy and
+// transfer energy are factored out on both sides (paper Section VI).
+func (r Result) EnergyReductionGPU() float64 {
+	m := r.Metrics
+	if e := m.KernelMJ + m.HostMJ; e > 0 {
+		return r.GPU.EnergyMJ / e
+	}
+	return 0
+}
+
+// CPUCost converts a roofline kernel into a HostCost on the paper's CPU.
+func CPUCost(kernels ...hostmodel.Kernel) HostCost {
+	return hostCost(hostmodel.CPU(), kernels)
+}
+
+// GPUCost converts a roofline kernel into a HostCost on the paper's GPU.
+func GPUCost(kernels ...hostmodel.Kernel) HostCost {
+	return hostCost(hostmodel.GPU(), kernels)
+}
+
+func hostCost(m hostmodel.Machine, kernels []hostmodel.Kernel) HostCost {
+	var hc HostCost
+	for _, k := range kernels {
+		c := m.Cost(k)
+		hc.TimeMS += c.TimeMS()
+		hc.EnergyMJ += c.EnergyMJ()
+	}
+	return hc
+}
+
+// Kernel re-exports the roofline kernel descriptor for benchmark baselines.
+type Kernel = hostmodel.Kernel
+
+// AccessPattern describes a benchmark's Table-I memory access columns.
+type AccessPattern struct {
+	Sequential bool
+	Random     bool
+}
+
+// Info is a benchmark's static registry record (Table I).
+type Info struct {
+	Name       string
+	Domain     string
+	Access     AccessPattern
+	HostPhase  bool   // execution type "PIM + Host"
+	PaperInput string // Table I input description
+	// Extension marks kernels from the paper's future-work list (prefix
+	// sum, string match, transitive closure, PCA); they are excluded from
+	// the Table I lineup and the paper's figures but run under the same
+	// framework.
+	Extension bool
+}
+
+// Benchmark is one PIMbench application.
+type Benchmark interface {
+	Info() Info
+	// DefaultSize returns the primary input dimension for the mode:
+	// paper-scale for model-only runs, a small size for functional runs.
+	DefaultSize(functional bool) int64
+	// Run executes the benchmark on the configured device.
+	Run(cfg Config) (Result, error)
+}
+
+var registry []Benchmark
+
+// Register adds a benchmark; called from each app package's init.
+func Register(b Benchmark) { registry = append(registry, b) }
+
+// All returns the registered Table I benchmarks sorted by name.
+func All() []Benchmark {
+	var out []Benchmark
+	for _, b := range registry {
+		if !b.Info().Extension {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Info().Name < out[j].Info().Name })
+	return out
+}
+
+// Extensions returns the registered future-work kernels sorted by name.
+func Extensions() []Benchmark {
+	var out []Benchmark
+	for _, b := range registry {
+		if b.Info().Extension {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Info().Name < out[j].Info().Name })
+	return out
+}
+
+// ByName returns the registered benchmark with the given name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range registry {
+		if b.Info().Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("suite: unknown benchmark %q", name)
+}
+
+// Runner bundles the boilerplate every app shares: device creation, size
+// selection, and result assembly.
+type Runner struct {
+	Cfg  Config
+	Dev  *pim.Device
+	Size int64
+}
+
+// NewRunner creates the device and resolves the input size for a run.
+func NewRunner(b Benchmark, cfg Config) (*Runner, error) {
+	size := cfg.Size
+	if size == 0 {
+		size = b.DefaultSize(cfg.Functional)
+	}
+	dev, err := pim.NewDevice(cfg.DeviceConfig())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Trace {
+		dev.EnableTrace()
+	}
+	return &Runner{Cfg: cfg, Dev: dev, Size: size}, nil
+}
+
+// Finish assembles the Result from the device's statistics.
+func (r *Runner) Finish(b Benchmark, verified bool, cpu, gpu HostCost) Result {
+	report, trace := "", ""
+	if r.Cfg.EmitReport {
+		report = r.Dev.Report()
+	}
+	if r.Cfg.Trace {
+		trace = r.Dev.TraceString()
+	}
+	return Result{
+		Report:          report,
+		Trace:           trace,
+		Benchmark:       b.Info().Name,
+		Target:          r.Cfg.Target,
+		N:               r.Size,
+		Metrics:         r.Dev.Metrics(),
+		OpMix:           r.Dev.OpMix(),
+		CPU:             cpu,
+		GPU:             gpu,
+		Verified:        verified && r.Cfg.Functional,
+		VerifiedSkipped: !r.Cfg.Functional,
+	}
+}
+
+// Features derives the diversity-analysis feature vector of a result for
+// the Figure-1 dendrogram: the Figure-8 op-mix fractions plus access
+// pattern, execution type, and arithmetic-intensity-style features.
+func Features(info Info, r Result) []float64 {
+	mixKeys := FeatureMixKeys()
+	f := make([]float64, 0, len(mixKeys)+5)
+	for _, k := range mixKeys {
+		f = append(f, r.OpMix[k])
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	f = append(f, b2f(info.Access.Sequential), b2f(info.Access.Random), b2f(info.HostPhase))
+	m := r.Metrics
+	total := m.TotalMS()
+	if total > 0 {
+		f = append(f, m.HostMS/total, m.CopyMS/total)
+	} else {
+		f = append(f, 0, 0)
+	}
+	return f
+}
+
+// FeatureMixKeys returns the op-mix categories used in feature vectors, in
+// the paper's Figure-8 legend order.
+func FeatureMixKeys() []string {
+	return []string{"add", "sub", "mul", "shift", "max", "min", "or", "and",
+		"xor", "less", "eq", "reduction", "broadcast", "popcount", "abs"}
+}

@@ -1,0 +1,162 @@
+package suite
+
+import (
+	"testing"
+
+	"pimeval/pim"
+)
+
+func TestSpeedupMath(t *testing.T) {
+	r := Result{
+		Metrics: pim.Metrics{KernelMS: 2, HostMS: 3, CopyMS: 5},
+		CPU:     HostCost{TimeMS: 100, EnergyMJ: 1000},
+		GPU:     HostCost{TimeMS: 10, EnergyMJ: 50},
+	}
+	withDM, kernelOnly := r.SpeedupCPU()
+	if withDM != 10 { // 100 / (2+3+5)
+		t.Errorf("withDM = %v, want 10", withDM)
+	}
+	if kernelOnly != 20 { // 100 / (2+3)
+		t.Errorf("kernelOnly = %v, want 20", kernelOnly)
+	}
+	if got := r.SpeedupGPU(); got != 2 { // 10 / (2+3)
+		t.Errorf("SpeedupGPU = %v, want 2", got)
+	}
+	var zero Result
+	if w, k := zero.SpeedupCPU(); w != 0 || k != 0 {
+		t.Error("zero metrics must yield zero speedups")
+	}
+	if zero.SpeedupGPU() != 0 || zero.EnergyReductionCPU() != 0 || zero.EnergyReductionGPU() != 0 {
+		t.Error("zero metrics must yield zero factors")
+	}
+}
+
+func TestEnergyMath(t *testing.T) {
+	r := Result{
+		Metrics: pim.Metrics{KernelMS: 1, KernelMJ: 2, HostMJ: 3, CopyMJ: 5},
+		CPU:     HostCost{EnergyMJ: 100},
+		GPU:     HostCost{EnergyMJ: 40},
+	}
+	// CPU comparison includes idle energy (10 W x 1 ms = 10 mJ).
+	wantCPU := 100.0 / (10 + 10)
+	if got := r.EnergyReductionCPU(); got < wantCPU*0.999 || got > wantCPU*1.001 {
+		t.Errorf("EnergyReductionCPU = %v, want %v", got, wantCPU)
+	}
+	// GPU comparison excludes copies and idle.
+	if got := r.EnergyReductionGPU(); got != 8 { // 40 / (2+3)
+		t.Errorf("EnergyReductionGPU = %v, want 8", got)
+	}
+}
+
+func TestHostCostComposition(t *testing.T) {
+	a := CPUCost(Kernel{Bytes: 1 << 20})
+	b := CPUCost(Kernel{Bytes: 1 << 20}, Kernel{Bytes: 1 << 20})
+	if b.TimeMS <= a.TimeMS || b.TimeMS >= 2.5*a.TimeMS {
+		t.Errorf("two kernels = %v ms vs one = %v ms", b.TimeMS, a.TimeMS)
+	}
+	if gpu := GPUCost(Kernel{Bytes: 1 << 30}); gpu.TimeMS >= CPUCost(Kernel{Bytes: 1 << 30}).TimeMS {
+		t.Error("GPU must beat CPU on streaming bytes")
+	}
+}
+
+func TestDeviceConfigPassthrough(t *testing.T) {
+	c := Config{
+		Target: pim.BankLevel, Memory: pim.MemHBM2, Ranks: 7, Functional: true,
+		BanksPerRank: 3, SubarraysPerBank: 5, RowsPerSubarray: 9, ColsPerRow: 11,
+	}
+	dc := c.DeviceConfig()
+	if dc.Target != pim.BankLevel || dc.Memory != pim.MemHBM2 || dc.Ranks != 7 ||
+		!dc.Functional || dc.BanksPerRank != 3 || dc.SubarraysPerBank != 5 ||
+		dc.RowsPerSubarray != 9 || dc.ColsPerRow != 11 {
+		t.Errorf("DeviceConfig = %+v", dc)
+	}
+}
+
+func TestFeaturesVector(t *testing.T) {
+	info := Info{Access: AccessPattern{Sequential: true}, HostPhase: true}
+	r := Result{
+		Metrics: pim.Metrics{KernelMS: 5, HostMS: 3, CopyMS: 2},
+		OpMix:   map[string]float64{"add": 0.5, "mul": 0.5},
+	}
+	f := Features(info, r)
+	keys := FeatureMixKeys()
+	if len(f) != len(keys)+5 {
+		t.Fatalf("feature length %d, want %d", len(f), len(keys)+5)
+	}
+	if f[0] != 0.5 { // "add" is first
+		t.Errorf("add fraction = %v", f[0])
+	}
+	if f[len(keys)] != 1 || f[len(keys)+1] != 0 || f[len(keys)+2] != 1 {
+		t.Errorf("access/exec flags = %v", f[len(keys):len(keys)+3])
+	}
+	if f[len(keys)+3] != 0.3 || f[len(keys)+4] != 0.2 {
+		t.Errorf("host/copy shares = %v %v", f[len(keys)+3], f[len(keys)+4])
+	}
+	// Zero-metrics result must not divide by zero.
+	zf := Features(info, Result{OpMix: map[string]float64{}})
+	if zf[len(keys)+3] != 0 || zf[len(keys)+4] != 0 {
+		t.Error("zero-total shares must be zero")
+	}
+}
+
+type fakeBench struct {
+	name string
+	ext  bool
+}
+
+func (f fakeBench) Info() Info               { return Info{Name: f.name, Extension: f.ext} }
+func (fakeBench) DefaultSize(bool) int64     { return 10 }
+func (fakeBench) Run(Config) (Result, error) { return Result{}, nil }
+
+func TestRegistryFiltering(t *testing.T) {
+	saved := registry
+	defer func() { registry = saved }()
+	registry = nil
+	Register(fakeBench{name: "zz-core"})
+	Register(fakeBench{name: "aa-ext", ext: true})
+	all := All()
+	if len(all) != 1 || all[0].Info().Name != "zz-core" {
+		t.Errorf("All() = %v", all)
+	}
+	exts := Extensions()
+	if len(exts) != 1 || exts[0].Info().Name != "aa-ext" {
+		t.Errorf("Extensions() = %v", exts)
+	}
+	if _, err := ByName("aa-ext"); err != nil {
+		t.Errorf("ByName must find extensions too: %v", err)
+	}
+	if _, err := ByName("missing"); err == nil {
+		t.Error("ByName(missing) must fail")
+	}
+}
+
+func TestRunnerSizeSelection(t *testing.T) {
+	b := fakeBench{name: "r"}
+	r, err := NewRunner(b, Config{Target: pim.Fulcrum, Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size != 10 {
+		t.Errorf("default size = %d", r.Size)
+	}
+	r2, err := NewRunner(b, Config{Target: pim.Fulcrum, Ranks: 1, Size: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Size != 77 {
+		t.Errorf("override size = %d", r2.Size)
+	}
+	res := r2.Finish(b, true, HostCost{TimeMS: 1}, HostCost{TimeMS: 2})
+	if res.N != 77 || res.Verified {
+		t.Errorf("Finish = %+v (verified must be false: non-functional run)", res)
+	}
+	if !res.VerifiedSkipped {
+		t.Error("model-only run must mark VerifiedSkipped")
+	}
+}
+
+func TestNewRunnerBadConfig(t *testing.T) {
+	if _, err := NewRunner(fakeBench{name: "x"}, Config{Target: pim.Target(42)}); err == nil {
+		t.Error("invalid target accepted")
+	}
+}

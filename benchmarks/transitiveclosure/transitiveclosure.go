@@ -1,0 +1,193 @@
+// Package transitiveclosure implements the transitive-closure kernel from
+// the IRAM suite, named in the paper's future-work list (Section II). The
+// reachability matrix lives resident in PIM memory as a byte bitmap; each
+// Floyd-Warshall pivot k ORs the pivot row into every row whose k-th bit is
+// set, vectorized as: broadcast-tile row k across the matrix, build the
+// per-row condition mask on the host from column k, and apply one OR + one
+// select over the whole matrix — two bulk PIM commands per pivot.
+package transitiveclosure
+
+import (
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+const edgeFactor = 2 // sparse seed graph so the closure is non-trivial
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark.
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "transitiveclosure",
+		Domain:     "Graph",
+		Access:     suite.AccessPattern{Sequential: true, Random: true},
+		HostPhase:  true,
+		PaperInput: "4,096 nodes (future-work kernel, IRAM suite)",
+		Extension:  true,
+	}
+}
+
+// DefaultSize returns the node count.
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 96
+	}
+	return 4096
+}
+
+// refClosure computes the golden closure with plain Floyd-Warshall.
+func refClosure(adj [][]bool) [][]bool {
+	n := len(adj)
+	r := make([][]bool, n)
+	for i := range r {
+		r[i] = append([]bool(nil), adj[i]...)
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if r[i][k] {
+				for j := 0; j < n; j++ {
+					if r[k][j] {
+						r[i][j] = true
+					}
+				}
+			}
+		}
+	}
+	return r
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, nodes := r.Dev, r.Size
+	rowBytes := (nodes + 7) / 8
+
+	var bits [][]bool
+	var flat []byte
+	if cfg.Functional {
+		g := workload.RandomGraph(workload.RNG(203), int(nodes), int(nodes*edgeFactor))
+		bits = make([][]bool, nodes)
+		flat = make([]byte, nodes*rowBytes)
+		for i := int64(0); i < nodes; i++ {
+			bits[i] = make([]bool, nodes)
+			for j := int64(0); j < nodes; j++ {
+				if g.HasEdge(int(i), int(j)) || i == j {
+					bits[i][j] = true
+					flat[i*rowBytes+j/8] |= 1 << (j % 8)
+				}
+			}
+		}
+	}
+
+	mat, err := dev.Alloc(nodes*rowBytes, pim.UInt8)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	pivotRow, err := dev.Alloc(rowBytes, pim.UInt8)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	tiled, err := dev.AllocAssociated(mat)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	mask, err := dev.AllocAssociated(mat)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	union, err := dev.AllocAssociated(mat)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, mat, flat); err != nil {
+		return suite.Result{}, err
+	}
+
+	// cur mirrors the reachability state on the host purely to derive the
+	// per-pivot condition masks (column extraction is the strided access
+	// PIM cannot do, paper §VIII); the device matrix is the one verified.
+	var cur []byte
+	if cfg.Functional {
+		cur = append([]byte(nil), flat...)
+	}
+	// pivot applies one Floyd-Warshall step: rows reaching k absorb row k.
+	pivot := func(k int64) error {
+		// Stage the pivot row and broadcast-tile it across all rows.
+		if err := dev.CopyDeviceToDeviceRange(mat, k*rowBytes, pivotRow, 0, rowBytes); err != nil {
+			return err
+		}
+		if err := dev.CopyDeviceToDevice(pivotRow, tiled); err != nil {
+			return err
+		}
+		// Host: extract column k and build the row-condition mask.
+		dev.RecordHostKernel(nodes*8+nodes*rowBytes, nodes, true)
+		var maskBytes []byte
+		if cur != nil {
+			maskBytes = make([]byte, nodes*rowBytes)
+			for i := int64(0); i < nodes; i++ {
+				if cur[i*rowBytes+k/8]&(1<<(k%8)) != 0 {
+					for w := int64(0); w < rowBytes; w++ {
+						maskBytes[i*rowBytes+w] = 1
+					}
+					// Mirror the OR into the host copy.
+					for w := int64(0); w < rowBytes; w++ {
+						cur[i*rowBytes+w] |= cur[k*rowBytes+w]
+					}
+				}
+			}
+		}
+		if err := pim.CopyToDevice(dev, mask, maskBytes); err != nil {
+			return err
+		}
+		if err := dev.Or(mat, tiled, union); err != nil {
+			return err
+		}
+		return dev.Select(mask, union, mat, mat)
+	}
+
+	verified := true
+	if cfg.Functional {
+		for k := int64(0); k < nodes; k++ {
+			if err := pivot(k); err != nil {
+				return suite.Result{}, err
+			}
+		}
+		out := make([]byte, nodes*rowBytes)
+		if err := pim.CopyFromDevice(dev, mat, out); err != nil {
+			return suite.Result{}, err
+		}
+		want := refClosure(bits)
+		for i := int64(0); i < nodes && verified; i++ {
+			for j := int64(0); j < nodes; j++ {
+				got := out[i*rowBytes+j/8]&(1<<(j%8)) != 0
+				if got != want[i][j] {
+					verified = false
+					break
+				}
+			}
+		}
+	} else {
+		err := dev.WithRepeat(nodes, func() error { return pivot(0) })
+		if err != nil {
+			return suite.Result{}, err
+		}
+	}
+	for _, id := range []pim.ObjID{mat, pivotRow, tiled, mask, union} {
+		if err := dev.Free(id); err != nil {
+			return suite.Result{}, err
+		}
+	}
+
+	// Baseline: bit-parallel Floyd-Warshall over packed rows.
+	words := (nodes + 63) / 64
+	k := suite.Kernel{Bytes: nodes * nodes * words * 8 / 8, Ops: nodes * nodes * words / 4, Random: true}
+	return r.Finish(b, verified, suite.CPUCost(k), suite.GPUCost(k)), nil
+}

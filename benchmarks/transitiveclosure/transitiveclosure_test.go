@@ -1,0 +1,67 @@
+package transitiveclosure
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestRefClosureChain(t *testing.T) {
+	// 0 -> 1 -> 2 (directed-as-undirected adjacency with self loops):
+	// closure must connect 0 and 2.
+	adj := [][]bool{
+		{true, true, false},
+		{true, true, true},
+		{false, true, true},
+	}
+	r := refClosure(adj)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !r[i][j] {
+				t.Fatalf("closure[%d][%d] = false, want fully connected", i, j)
+			}
+		}
+	}
+}
+
+func TestRefClosureDisconnected(t *testing.T) {
+	adj := [][]bool{
+		{true, true, false, false},
+		{true, true, false, false},
+		{false, false, true, true},
+		{false, false, true, true},
+	}
+	r := refClosure(adj)
+	if r[0][2] || r[2][0] || r[1][3] {
+		t.Fatal("closure connected separate components")
+	}
+	if !r[0][1] || !r[2][3] {
+		t.Fatal("closure lost existing edges")
+	}
+}
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true, Size: 64})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: closure wrong", tgt)
+		}
+	}
+}
+
+func TestHostPhasePresent(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.HostMS <= 0 {
+		t.Error("column extraction must charge host time")
+	}
+	if res.Metrics.HostToDeviceBytes <= 0 {
+		t.Error("mask uploads must charge data movement")
+	}
+}

@@ -1,0 +1,68 @@
+package trianglecount
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true, Size: 128})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: triangle count wrong", tgt)
+		}
+	}
+}
+
+func TestRaggedFinalBatch(t *testing.T) {
+	// 96 nodes x edgeFactor 7 = 672 edges: not a multiple of the 64-edge
+	// functional batch; the ragged tail path must stay correct.
+	res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 1, Functional: true, Size: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("ragged batch broke the count")
+	}
+}
+
+// TestBitSerialKernelWins checks the paper's shape: only bit-serial shows
+// a kernel-only speedup; the gather data movement sinks everyone with DM.
+func TestBitSerialKernelWins(t *testing.T) {
+	kernelOnly := map[pim.Target]float64{}
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, k := res.SpeedupCPU()
+		kernelOnly[tgt] = k
+		if w, _ := res.SpeedupCPU(); w > 0.5 {
+			t.Errorf("%v: with-DM speedup = %v, want heavy loss (gather movement)", tgt, w)
+		}
+	}
+	if kernelOnly[pim.BitSerial] <= 1 {
+		t.Errorf("bit-serial kernel-only = %v, want > 1 (native AND+popcount)", kernelOnly[pim.BitSerial])
+	}
+	if kernelOnly[pim.Fulcrum] >= 1 || kernelOnly[pim.BankLevel] >= 1 {
+		t.Errorf("bit-parallel kernel-only = %v/%v, want < 1 (paper: fall short)",
+			kernelOnly[pim.Fulcrum], kernelOnly[pim.BankLevel])
+	}
+}
+
+func TestOpMix(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.BitSerial, Ranks: 1, Functional: true, Size: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"and", "popcount", "reduction"} {
+		if res.OpMix[k] == 0 {
+			t.Errorf("triangle count missing %s: %v", k, res.OpMix)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package vecadd implements the PIMbench vector-addition benchmark: an
+// element-wise add of two int32 vectors, the paper's showcase for bit-serial
+// PIM (addition is linear in bit width, so row-wide bit-slice parallelism
+// dominates).
+package vecadd
+
+import (
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/workload"
+	"pimeval/pim"
+)
+
+type bench struct{}
+
+func init() { suite.Register(bench{}) }
+
+// New returns the benchmark (for direct use outside the registry).
+func New() suite.Benchmark { return bench{} }
+
+func (bench) Info() suite.Info {
+	return suite.Info{
+		Name:       "vecadd",
+		Domain:     "Linear Algebra",
+		Access:     suite.AccessPattern{Sequential: true},
+		PaperInput: "2,035,544,320 32-bit INT",
+	}
+}
+
+func (bench) DefaultSize(functional bool) int64 {
+	if functional {
+		return 1 << 14
+	}
+	return 2_035_544_320
+}
+
+func (b bench) Run(cfg suite.Config) (suite.Result, error) {
+	r, err := suite.NewRunner(b, cfg)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	dev, n := r.Dev, r.Size
+
+	var xs, ys []int32
+	if cfg.Functional {
+		rng := workload.RNG(101)
+		xs = workload.Int32Vector(rng, int(n), -1000, 1000)
+		ys = workload.Int32Vector(rng, int(n), -1000, 1000)
+	}
+
+	objA, err := dev.Alloc(n, pim.Int32)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	objB, err := dev.AllocAssociated(objA)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	objC, err := dev.AllocAssociated(objA)
+	if err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, objA, xs); err != nil {
+		return suite.Result{}, err
+	}
+	if err := pim.CopyToDevice(dev, objB, ys); err != nil {
+		return suite.Result{}, err
+	}
+	if err := dev.Add(objA, objB, objC); err != nil {
+		return suite.Result{}, err
+	}
+	verified := true
+	var out []int32
+	if cfg.Functional {
+		out = make([]int32, n)
+	}
+	if err := pim.CopyFromDevice(dev, objC, out); err != nil {
+		return suite.Result{}, err
+	}
+	for i := range out {
+		if out[i] != xs[i]+ys[i] {
+			verified = false
+			break
+		}
+	}
+	for _, id := range []pim.ObjID{objA, objB, objC} {
+		if err := dev.Free(id); err != nil {
+			return suite.Result{}, err
+		}
+	}
+
+	cpu := suite.CPUCost(suite.Kernel{Bytes: 12 * n, Ops: n})
+	gpu := suite.GPUCost(suite.Kernel{Bytes: 12 * n, Ops: n})
+	return r.Finish(b, verified, cpu, gpu), nil
+}

@@ -1,0 +1,68 @@
+package vecadd
+
+import (
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func TestFunctionalAllTargets(t *testing.T) {
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 1, Functional: true})
+		if err != nil {
+			t.Fatalf("%v: %v", tgt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: addition wrong", tgt)
+		}
+		if res.OpMix["add"] != 1 {
+			t.Errorf("%v: vecadd op mix must be pure add: %v", tgt, res.OpMix)
+		}
+	}
+}
+
+// TestBitSerialWinsVecAdd checks the paper's flagship claim: bit-serial is
+// fastest on vector addition by a wide margin.
+func TestBitSerialWinsVecAdd(t *testing.T) {
+	kernels := map[pim.Target]float64{}
+	for _, tgt := range pim.AllTargets {
+		res, err := New().Run(suite.Config{Target: tgt, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels[tgt] = res.Metrics.KernelMS
+	}
+	if kernels[pim.BitSerial]*10 > kernels[pim.Fulcrum] {
+		t.Errorf("bit-serial (%v ms) should beat Fulcrum (%v ms) by >10x", kernels[pim.BitSerial], kernels[pim.Fulcrum])
+	}
+	if kernels[pim.Fulcrum] >= kernels[pim.BankLevel] {
+		t.Errorf("Fulcrum (%v ms) should beat bank-level (%v ms)", kernels[pim.Fulcrum], kernels[pim.BankLevel])
+	}
+}
+
+// TestTransfersBoundWithDM verifies the with-data-movement speedup is
+// pinned by the interface bandwidth, not the kernel.
+func TestTransfersBoundWithDM(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.BitSerial, Ranks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.CopyMS < 100*res.Metrics.KernelMS {
+		t.Errorf("copies (%v ms) must dwarf the kernel (%v ms)", res.Metrics.CopyMS, res.Metrics.KernelMS)
+	}
+	withDM, kernelOnly := res.SpeedupCPU()
+	if kernelOnly < 100*withDM {
+		t.Errorf("kernel-only (%v) must dwarf with-DM (%v)", kernelOnly, withDM)
+	}
+}
+
+func TestSizeOverride(t *testing.T) {
+	res, err := New().Run(suite.Config{Target: pim.Fulcrum, Ranks: 1, Functional: true, Size: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 100 {
+		t.Errorf("N = %d, want 100", res.N)
+	}
+}

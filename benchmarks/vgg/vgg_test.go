@@ -1,0 +1,221 @@
+package vgg
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+// fixedRNG replays a recorded weight stream so a layer can be re-run
+// against a host reference with identical weights.
+type fixedRNG struct {
+	vals []int32
+	i    int
+}
+
+func (f *fixedRNG) Int31n(n int32) int32 {
+	v := f.vals[f.i%len(f.vals)] % n
+	if v < 0 {
+		v += n
+	}
+	f.i++
+	return v
+}
+
+// refConv computes a direct 3x3 same-padding convolution + ReLU.
+func refConv(in *tensor, weights []int32, outC int) *tensor {
+	k := in.c * 9
+	out := newTensor(outC, in.h, in.w, true)
+	for oc := 0; oc < outC; oc++ {
+		w := weights[oc*k : (oc+1)*k]
+		for y := 0; y < in.h; y++ {
+			for x := 0; x < in.w; x++ {
+				var s int64
+				wi := 0
+				for c := 0; c < in.c; c++ {
+					for ky := -1; ky <= 1; ky++ {
+						for kx := -1; kx <= 1; kx++ {
+							s += int64(in.at(c, y+ky, x+kx)) * int64(w[wi])
+							wi++
+						}
+					}
+				}
+				if s < 0 {
+					s = 0
+				}
+				out.data[(oc*in.h+y)*in.w+x] = int32(s)
+			}
+		}
+	}
+	return out
+}
+
+func randTensor(rng *rand.Rand, c, h, w int) *tensor {
+	t := newTensor(c, h, w, true)
+	for i := range t.data {
+		t.data[i] = rng.Int31n(17) - 8
+	}
+	return t
+}
+
+func newRunner(t *testing.T) *runner {
+	t.Helper()
+	dev, err := pim.NewDevice(pim.Config{Target: pim.Fulcrum, Ranks: 1, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &runner{dev: dev, functional: true}
+}
+
+func TestConvLayerAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	in := randTensor(rng, 3, 8, 8)
+	const outC = 4
+	k := in.c * 9
+
+	// Record the weight stream the layer will draw.
+	weights := make([]int32, outC*k)
+	for i := range weights {
+		weights[i] = rng.Int31n(7) - 3
+	}
+	rn := newRunner(t)
+	rn.rng = &fixedRNG{vals: weightStream(weights)}
+
+	out, err := rn.convLayer([]*tensor{in}, outC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refConv(in, weights, outC)
+	for i := range want.data {
+		if out[0].data[i] != want.data[i] {
+			t.Fatalf("conv output[%d] = %d, want %d", i, out[0].data[i], want.data[i])
+		}
+	}
+}
+
+// weightStream converts desired weights w into the raw Int31n(7)-3 draw
+// values that reproduce them: draw = w + 3.
+func weightStream(weights []int32) []int32 {
+	out := make([]int32, len(weights))
+	for i, w := range weights {
+		out[i] = w + 3
+	}
+	return out
+}
+
+func TestPoolLayerAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	in := randTensor(rng, 2, 6, 6)
+	rn := newRunner(t)
+	out, err := rn.poolLayer([]*tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out[0]
+	if got.c != 2 || got.h != 3 || got.w != 3 {
+		t.Fatalf("pool shape %dx%dx%d", got.c, got.h, got.w)
+	}
+	for c := 0; c < 2; c++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				want := in.at(c, 2*y, 2*x)
+				for _, v := range []int32{in.at(c, 2*y, 2*x+1), in.at(c, 2*y+1, 2*x), in.at(c, 2*y+1, 2*x+1)} {
+					if v > want {
+						want = v
+					}
+				}
+				if got.at(c, y, x) != want {
+					t.Fatalf("pool(%d,%d,%d) = %d, want %d", c, y, x, got.at(c, y, x), want)
+				}
+			}
+		}
+	}
+}
+
+func TestFCLayerAgainstReference(t *testing.T) {
+	const inDim, outDim, batch = 6, 3, 2
+	weights := make([]int32, outDim*inDim)
+	for i := range weights {
+		weights[i] = int32(i%5) - 2
+	}
+	rn := newRunner(t)
+	rn.rng = &fixedRNG{vals: weightStream(weights)}
+	in := [][]int32{{1, 2, 3, 4, 5, 6}, {-1, 0, 1, -2, 2, -3}}
+	out, err := rn.fcLayer(in, batch, inDim, outDim, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < batch; b++ {
+		for o := 0; o < outDim; o++ {
+			var s int64
+			for i := 0; i < inDim; i++ {
+				s += int64(weights[o*inDim+i]) * int64(in[b][i])
+			}
+			if s < 0 {
+				s = 0
+			}
+			if int64(out[b][o]) != s {
+				t.Fatalf("fc[%d][%d] = %d, want %d", b, o, out[b][o], s)
+			}
+		}
+	}
+}
+
+func TestTensorPadding(t *testing.T) {
+	tt := newTensor(1, 2, 2, true)
+	tt.data = []int32{1, 2, 3, 4}
+	if tt.at(0, -1, 0) != 0 || tt.at(0, 0, -1) != 0 || tt.at(0, 2, 0) != 0 || tt.at(0, 0, 2) != 0 {
+		t.Error("out-of-bounds access must be zero padding")
+	}
+	if tt.at(0, 1, 1) != 4 {
+		t.Error("in-bounds access broken")
+	}
+}
+
+func TestIm2colShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	in := randTensor(rng, 2, 4, 4)
+	patches := in.im2col()
+	if len(patches) != 4*4*2*9 {
+		t.Fatalf("im2col length %d", len(patches))
+	}
+	// Patch for pixel (1,1) must contain the raw 3x3 neighborhoods.
+	k := 2 * 9
+	base := (1*4 + 1) * k
+	if patches[base] != in.at(0, 0, 0) {
+		t.Errorf("patch corner = %d, want %d", patches[base], in.at(0, 0, 0))
+	}
+	if patches[base+4] != in.at(0, 1, 1) {
+		t.Errorf("patch center = %d, want %d", patches[base+4], in.at(0, 1, 1))
+	}
+}
+
+func TestVariantDepthOrdering(t *testing.T) {
+	// Deeper variants must cost strictly more PIM kernel time.
+	var times []float64
+	for _, v := range []int{13, 16, 19} {
+		res, err := New(v).Run(suite.Config{Target: pim.Fulcrum, Ranks: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.Metrics.KernelMS)
+	}
+	if !(times[0] < times[1] && times[1] < times[2]) {
+		t.Errorf("kernel times %v, want vgg13 < vgg16 < vgg19", times)
+	}
+}
+
+func TestVariantBlocks(t *testing.T) {
+	sums := map[int]int{13: 10, 16: 13, 19: 16}
+	for v, want := range sums {
+		total := 0
+		for _, n := range variantBlocks[v] {
+			total += n
+		}
+		if total != want {
+			t.Errorf("vgg%d has %d conv layers, want %d", v, total, want)
+		}
+	}
+}

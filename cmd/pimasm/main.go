@@ -1,0 +1,164 @@
+// Command pimasm disassembles the microprogram a high-level PIM operation
+// compiles to — for the digital bit-serial (DRAM-AP) or analog (TRA)
+// architecture — and prints its micro-op composition and modeled per-batch
+// cost. It is the inspection tool for the two microprogram compilers.
+//
+//	pimasm -op add -type int32
+//	pimasm -op mul -type int16 -arch analog -counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pimeval/internal/analog"
+	"pimeval/internal/bitserial"
+	"pimeval/internal/dram"
+	"pimeval/internal/isa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimasm:", err)
+		os.Exit(1)
+	}
+}
+
+var opsByName = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul, "div": isa.OpDiv,
+	"and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor, "xnor": isa.OpXnor,
+	"not": isa.OpNot, "shl": isa.OpShiftL, "shr": isa.OpShiftR,
+	"min": isa.OpMin, "max": isa.OpMax, "lt": isa.OpLt, "gt": isa.OpGt,
+	"eq": isa.OpEq, "abs": isa.OpAbs, "popcount": isa.OpPopCount,
+	"select": isa.OpSelect, "broadcast": isa.OpBroadcast,
+}
+
+var typesByName = map[string]isa.DataType{
+	"int8": isa.Int8, "int16": isa.Int16, "int32": isa.Int32, "int64": isa.Int64,
+	"uint8": isa.UInt8, "uint16": isa.UInt16, "uint32": isa.UInt32, "uint64": isa.UInt64,
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pimasm", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		opName     = fs.String("op", "add", "operation to compile")
+		typeName   = fs.String("type", "int32", "element type")
+		arch       = fs.String("arch", "bitserial", "microprogram compiler: bitserial or analog")
+		imm        = fs.Int64("imm", 1, "immediate for shift/broadcast")
+		onlyCounts = fs.Bool("counts", false, "print the composition summary only")
+		limit      = fs.Int("limit", 64, "maximum micro-ops to list (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	op, ok := opsByName[*opName]
+	if !ok {
+		return fmt.Errorf("unknown op %q", *opName)
+	}
+	dt, ok := typesByName[*typeName]
+	if !ok {
+		return fmt.Errorf("unknown type %q", *typeName)
+	}
+
+	t := dram.DDR4(1).Timing
+	switch *arch {
+	case "bitserial":
+		p, err := bitserial.Build(op, dt, *imm)
+		if err != nil {
+			return err
+		}
+		c := p.Counts()
+		fmt.Fprintf(out, "%s.%s (digital DRAM-AP): %d micro-ops over %d bit planes, dest at plane %d\n",
+			op, dt, c.Total(), p.Rows, p.DstBase)
+		fmt.Fprintf(out, "  composition: %d row reads, %d row writes, %d logic, %d reg moves\n",
+			c.Reads, c.Writes, c.Logic, c.Moves)
+		perBatchNS := float64(c.Reads)*t.RowReadNS + float64(c.Writes)*t.RowWriteNS +
+			float64(c.Logic+c.Moves)*t.TCCDNS
+		fmt.Fprintf(out, "  per-batch latency: %.1f ns (%d elements per subarray batch)\n",
+			perBatchNS, dram.DDR4(1).Geometry.ColsPerRow)
+		if *onlyCounts {
+			return nil
+		}
+		for i, mo := range p.Ops {
+			if *limit > 0 && i >= *limit {
+				fmt.Fprintf(out, "  ... %d more\n", len(p.Ops)-i)
+				break
+			}
+			fmt.Fprintf(out, "  %4d: %s\n", i, formatDigital(mo))
+		}
+	case "analog":
+		p, err := analog.Build(op, dt, *imm)
+		if err != nil {
+			return err
+		}
+		c := p.Counts()
+		fmt.Fprintf(out, "%s.%s (analog TRA): %d micro-ops over %d bit planes, dest at plane %d\n",
+			op, dt, c.Total(), p.Rows, p.DstBase)
+		fmt.Fprintf(out, "  composition: %d AAP copies, %d NOT copies, %d TRAs, %d sets\n",
+			c.AAPs, c.Nots, c.TRAs, c.Sets)
+		if *onlyCounts {
+			return nil
+		}
+		for i, mo := range p.Ops {
+			if *limit > 0 && i >= *limit {
+				fmt.Fprintf(out, "  ... %d more\n", len(p.Ops)-i)
+				break
+			}
+			fmt.Fprintf(out, "  %4d: %s\n", i, formatAnalog(mo))
+		}
+	default:
+		return fmt.Errorf("unknown arch %q (want bitserial or analog)", *arch)
+	}
+	return nil
+}
+
+func formatDigital(mo bitserial.MicroOp) string {
+	switch mo.Kind {
+	case bitserial.KRead:
+		return fmt.Sprintf("read  row[%d] -> rsa", mo.Row)
+	case bitserial.KWrite:
+		return fmt.Sprintf("write rsa -> row[%d]", mo.Row)
+	case bitserial.KSet:
+		v := 0
+		if mo.Val {
+			v = 1
+		}
+		return fmt.Sprintf("set   %v <- %d", mo.Dst, v)
+	case bitserial.KMove:
+		return fmt.Sprintf("move  %v <- %v", mo.Dst, mo.A)
+	case bitserial.KAnd:
+		return fmt.Sprintf("and   %v <- %v & %v", mo.Dst, mo.A, mo.B)
+	case bitserial.KXnor:
+		return fmt.Sprintf("xnor  %v <- ~(%v ^ %v)", mo.Dst, mo.A, mo.B)
+	case bitserial.KSel:
+		return fmt.Sprintf("sel   %v <- %v ? %v : %v", mo.Dst, mo.C, mo.A, mo.B)
+	}
+	return "?"
+}
+
+func formatAnalog(mo analog.MicroOp) string {
+	row := func(r int32) string {
+		if r >= 0 {
+			return fmt.Sprintf("row[%d]", r)
+		}
+		return [...]string{"T0", "T1", "T2", "S0", "S1", "S2"}[-1-r]
+	}
+	switch mo.Kind {
+	case analog.KAAP:
+		return fmt.Sprintf("aap   %s -> %s", row(mo.Src), row(mo.Dst))
+	case analog.KNot:
+		return fmt.Sprintf("not   %s -> %s (dual-contact)", row(mo.Src), row(mo.Dst))
+	case analog.KTRA:
+		return "tra   T0,T1,T2 <- MAJ(T0,T1,T2)"
+	case analog.KSet:
+		v := 0
+		if mo.Val {
+			v = 1
+		}
+		return fmt.Sprintf("set   %s <- %d", row(mo.Dst), v)
+	}
+	return "?"
+}

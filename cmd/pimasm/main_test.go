@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDigitalAddListing(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-op", "add", "-type", "int8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"digital DRAM-AP", "row reads", "read  row[0]", "xnor", "sel"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q:\n%s", want, s[:min(300, len(s))])
+		}
+	}
+}
+
+func TestAnalogListing(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-op", "xor", "-type", "int8", "-arch", "analog"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"analog TRA", "AAP copies", "tra   T0,T1,T2", "dual-contact"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q:\n%s", want, s[:min(400, len(s))])
+		}
+	}
+}
+
+func TestCountsOnly(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-op", "mul", "-type", "int32", "-counts"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "read  row[") {
+		t.Error("-counts must suppress the listing")
+	}
+	if !strings.Contains(out.String(), "composition:") {
+		t.Error("missing composition summary")
+	}
+}
+
+func TestLimitTruncates(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-op", "mul", "-type", "int32", "-limit", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "more") {
+		t.Error("limit did not truncate")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-op", "frobnicate"}, &out); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := run([]string{"-type", "float64"}, &out); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := run([]string{"-arch", "quantum"}, &out); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	// Reductions have no microprogram.
+	if err := run([]string{"-op", "div", "-arch", "analog"}, &out); err == nil {
+		t.Error("analog div has no microprogram; must error")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+// Command pimbench runs one PIMbench application on one simulated PIM
+// architecture and prints the artifact-style statistics report plus the
+// paper's comparison metrics.
+//
+//	pimbench -app vecadd -target fulcrum -ranks 32
+//	pimbench -app gemv -target bitserial -functional
+//	pimbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	_ "pimeval/benchmarks/all"
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+}
+
+// parseTarget resolves an architecture name.
+func parseTarget(name string) (pim.Target, error) {
+	switch name {
+	case "bitserial":
+		return pim.BitSerial, nil
+	case "fulcrum":
+		return pim.Fulcrum, nil
+	case "banklevel":
+		return pim.BankLevel, nil
+	case "analog":
+		return pim.AnalogBitSerial, nil
+	}
+	return 0, fmt.Errorf("unknown target %q (want bitserial, fulcrum, banklevel, or analog)", name)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pimbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		app        = fs.String("app", "vecadd", "benchmark name (see -list)")
+		target     = fs.String("target", "fulcrum", "architecture: bitserial, fulcrum, banklevel, analog")
+		ranks      = fs.Int("ranks", 32, "DRAM ranks")
+		size       = fs.Int64("size", 0, "input size override (0 = default for mode)")
+		functional = fs.Bool("functional", false, "data-carrying run with verification (small default sizes)")
+		report     = fs.Bool("report", false, "print the artifact-style PIM statistics report (Listing 3)")
+		trace      = fs.Bool("trace", false, "print the device command trace (last 64Ki entries)")
+		list       = fs.Bool("list", false, "list available benchmarks")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintf(out, "%-18s %-22s %-10s %s\n", "Name", "Domain", "Execution", "Paper input")
+		for _, b := range append(suite.All(), suite.Extensions()...) {
+			info := b.Info()
+			exec := "PIM"
+			if info.HostPhase {
+				exec = "PIM+Host"
+			}
+			fmt.Fprintf(out, "%-18s %-22s %-10s %s\n", info.Name, info.Domain, exec, info.PaperInput)
+		}
+		return nil
+	}
+
+	tgt, err := parseTarget(*target)
+	if err != nil {
+		return err
+	}
+	b, err := suite.ByName(*app)
+	if err != nil {
+		return err
+	}
+	res, err := b.Run(suite.Config{
+		Target: tgt, Ranks: *ranks, Size: *size,
+		Functional: *functional, EmitReport: *report, Trace: *trace,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "Running %s on PIM (%v, %d ranks), input size %d\n\n", *app, tgt, *ranks, res.N)
+	if *report {
+		fmt.Fprint(out, res.Report)
+		fmt.Fprintln(out)
+	}
+	if *trace {
+		fmt.Fprint(out, res.Trace)
+		fmt.Fprintln(out)
+	}
+	m := res.Metrics
+	fmt.Fprintf(out, "Estimated runtimes:\n")
+	fmt.Fprintf(out, "  PIM kernel       : %f ms\n", m.KernelMS)
+	fmt.Fprintf(out, "  Host execution   : %f ms\n", m.HostMS)
+	fmt.Fprintf(out, "  Data copy        : %f ms (h2d %d B, d2h %d B, d2d %d B)\n",
+		m.CopyMS, m.HostToDeviceBytes, m.DeviceToHostBytes, m.DeviceToDeviceBytes)
+	fmt.Fprintf(out, "  TOTAL            : %f ms\n", m.TotalMS())
+	fmt.Fprintf(out, "Estimated energy   : %f mJ (+ %f mJ host idle)\n\n", m.TotalMJ(), m.IdleMJ())
+	wdm, ko := res.SpeedupCPU()
+	fmt.Fprintf(out, "Speedup vs CPU     : %.3f (kernel+DM)  %.3f (kernel)\n", wdm, ko)
+	fmt.Fprintf(out, "Speedup vs GPU     : %.3f\n", res.SpeedupGPU())
+	fmt.Fprintf(out, "Energy reduction   : %.3f vs CPU, %.3f vs GPU\n", res.EnergyReductionCPU(), res.EnergyReductionGPU())
+	switch {
+	case res.VerifiedSkipped:
+		fmt.Fprintln(out, "Verification       : skipped (model-only run; use -functional)")
+	case res.Verified:
+		fmt.Fprintln(out, "Verification       : PASSED against host reference")
+	default:
+		return fmt.Errorf("%s: verification FAILED", *app)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListContainsSuiteAndExtensions(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"vecadd", "vgg19", "aes-enc", "prefixsum", "transitiveclosure"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestFunctionalRunVerifies(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-app", "axpy", "-target", "bitserial", "-ranks", "1", "-functional"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "PASSED") {
+		t.Errorf("output missing verification:\n%s", out.String())
+	}
+}
+
+func TestReportFlagEmitsListing3(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-app", "vecadd", "-target", "fulcrum", "-ranks", "4",
+		"-functional", "-size", "2048", "-report"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PIM Command Stats:", "add.int32", "PIM_DEVICE_FULCRUM", "Data Copy Stats:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestModelScaleRun(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "gemv", "-target", "banklevel"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "skipped (model-only run") {
+		t.Error("model-only run must say verification skipped")
+	}
+}
+
+func TestAnalogTargetAccepted(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "vecadd", "-target", "analog", "-ranks", "1", "-functional"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "PASSED") {
+		t.Error("analog run must verify")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-target", "tpu"}, &out); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := run([]string{"-app", "nope"}, &out); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Command pimexperiments regenerates the paper's tables and figures into a
+// results directory (or stdout). Each flag selects one artifact; -all
+// produces everything, including the future-work studies.
+//
+//	pimexperiments -all -out results/
+//	pimexperiments -fig9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/experiments"
+	"pimeval/pim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pimexperiments", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		all      = fs.Bool("all", false, "generate every table and figure")
+		out      = fs.String("out", "", "directory to write artifacts into (default: stdout)")
+		table1   = fs.Bool("table1", false, "Table I: suite listing")
+		table2   = fs.Bool("table2", false, "Table II: configurations")
+		fig1     = fs.Bool("fig1", false, "Figure 1: diversity dendrogram")
+		fig6     = fs.Bool("fig6", false, "Figure 6: sensitivity sweeps")
+		fig7     = fs.Bool("fig7", false, "Figure 7: runtime breakdown")
+		fig8     = fs.Bool("fig8", false, "Figure 8: op mix")
+		fig9     = fs.Bool("fig9", false, "Figure 9: speedup vs CPU")
+		fig10a   = fs.Bool("fig10a", false, "Figure 10a: speedup vs GPU")
+		fig10b   = fs.Bool("fig10b", false, "Figure 10b: energy vs GPU")
+		fig11    = fs.Bool("fig11", false, "Figure 11: energy vs CPU")
+		fig12    = fs.Bool("fig12", false, "Figure 12: rank scaling")
+		fig13    = fs.Bool("fig13", false, "Figure 13: rank 1 vs 32, equal capacity")
+		validate = fs.Bool("validate", false, "Section V-E validations (Fulcrum + toy UPMEM)")
+		summary  = fs.Bool("summary", false, "headline geometric means")
+		exts     = fs.Bool("extensions", false, "future-work kernels table")
+		hbm      = fs.Bool("hbm", false, "future-work DDR4 vs HBM2 comparison")
+		analog   = fs.Bool("analog", false, "digital vs analog bit-serial comparison")
+		sizes    = fs.Bool("sizes", false, "problem-size exploration")
+		areaTab  = fs.Bool("area", false, "per-chip area overhead estimates")
+		batching = fs.Bool("batching", false, "small-problem batching study")
+		gdl      = fs.Bool("gdl", false, "bank-level GDL width ablation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var emitErr error
+	emit := func(name, content string) {
+		if emitErr != nil {
+			return
+		}
+		if *out == "" {
+			fmt.Fprintf(stdout, "==== %s ====\n%s\n", name, content)
+			return
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			emitErr = err
+			return
+		}
+		path := filepath.Join(*out, name+".txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			emitErr = err
+			return
+		}
+		fmt.Fprintln(stdout, "wrote", path)
+	}
+
+	needSuite := *all || *fig7 || *fig8 || *fig9 || *fig10a || *fig10b || *fig11 || *summary
+	var res map[pim.Target][]suite.Result
+	if needSuite {
+		r, err := experiments.SuiteAllTargets(32)
+		if err != nil {
+			return err
+		}
+		res = r
+	}
+
+	type artifact struct {
+		enabled bool
+		name    string
+		render  func() (string, error)
+	}
+	static := func(s string) func() (string, error) {
+		return func() (string, error) { return s, nil }
+	}
+	artifacts := []artifact{
+		{*all || *table1, "table1", static(experiments.Table1())},
+		{*all || *table2, "table2", static(experiments.Table2())},
+		{*all || *fig1, "fig1", experiments.Fig1},
+		{*all || *fig6, "fig6a", func() (string, error) {
+			pts, err := experiments.Fig6Cols()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderSweep("Figure 6a: latency vs #columns (256M int32, 8 ranks)", "#Col", pts), nil
+		}},
+		{*all || *fig6, "fig6b", func() (string, error) {
+			pts, err := experiments.Fig6Banks()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderSweep("Figure 6b: latency vs #banks (256M int32, 8 ranks)", "#Bank", pts), nil
+		}},
+		{*all || *fig7, "fig7", func() (string, error) { return experiments.Fig7(res), nil }},
+		{*all || *fig7, "fig7energy", func() (string, error) { return experiments.Fig7Energy(res), nil }},
+		{*all || *fig8, "fig8", func() (string, error) { return experiments.Fig8(res[pim.BitSerial]), nil }},
+		{*all || *fig9, "fig9", func() (string, error) { return experiments.Fig9(res), nil }},
+		{*all || *fig10a, "fig10a", func() (string, error) { return experiments.Fig10a(res), nil }},
+		{*all || *fig10b, "fig10b", func() (string, error) { return experiments.Fig10b(res), nil }},
+		{*all || *fig11, "fig11", func() (string, error) { return experiments.Fig11(res), nil }},
+		{*all || *fig12, "fig12", experiments.Fig12},
+		{*all || *fig13, "fig13", experiments.Fig13},
+		{*all || *validate, "validation", func() (string, error) {
+			rows, err := experiments.ValidateFulcrum()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderValidation(rows), nil
+		}},
+		{*all || *summary, "summary", func() (string, error) { return experiments.GmeansSummary(res), nil }},
+		{*all || *exts, "extensions", experiments.ExtensionsTable},
+		{*all || *hbm, "hbm", experiments.HBMTable},
+		{*all || *analog, "analog", experiments.AnalogTable},
+		{*all || *sizes, "sizes", experiments.SizeSweep},
+		{*all || *areaTab, "area", static(experiments.AreaTable())},
+		{*all || *batching, "batching", experiments.BatchingTable},
+		{*all || *gdl, "gdl", experiments.GDLTable},
+	}
+	for _, a := range artifacts {
+		if !a.enabled {
+			continue
+		}
+		s, err := a.render()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		emit(a.name, s)
+		if emitErr != nil {
+			return emitErr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSingleArtifactToStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "==== table2 ====") ||
+		!strings.Contains(out.String(), "Fulcrum") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestWriteToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-table1", "-area", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table1.txt", "area.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestValidationArtifact(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-validate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"VectorAdd", "GEMM", "UPMEM", "Slowdown"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("validation missing %q", want)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestNoFlagsProducesNothing(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("no-flag run produced output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,53 @@
+// Command pimsweep runs the paper's Figure 6 sensitivity analysis: latency
+// of the four primitive PIM operations (add, mul, reduction, popcount) on
+// 256M 32-bit integers as the column count or bank count varies.
+//
+//	pimsweep -cols
+//	pimsweep -banks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pimeval/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pimsweep", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		cols  = fs.Bool("cols", false, "sweep #columns (Figure 6a)")
+		banks = fs.Bool("banks", false, "sweep #banks (Figure 6b)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*cols && !*banks {
+		*cols, *banks = true, true
+	}
+	if *cols {
+		pts, err := experiments.Fig6Cols()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.RenderSweep("Figure 6a: latency vs #columns (256M int32, 8 ranks)", "#Col", pts))
+	}
+	if *banks {
+		pts, err := experiments.Fig6Banks()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.RenderSweep("Figure 6b: latency vs #banks (256M int32, 8 ranks)", "#Bank", pts))
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestColsSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-cols"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 6a") || strings.Contains(s, "Figure 6b") {
+		t.Errorf("cols-only run produced:\n%s", s[:min(120, len(s))])
+	}
+	for _, want := range []string{"Bit-Serial", "Fulcrum", "Bank-level", "PopCount", "8192"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sweep missing %q", want)
+		}
+	}
+}
+
+func TestDefaultRunsBoth(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 6a") || !strings.Contains(out.String(), "Figure 6b") {
+		t.Error("default run must produce both sweeps")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module pimeval
+
+go 1.22

@@ -1,0 +1,408 @@
+package analog
+
+import (
+	"fmt"
+
+	"pimeval/internal/isa"
+)
+
+// Operand-region layout matches the digital compiler (see
+// internal/bitserial/programs.go): A at 0, B at n, D at 2n for binary ops;
+// A at 0, D at n for unary; select uses M,A,B,D. Programs additionally
+// reserve region scratch planes after the destination where loop-carried
+// state (carries, flags, accumulators) must persist — TRA compute rows are
+// clobbered by every gate, which is exactly the structural weakness of the
+// analog approach.
+
+type builder struct {
+	p Program
+}
+
+func (b *builder) aap(src, dst int32) {
+	b.p.Ops = append(b.p.Ops, MicroOp{Kind: KAAP, Src: src, Dst: dst})
+}
+func (b *builder) not(src, dst int32) {
+	b.p.Ops = append(b.p.Ops, MicroOp{Kind: KNot, Src: src, Dst: dst})
+}
+func (b *builder) tra() { b.p.Ops = append(b.p.Ops, MicroOp{Kind: KTRA}) }
+func (b *builder) set(dst int32, v bool) {
+	b.p.Ops = append(b.p.Ops, MicroOp{Kind: KSet, Dst: dst, Val: v})
+}
+
+func (b *builder) done(name string, rows, dstBase int) *Program {
+	b.p.Name = name
+	b.p.Rows = rows
+	b.p.DstBase = dstBase
+	return &b.p
+}
+
+// Gate helpers: each stages operands into the TRA triple, fires the triple
+// row activation, and copies the settled majority out. Every gate costs
+// 3-4 copies plus the TRA — the operand-staging overhead the paper cites.
+
+// maj3 computes dst = MAJ(x, y, z).
+func (b *builder) maj3(x, y, z, dst int32) {
+	b.aap(x, T0)
+	b.aap(y, T1)
+	b.aap(z, T2)
+	b.tra()
+	b.aap(T0, dst)
+}
+
+// and2 computes dst = x & y (majority with a zero control row).
+func (b *builder) and2(x, y, dst int32) {
+	b.aap(x, T0)
+	b.aap(y, T1)
+	b.set(T2, false)
+	b.tra()
+	b.aap(T0, dst)
+}
+
+// or2 computes dst = x | y (majority with a one control row).
+func (b *builder) or2(x, y, dst int32) {
+	b.aap(x, T0)
+	b.aap(y, T1)
+	b.set(T2, true)
+	b.tra()
+	b.aap(T0, dst)
+}
+
+// xor2 computes dst = x ^ y = (x & ~y) | (~x & y). dst may alias x or y.
+func (b *builder) xor2(x, y, dst int32) {
+	b.not(x, S0)      // S0 = ~x
+	b.not(y, S1)      // S1 = ~y
+	b.and2(x, S1, S2) // S2 = x & ~y
+	b.and2(S0, y, S0) // S0 = ~x & y
+	b.or2(S2, S0, dst)
+}
+
+// xnor2 computes dst = ~(x ^ y).
+func (b *builder) xnor2(x, y, dst int32) {
+	b.xor2(x, y, dst)
+	b.not(dst, S0)
+	b.aap(S0, dst)
+}
+
+// mux computes dst = c ? x : y. dst may alias any input.
+func (b *builder) mux(c, x, y, dst int32) {
+	b.not(c, S0)      // S0 = ~c
+	b.and2(c, x, S1)  // S1 = c & x
+	b.and2(S0, y, S2) // S2 = ~c & y
+	b.or2(S1, S2, dst)
+}
+
+// Build compiles the analog microprogram for op over element type dt.
+// The supported op set matches the digital compiler; reductions and copies
+// are modeled directly by the architecture model.
+func Build(op isa.Op, dt isa.DataType, imm int64) (*Program, error) {
+	n := dt.Bits()
+	switch op {
+	case isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpXnor:
+		return buildLogic(op, n), nil
+	case isa.OpNot:
+		return buildNot(n), nil
+	case isa.OpAdd:
+		return buildAddSub(n, false), nil
+	case isa.OpSub:
+		return buildAddSub(n, true), nil
+	case isa.OpMul:
+		return buildMul(n), nil
+	case isa.OpEq:
+		return buildEq(n), nil
+	case isa.OpLt:
+		return buildLess(n, dt.Signed(), false), nil
+	case isa.OpGt:
+		return buildLess(n, dt.Signed(), true), nil
+	case isa.OpMin:
+		return buildMinMax(n, dt.Signed(), true), nil
+	case isa.OpMax:
+		return buildMinMax(n, dt.Signed(), false), nil
+	case isa.OpAbs:
+		return buildAbs(n, dt.Signed()), nil
+	case isa.OpShiftL:
+		return buildShift(n, int(imm), true, false), nil
+	case isa.OpShiftR:
+		return buildShift(n, int(imm), false, dt.Signed()), nil
+	case isa.OpPopCount:
+		return buildPopCount(n), nil
+	case isa.OpSelect:
+		return buildSelect(n), nil
+	case isa.OpBroadcast:
+		return buildBroadcast(n, imm), nil
+	default:
+		return nil, fmt.Errorf("analog: op %v has no microprogram", op)
+	}
+}
+
+func buildLogic(op isa.Op, n int) *Program {
+	var b builder
+	for i := 0; i < n; i++ {
+		a, bb, d := int32(i), int32(n+i), int32(2*n+i)
+		switch op {
+		case isa.OpAnd:
+			b.and2(a, bb, d)
+		case isa.OpOr:
+			b.or2(a, bb, d)
+		case isa.OpXor:
+			b.xor2(a, bb, d)
+		case isa.OpXnor:
+			b.xnor2(a, bb, d)
+		}
+	}
+	return b.done(op.String(), 3*n, 2*n)
+}
+
+func buildNot(n int) *Program {
+	var b builder
+	for i := 0; i < n; i++ {
+		b.not(int32(i), int32(n+i))
+	}
+	return b.done("not", 2*n, n)
+}
+
+// buildAddSub: ripple-carry adder from MAJ/XOR gates. Loop-carried state
+// lives in region scratch planes: carry at 3n, inverted-b at 3n+1 (sub).
+func buildAddSub(n int, sub bool) *Program {
+	var b builder
+	carry := int32(3 * n)
+	nb := int32(3*n + 1)
+	b.set(carry, sub) // carry-in: 0 for add, 1 for sub
+	for i := 0; i < n; i++ {
+		a, bb, d := int32(i), int32(n+i), int32(2*n+i)
+		if sub {
+			b.not(bb, nb)
+			bb = nb
+		}
+		// sum = (a ^ b) ^ carry — computed before the carry updates.
+		b.xor2(a, bb, d)
+		b.xor2(d, carry, d)
+		// carry' = MAJ(a, b, carry).
+		b.maj3(a, bb, carry, carry)
+	}
+	rows := 3*n + 1
+	if sub {
+		rows = 3*n + 2
+	}
+	return b.done(map[bool]string{false: "add", true: "sub"}[sub], rows, 2*n)
+}
+
+// buildMul: schoolbook shift-add over a full 2n-bit accumulator (region
+// planes [2n,4n)), mirroring the digital compiler's formulation. Scratch
+// planes: multiplier bit at 4n, partial product at 4n+1, carry at 4n+2,
+// parked next-carry at 4n+3.
+func buildMul(n int) *Program {
+	var b builder
+	bj := int32(4 * n)
+	pp := int32(4*n + 1)
+	carry := int32(4*n + 2)
+	park := int32(4*n + 3)
+	for i := 0; i < 2*n; i++ {
+		b.set(int32(2*n+i), false)
+	}
+	for j := 0; j < n; j++ {
+		b.aap(int32(n+j), bj)
+		b.set(carry, false)
+		for i := 0; i < n; i++ {
+			acc := int32(2*n + i + j)
+			b.and2(int32(i), bj, pp) // partial = a_i & b_j
+			fullAdderInto(&b, acc, pp, carry, park)
+		}
+		// Ripple the final carry into the next accumulator plane.
+		if j+n < 2*n {
+			acc := int32(2*n + j + n)
+			b.set(pp, false)
+			fullAdderInto(&b, acc, pp, carry, park)
+		}
+	}
+	return b.done("mul", 4*n+4, 2*n)
+}
+
+// fullAdderInto computes (acc, carry) = acc + addend + carry. The new
+// carry needs the pre-update acc, so it is computed first and parked in a
+// region plane (the S scratch rows are clobbered by every gate's staging —
+// the structural cost of the analog design).
+func fullAdderInto(b *builder, acc, addend, carry, park int32) {
+	b.maj3(acc, addend, carry, S2) // carry' = MAJ(acc, addend, carry)
+	b.aap(S2, park)
+	b.xor2(acc, addend, acc) // sum = acc ^ addend ^ carry
+	b.xor2(acc, carry, acc)
+	b.aap(park, carry)
+}
+
+func buildEq(n int) *Program {
+	var b builder
+	acc := int32(3 * n)
+	b.set(acc, true)
+	for i := 0; i < n; i++ {
+		b.xnor2(int32(i), int32(n+i), S2)
+		// S2 survives xnor2's final ops? xnor2 writes dst=S2 last; and2
+		// staging clobbers S0/S1 only. Safe.
+		b.and2(acc, S2, acc)
+	}
+	b.aap(acc, int32(2*n))
+	for i := 1; i < n; i++ {
+		b.set(int32(2*n+i), false)
+	}
+	return b.done("eq", 3*n+1, 2*n)
+}
+
+// buildLess: MSB-first comparator with verdict/decided flags in region
+// scratch planes (3n, 3n+1) and a difference plane (3n+2).
+func buildLess(n int, signed, swap bool) *Program {
+	var b builder
+	abase, bbase := 0, n
+	if swap {
+		abase, bbase = n, 0
+	}
+	lt := int32(3 * n)
+	dec := int32(3*n + 1)
+	diff := int32(3*n + 2)
+	cand := int32(3*n + 3)
+	b.set(lt, false)
+	b.set(dec, false)
+	for i := n - 1; i >= 0; i-- {
+		a, bb := int32(abase+i), int32(bbase+i)
+		b.xor2(a, bb, diff) // differ at this bit?
+		if signed && i == n-1 {
+			b.aap(a, cand) // differing signs: negative (a=1) is smaller
+		} else {
+			b.aap(bb, cand) // differing magnitude: a=0,b=1 means a<b
+		}
+		// lt' = dec ? lt : (diff ? cand : lt)
+		b.mux(diff, cand, lt, cand)
+		b.mux(dec, lt, cand, lt)
+		// dec' = dec | diff
+		b.or2(dec, diff, dec)
+	}
+	b.aap(lt, int32(2*n))
+	for i := 1; i < n; i++ {
+		b.set(int32(2*n+i), false)
+	}
+	name := "lt"
+	if swap {
+		name = "gt"
+	}
+	return b.done(name, 3*n+4, 2*n)
+}
+
+func buildMinMax(n int, signed, min bool) *Program {
+	lt := buildLess(n, signed, false)
+	var b builder
+	// Reuse the comparator body, dropping its mask materialization
+	// (1 copy + n-1 sets at the tail).
+	body := lt.Ops[:len(lt.Ops)-n]
+	b.p.Ops = append(b.p.Ops, body...)
+	verdict := int32(3 * n)
+	for i := 0; i < n; i++ {
+		a, bb, d := int32(i), int32(n+i), int32(2*n+i)
+		if min {
+			b.mux(verdict, a, bb, d)
+		} else {
+			b.mux(verdict, bb, a, d)
+		}
+	}
+	name := "max"
+	if min {
+		name = "min"
+	}
+	return b.done(name, 3*n+4, 2*n)
+}
+
+func buildAbs(n int, signed bool) *Program {
+	var b builder
+	if !signed {
+		for i := 0; i < n; i++ {
+			b.aap(int32(i), int32(n+i))
+		}
+		return b.done("abs", 2*n, n)
+	}
+	sign := int32(2 * n)
+	carry := int32(2*n + 1)
+	neg := int32(2*n + 2)
+	b.aap(int32(n-1), sign)
+	b.set(carry, true)
+	for i := 0; i < n; i++ {
+		a, d := int32(i), int32(n+i)
+		// neg bit = ~a ^ carry; carry' = ~a & carry.
+		b.not(a, neg)
+		b.xor2(neg, carry, S2)
+		b.aap(S2, d) // provisional: negated value
+		b.and2(neg, carry, carry)
+		// d = sign ? neg : a
+		b.mux(sign, d, a, d)
+	}
+	return b.done("abs", 2*n+3, n)
+}
+
+func buildShift(n, amount int, left, arith bool) *Program {
+	var b builder
+	if amount < 0 {
+		amount = 0
+	}
+	if amount > n {
+		amount = n
+	}
+	if left {
+		for i := n - 1; i >= amount; i-- {
+			b.aap(int32(i-amount), int32(n+i))
+		}
+		for i := 0; i < amount; i++ {
+			b.set(int32(n+i), false)
+		}
+		return b.done("shift.l", 2*n, n)
+	}
+	for i := 0; i+amount < n; i++ {
+		b.aap(int32(i+amount), int32(n+i))
+	}
+	for i := n - amount; i < n; i++ {
+		if arith {
+			b.aap(int32(n-1), int32(n+i))
+		} else {
+			b.set(int32(n+i), false)
+		}
+	}
+	return b.done("shift.r", 2*n, n)
+}
+
+func buildPopCount(n int) *Program {
+	cw := 1
+	for (1 << cw) < n+1 {
+		cw++
+	}
+	var b builder
+	x := int32(2 * n)      // current ripple bit (survives gate staging)
+	park := int32(2*n + 1) // parked next-carry (xor2 clobbers the S rows)
+	for i := 0; i < n; i++ {
+		b.set(int32(n+i), false)
+	}
+	for i := 0; i < n; i++ {
+		b.aap(int32(i), x)
+		for k := 0; k < cw; k++ {
+			c := int32(n + k)
+			// carry' = c & x; c = c ^ x; x = carry'.
+			b.and2(c, x, S2)
+			b.aap(S2, park)
+			b.xor2(c, x, c)
+			b.aap(park, x)
+		}
+	}
+	return b.done("popcount", 2*n+2, n)
+}
+
+func buildSelect(n int) *Program {
+	var b builder
+	m := int32(4 * n) // latched mask truth plane
+	b.aap(0, m)
+	for i := 0; i < n; i++ {
+		b.mux(m, int32(n+i), int32(2*n+i), int32(3*n+i))
+	}
+	return b.done("select", 4*n+1, 3*n)
+}
+
+func buildBroadcast(n int, v int64) *Program {
+	var b builder
+	for i := 0; i < n; i++ {
+		b.set(int32(i), (v>>uint(i))&1 != 0)
+	}
+	return b.done("broadcast", n, 0)
+}

@@ -1,0 +1,121 @@
+// Package area implements the flexible area-overhead model the paper lists
+// as future work (Section IX: "a flexible area modeling approach that
+// supports diverse PIM architectures").
+//
+// The model counts the transistors each architecture adds to a DRAM chip
+// and expresses them as a fraction of the chip's cell-array transistor
+// budget. It deliberately stays at the same altitude as the paper's other
+// models: first-order, parameterized, and comparable across architectures
+// rather than layout-accurate.
+package area
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pimeval/internal/dram"
+)
+
+// Per-component transistor estimates. Sources: DRISA reports ~3-12
+// transistors per bitline for digital in-situ gates; Fulcrum reports the
+// ALPU+walker overhead at a few percent of subarray area; standard-cell
+// counts for adders/multipliers supply the ALU figures.
+const (
+	// Bit-serial PE per sense amplifier: 3 gates (AND/XNOR/SEL) plus four
+	// latches and control ~ 40 transistors per bitline.
+	BitSerialPEPerBitline = 40
+	// Walker latch: one latch per bit per walker row ~ 8 transistors.
+	WalkerLatchPerBit = 8
+	// 32-bit integer ALU with single-cycle multiplier ~ 30k transistors
+	// (array multiplier dominates), plus controller/instruction buffer.
+	ALU32       = 30_000
+	ALPUControl = 8_000
+	// 128-bit bank PE: four 32-bit lanes plus wider routing.
+	BankPE = 4*ALU32 + 16_000
+	// Analog bit-serial: dual-contact cells and TRA row decoders; per
+	// bitline the added transistors are few, but reserved rows consume
+	// cell area accounted separately.
+	AnalogPerBitline = 6
+	// CellTransistors: 1T1C DRAM cell — one transistor per cell.
+	CellTransistors = 1
+)
+
+// Estimate is one architecture's area accounting for a whole chip
+// (per-chip view: the geometry's logical subarrays divided by the chips).
+type Estimate struct {
+	Arch string
+	// LogicTransistors is the added compute logic per chip.
+	LogicTransistors int64
+	// ReservedCellTransistors counts cell area consumed by reserved rows
+	// (analog compute rows).
+	ReservedCellTransistors int64
+	// ArrayTransistors is the chip's DRAM cell budget.
+	ArrayTransistors int64
+}
+
+// OverheadPercent returns the added area as a percentage of the cell array.
+func (e Estimate) OverheadPercent() float64 {
+	return 100 * float64(e.LogicTransistors+e.ReservedCellTransistors) / float64(e.ArrayTransistors)
+}
+
+// chipDivisor returns how many physical chips share the logical geometry.
+func chipDivisor(m dram.Module) int64 {
+	if m.Power.ChipsPerRank > 1 {
+		return int64(m.Power.ChipsPerRank)
+	}
+	return 1
+}
+
+// ForModule returns the per-chip estimates for all four architectures on
+// the given module.
+func ForModule(m dram.Module) []Estimate {
+	g := m.Geometry
+	chips := chipDivisor(m)
+	subarraysPerChip := int64(g.BanksPerRank) * int64(g.SubarraysPerBank) / chips * 1 // per rank, per chip
+	colsPerChip := int64(g.ColsPerRow) / chips
+	banksPerChip := int64(g.BanksPerRank) / chips
+	array := subarraysPerChip * int64(g.RowsPerSubarray) * colsPerChip * CellTransistors
+
+	bitSerial := Estimate{
+		Arch:             "Bit-Serial",
+		LogicTransistors: subarraysPerChip * colsPerChip * BitSerialPEPerBitline,
+		ArrayTransistors: array,
+	}
+	// Fulcrum: one ALPU + three walkers per two subarrays.
+	fulcrumUnits := subarraysPerChip / 2
+	fulcrum := Estimate{
+		Arch: "Fulcrum",
+		LogicTransistors: fulcrumUnits*(ALU32+ALPUControl) +
+			fulcrumUnits*3*colsPerChip*WalkerLatchPerBit,
+		ArrayTransistors: array,
+	}
+	bank := Estimate{
+		Arch: "Bank-level",
+		LogicTransistors: banksPerChip*(BankPE+ALPUControl) +
+			banksPerChip*3*colsPerChip*WalkerLatchPerBit,
+		ArrayTransistors: array,
+	}
+	analogRows := int64(8) // reserved TRA/DCC/control rows per subarray
+	analog := Estimate{
+		Arch:                    "Analog",
+		LogicTransistors:        subarraysPerChip * colsPerChip * AnalogPerBitline,
+		ReservedCellTransistors: subarraysPerChip * analogRows * colsPerChip * CellTransistors,
+		ArrayTransistors:        array,
+	}
+	return []Estimate{bitSerial, fulcrum, bank, analog}
+}
+
+// Render formats the estimates as the area table.
+func Render(ests []Estimate) string {
+	sorted := append([]Estimate(nil), ests...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arch < sorted[j].Arch })
+	var b strings.Builder
+	fmt.Fprintln(&b, "Future work: per-chip area overhead (transistor-count model)")
+	fmt.Fprintf(&b, "%-11s %18s %18s %12s\n", "Arch", "LogicTransistors", "ReservedCells", "Overhead")
+	for _, e := range sorted {
+		fmt.Fprintf(&b, "%-11s %18d %18d %11.2f%%\n",
+			e.Arch, e.LogicTransistors, e.ReservedCellTransistors, e.OverheadPercent())
+	}
+	return b.String()
+}

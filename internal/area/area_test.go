@@ -1,0 +1,91 @@
+package area
+
+import (
+	"strings"
+	"testing"
+
+	"pimeval/internal/dram"
+)
+
+func estimatesByArch(t *testing.T) map[string]Estimate {
+	t.Helper()
+	out := map[string]Estimate{}
+	for _, e := range ForModule(dram.DDR4(1)) {
+		out[e.Arch] = e
+	}
+	if len(out) != 4 {
+		t.Fatalf("estimates = %d architectures", len(out))
+	}
+	return out
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	es := estimatesByArch(t)
+	// Per-bitline logic (bit-serial) costs more area than one shared ALU
+	// per subarray pair, which costs more than one PE per bank.
+	if es["Bit-Serial"].OverheadPercent() <= es["Fulcrum"].OverheadPercent() {
+		t.Errorf("bit-serial (%.2f%%) must exceed Fulcrum (%.2f%%)",
+			es["Bit-Serial"].OverheadPercent(), es["Fulcrum"].OverheadPercent())
+	}
+	if es["Fulcrum"].OverheadPercent() <= es["Bank-level"].OverheadPercent() {
+		t.Errorf("Fulcrum (%.2f%%) must exceed bank-level (%.2f%%)",
+			es["Fulcrum"].OverheadPercent(), es["Bank-level"].OverheadPercent())
+	}
+	// The analog design adds the least logic (its appeal) even counting
+	// reserved compute rows.
+	if es["Analog"].OverheadPercent() >= es["Bit-Serial"].OverheadPercent() {
+		t.Errorf("analog (%.2f%%) must stay below digital bit-serial (%.2f%%)",
+			es["Analog"].OverheadPercent(), es["Bit-Serial"].OverheadPercent())
+	}
+}
+
+func TestOverheadPlausibleRange(t *testing.T) {
+	for arch, e := range estimatesByArch(t) {
+		p := e.OverheadPercent()
+		if p <= 0 || p > 30 {
+			t.Errorf("%s overhead = %.2f%%, outside the plausible DRAM-PIM range", arch, p)
+		}
+	}
+}
+
+func TestAnalogCountsReservedRows(t *testing.T) {
+	es := estimatesByArch(t)
+	if es["Analog"].ReservedCellTransistors == 0 {
+		t.Error("analog must account for reserved TRA/DCC rows")
+	}
+	for _, arch := range []string{"Bit-Serial", "Fulcrum", "Bank-level"} {
+		if es[arch].ReservedCellTransistors != 0 {
+			t.Errorf("%s must not reserve cell rows", arch)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := Render(ForModule(dram.DDR4(1)))
+	for _, want := range []string{"Bit-Serial", "Fulcrum", "Bank-level", "Analog", "%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestScalesWithGeometry(t *testing.T) {
+	small := ForModule(dram.DDR4(1))
+	wide := dram.DDR4(1)
+	wide.Geometry.SubarraysPerBank *= 2
+	big := ForModule(wide)
+	// Doubling subarrays doubles both array and subarray-level logic, so
+	// subarray-level overheads stay constant while bank-level halves.
+	for i, e := range small {
+		if e.Arch == "Bank-level" {
+			if big[i].OverheadPercent() >= e.OverheadPercent() {
+				t.Errorf("bank-level overhead must shrink with more subarrays")
+			}
+			continue
+		}
+		a, b := e.OverheadPercent(), big[i].OverheadPercent()
+		if diff := a - b; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s overhead changed with subarray count: %.3f vs %.3f", e.Arch, a, b)
+		}
+	}
+}

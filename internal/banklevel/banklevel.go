@@ -1,0 +1,141 @@
+// Package banklevel models the bank-level PIM architecture of the paper
+// (Section IV, inspired by BLIMP but simplified to a Fulcrum-style
+// processing unit): one 128-bit processing element with three row-wide
+// walkers per bank, fed through the bank's narrow global data lines (GDL).
+//
+// Unlike the subarray-level designs, every operand row must cross the GDL
+// from a subarray's local row buffer to the bank-level global row buffer
+// before the PE can touch it — the GDL serialization is exactly what makes
+// bank-level PIM lose to bit-serial on cheap ops and to Fulcrum on
+// multiplies in the paper's Figure 6.
+package banklevel
+
+import (
+	"pimeval/internal/dram"
+	"pimeval/internal/energy"
+	"pimeval/internal/isa"
+	"pimeval/internal/perf"
+)
+
+// Processing-unit parameters (paper Table II): a 128-bit Fulcrum-style PE at
+// the Fulcrum clock, processing smaller data types in SIMD fashion, with a
+// single-cycle popcount (RISC-V Zbb-style CPOP, paper Section VII).
+const (
+	PEHz        = 167e6
+	PECycleNS   = 1e9 / PEHz
+	PEWidthBits = 128
+	WalkerRows  = 3
+)
+
+// Model is the bank-level performance/energy model.
+type Model struct{}
+
+// NewModel returns the bank-level cost model.
+func NewModel() *Model { return &Model{} }
+
+// Name returns the simulation-target name used in reports.
+func (*Model) Name() string { return "PIM_DEVICE_BANK_LEVEL" }
+
+// Vertical reports the data layout; bank-level PIM uses horizontal layout.
+func (*Model) Vertical() bool { return false }
+
+// Cores returns one PIM core per bank.
+func (*Model) Cores(g dram.Geometry) int { return g.TotalBanks() }
+
+// ElemCapacityPerCore returns the element capacity of one bank.
+func (*Model) ElemCapacityPerCore(g dram.Geometry, bits int) int64 {
+	return int64(g.SubarraysPerBank) * int64(g.RowsPerSubarray) * int64(g.ColsPerRow/bits)
+}
+
+// ActiveSubarraysPerCore returns the subarrays kept open by an active core.
+func (*Model) ActiveSubarraysPerCore() int { return 1 }
+
+// CmdCost models one command execution on elemsPerCore elements per core.
+func (*Model) CmdCost(cmd isa.Command, elemsPerCore int64, activeCores int, mod dram.Module, em energy.Model) perf.Cost {
+	g, t := mod.Geometry, mod.Timing
+	if elemsPerCore <= 0 || activeCores <= 0 {
+		return perf.Cost{}
+	}
+	bits := cmd.Type.Bits()
+	elemsPerRow := int64(g.ColsPerRow / bits)
+	if elemsPerRow == 0 {
+		elemsPerRow = 1
+	}
+	rowGroups := (elemsPerCore + elemsPerRow - 1) / elemsPerRow
+	gdlBeats := float64(g.ColsPerRow / g.GDLWidthBits)
+
+	lanes := PEWidthBits / bits
+	if lanes < 1 {
+		lanes = 1
+	}
+	peSteps := float64((elemsPerRow + int64(lanes) - 1) / int64(lanes))
+	peNS := peSteps * peCycles(cmd.Op) * PECycleNS
+
+	inputs := float64(cmd.Inputs)
+	writes := 0.0
+	if cmd.WritesResult {
+		writes = 1
+	}
+	// Each operand row: subarray activation + GDL transfer in; each result
+	// row: GDL transfer out + row write-back. The walkers overlap the next
+	// rows' fetch/transfer with PE processing of the current rows.
+	fetchNS := inputs * (t.RowReadNS + gdlBeats*t.TCCDNS)
+	perGroupNS := peNS
+	if fetchNS > perGroupNS {
+		perGroupNS = fetchNS
+	}
+	perGroupNS += writes * (gdlBeats*t.TCCDNS + t.RowWriteNS)
+	perGroupPJ := inputs*(em.RowReadPJ()+em.GDLTransferPJ()) +
+		writes*(em.GDLTransferPJ()+em.RowWritePJ()) +
+		float64(WalkerRows)*float64(g.ColsPerRow)*energy.WalkerLatchPJPerBit +
+		float64(elemsPerRow)*opEnergyPJ(cmd.Op, bits)
+
+	cost := perf.Cost{
+		TimeNS:   float64(rowGroups) * perGroupNS,
+		EnergyPJ: float64(rowGroups) * perGroupPJ * float64(activeCores),
+	}
+	if cmd.Op == isa.OpRedSum || cmd.Op == isa.OpRedSumSeg {
+		cost.TimeNS += combineNS(activeCores)
+	}
+	return cost
+}
+
+// peCycles returns PE cycles per SIMD step. Popcount is single-cycle on the
+// bank PE (hardware CPOP), multiply single-cycle as on Fulcrum; the AES
+// S-box is a bitsliced gate network like Fulcrum's.
+func peCycles(op isa.Op) float64 {
+	switch op {
+	case isa.OpCopyD2D:
+		return 0
+	case isa.OpSbox, isa.OpSboxInv:
+		return 30
+	case isa.OpDiv:
+		return 16 // iterative radix-2 divider
+	default:
+		return 1
+	}
+}
+
+func opEnergyPJ(op isa.Op, bits int) float64 {
+	widthFactor := float64(bits) / 32
+	switch op {
+	case isa.OpMul:
+		return energy.ALUMulPJ * widthFactor
+	case isa.OpDiv:
+		return energy.ALUSimplePJ * 16 * widthFactor
+	case isa.OpCopyD2D:
+		return 0
+	case isa.OpSbox, isa.OpSboxInv:
+		return energy.ALUSimplePJ * 30 * widthFactor
+	default:
+		return energy.ALUSimplePJ * widthFactor
+	}
+}
+
+func combineNS(cores int) float64 {
+	l := 0.0
+	for v := 1; v < cores; v <<= 1 {
+		l++
+	}
+	return 50 * l
+}

@@ -1,0 +1,117 @@
+package banklevel
+
+import (
+	"testing"
+
+	"pimeval/internal/dram"
+	"pimeval/internal/energy"
+	"pimeval/internal/fulcrum"
+	"pimeval/internal/isa"
+	"pimeval/internal/perf"
+)
+
+func cost(t *testing.T, op isa.Op, elemsPerCore int64, cores int) perf.Cost {
+	t.Helper()
+	mod := dram.DDR4(1)
+	cmd := isa.Command{Op: op, Type: isa.Int32, Inputs: 2, WritesResult: true}
+	if op == isa.OpRedSum {
+		cmd.Inputs, cmd.WritesResult = 1, false
+	}
+	return NewModel().CmdCost(cmd, elemsPerCore, cores, mod, energy.NewModel(mod))
+}
+
+func TestModelBasics(t *testing.T) {
+	m := NewModel()
+	g := dram.DDR4(4).Geometry
+	if m.Vertical() {
+		t.Error("bank-level uses horizontal layout")
+	}
+	if got := m.Cores(g); got != 4*128 {
+		t.Errorf("Cores = %d, want %d (one per bank)", got, 4*128)
+	}
+	if got := m.ElemCapacityPerCore(g, 32); got != 32*1024*256 {
+		t.Errorf("ElemCapacityPerCore = %d", got)
+	}
+}
+
+// TestModuleLevelSlowerThanFulcrum verifies the defining property of
+// bank-level PIM in Figure 6: for the same total element count spread over
+// the whole module, the 16x lower core count (banks vs subarray pairs) plus
+// the GDL serialization make bank-level slower than Fulcrum despite the
+// wider SIMD processing element.
+func TestModuleLevelSlowerThanFulcrum(t *testing.T) {
+	mod := dram.DDR4(1)
+	em := energy.NewModel(mod)
+	g := mod.Geometry
+	const n = 1 << 26 // 64M int32
+	cmd := isa.Command{Op: isa.OpAdd, Type: isa.Int32, Inputs: 2, WritesResult: true}
+	bankCores := NewModel().Cores(g)
+	fulCores := fulcrum.NewModel().Cores(g)
+	bank := NewModel().CmdCost(cmd, int64(n/bankCores), bankCores, mod, em)
+	ful := fulcrum.NewModel().CmdCost(cmd, int64(n/fulCores), fulCores, mod, em)
+	if bank.TimeNS <= 2*ful.TimeNS {
+		t.Errorf("bank-level add on 64M elems (%v ns) should be well above Fulcrum (%v ns)", bank.TimeNS, ful.TimeNS)
+	}
+}
+
+// TestGDLSerializationVisible verifies a narrower GDL increases latency.
+func TestGDLSerializationVisible(t *testing.T) {
+	wide := dram.DDR4(1)
+	narrow := dram.DDR4(1)
+	narrow.Geometry.GDLWidthBits = 64
+	cmd := isa.Command{Op: isa.OpAdd, Type: isa.Int32, Inputs: 2, WritesResult: true}
+	cw := NewModel().CmdCost(cmd, 4096, 1, wide, energy.NewModel(wide))
+	cn := NewModel().CmdCost(cmd, 4096, 1, narrow, energy.NewModel(narrow))
+	if cn.TimeNS <= cw.TimeNS {
+		t.Errorf("64-bit GDL (%v) must be slower than 128-bit GDL (%v)", cn.TimeNS, cw.TimeNS)
+	}
+}
+
+// TestFewerCoresThanSubarrayPIM verifies bank parallelism < subarray
+// parallelism: same total work takes longer per core group.
+func TestFewerCoresThanSubarrayPIM(t *testing.T) {
+	g := dram.DDR4(8).Geometry
+	if NewModel().Cores(g) >= fulcrum.NewModel().Cores(g) {
+		t.Error("bank-level must expose fewer PIM cores than Fulcrum")
+	}
+}
+
+func TestSIMDLanes(t *testing.T) {
+	mod := dram.DDR4(1)
+	em := energy.NewModel(mod)
+	// int8: 16 lanes; int64: 2 lanes -> fewer PE steps for narrow types.
+	narrow := NewModel().CmdCost(isa.Command{Op: isa.OpAdd, Type: isa.Int8, Inputs: 2, WritesResult: true}, 1024, 1, mod, em)
+	wide := NewModel().CmdCost(isa.Command{Op: isa.OpAdd, Type: isa.Int64, Inputs: 2, WritesResult: true}, 1024, 1, mod, em)
+	if narrow.TimeNS >= wide.TimeNS {
+		t.Errorf("int8 (%v) should be faster than int64 (%v) via SIMD lanes", narrow.TimeNS, wide.TimeNS)
+	}
+}
+
+// TestPopcountSingleCycle verifies the bank PE's hardware popcount: popcount
+// costs the same as add per element (1 cycle), unlike Fulcrum's 12-cycle SWAR.
+func TestPopcountSingleCycle(t *testing.T) {
+	mod := dram.DDR4(1)
+	em := energy.NewModel(mod)
+	addC := NewModel().CmdCost(isa.Command{Op: isa.OpAdd, Type: isa.Int32, Inputs: 2, WritesResult: true}, 4096, 1, mod, em)
+	popC := NewModel().CmdCost(isa.Command{Op: isa.OpPopCount, Type: isa.Int32, Inputs: 1, WritesResult: true}, 4096, 1, mod, em)
+	if popC.TimeNS > addC.TimeNS {
+		t.Errorf("bank popcount (%v) must not exceed add (%v): single-cycle CPOP", popC.TimeNS, addC.TimeNS)
+	}
+}
+
+func TestZeroWork(t *testing.T) {
+	if c := cost(t, isa.OpAdd, 0, 4); c.TimeNS != 0 || c.EnergyPJ != 0 {
+		t.Errorf("zero elems cost %+v", c)
+	}
+}
+
+func TestEnergyScalesWithCores(t *testing.T) {
+	one := cost(t, isa.OpAdd, 256, 1)
+	many := cost(t, isa.OpAdd, 256, 64)
+	if many.EnergyPJ != 64*one.EnergyPJ {
+		t.Errorf("energy %v, want 64x %v", many.EnergyPJ, one.EnergyPJ)
+	}
+	if many.TimeNS != one.TimeNS {
+		t.Errorf("latency must be core-count invariant: %v vs %v", many.TimeNS, one.TimeNS)
+	}
+}

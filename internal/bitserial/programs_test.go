@@ -1,0 +1,422 @@
+package bitserial
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pimeval/internal/isa"
+)
+
+// runOp executes the microprogram for op over the operand vectors using the
+// functional engine and returns the destination elements. Operand regions
+// follow the builder layout convention.
+func runOp(t *testing.T, op isa.Op, dt isa.DataType, imm int64, operands ...[]int64) []int64 {
+	t.Helper()
+	p, err := Build(op, dt, imm)
+	if err != nil {
+		t.Fatalf("Build(%v,%v): %v", op, dt, err)
+	}
+	n := dt.Bits()
+	count := 0
+	for _, o := range operands {
+		if len(o) > count {
+			count = len(o)
+		}
+	}
+	width := (count + 63) / 64 * 64
+	if width == 0 {
+		width = 64
+	}
+	e := NewEngine(p.Rows, width)
+	for i, o := range operands {
+		vals := make([]int64, len(o))
+		for j, v := range o {
+			vals[j] = dt.Truncate(v)
+		}
+		e.LoadVertical(i*n, n, vals)
+	}
+	if err := e.Run(p, 0); err != nil {
+		t.Fatalf("Run(%v): %v", op, err)
+	}
+	out := e.ReadVertical(p.DstBase, n, count)
+	for j := range out {
+		out[j] = dt.Truncate(out[j]) // sign-extend the raw bits
+	}
+	return out
+}
+
+// refBinary is an independent word-level reference for the binary ops.
+func refBinary(op isa.Op, dt isa.DataType, a, b int64) int64 {
+	a, b = dt.Truncate(a), dt.Truncate(b)
+	switch op {
+	case isa.OpAdd:
+		return dt.Truncate(a + b)
+	case isa.OpSub:
+		return dt.Truncate(a - b)
+	case isa.OpMul:
+		return dt.Truncate(a * b)
+	case isa.OpAnd:
+		return dt.Truncate(a & b)
+	case isa.OpOr:
+		return dt.Truncate(a | b)
+	case isa.OpXor:
+		return dt.Truncate(a ^ b)
+	case isa.OpXnor:
+		return dt.Truncate(^(a ^ b))
+	case isa.OpMin:
+		if dt.Compare(a, b) <= 0 {
+			return a
+		}
+		return b
+	case isa.OpMax:
+		if dt.Compare(a, b) >= 0 {
+			return a
+		}
+		return b
+	case isa.OpLt:
+		if dt.Compare(a, b) < 0 {
+			return 1
+		}
+		return 0
+	case isa.OpGt:
+		if dt.Compare(a, b) > 0 {
+			return 1
+		}
+		return 0
+	case isa.OpEq:
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	panic("unhandled op")
+}
+
+var binaryOpsUnderTest = []isa.Op{
+	isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+	isa.OpXnor, isa.OpMin, isa.OpMax, isa.OpLt, isa.OpGt, isa.OpEq,
+}
+
+var typesUnderTest = []isa.DataType{
+	isa.Int8, isa.Int16, isa.Int32, isa.UInt8, isa.UInt16, isa.UInt32, isa.Int64, isa.UInt64,
+}
+
+// edgeValues returns boundary cases for the type.
+func edgeValues(dt isa.DataType) []int64 {
+	n := uint(dt.Bits())
+	vals := []int64{0, 1, 2, 3, -1, -2, 5, 7, 100, -100}
+	if n < 64 {
+		vals = append(vals,
+			int64(1)<<(n-1)-1,      // max signed
+			-(int64(1) << (n - 1)), // min signed
+			int64(1)<<n-1,          // all ones
+			int64(1)<<(n-1),        // sign bit only
+		)
+	} else {
+		vals = append(vals, int64(^uint64(0)>>1), -int64(^uint64(0)>>1)-1)
+	}
+	return vals
+}
+
+func TestBinaryMicroprogramsEdgeCases(t *testing.T) {
+	for _, op := range binaryOpsUnderTest {
+		for _, dt := range typesUnderTest {
+			ev := edgeValues(dt)
+			var as, bs []int64
+			for _, a := range ev {
+				for _, b := range ev {
+					as = append(as, a)
+					bs = append(bs, b)
+				}
+			}
+			got := runOp(t, op, dt, 0, as, bs)
+			for i := range as {
+				want := refBinary(op, dt, as[i], bs[i])
+				if got[i] != want {
+					t.Fatalf("%v.%v(%d, %d) = %d, want %d", op, dt, dt.Truncate(as[i]), dt.Truncate(bs[i]), got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestBinaryMicroprogramsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, op := range binaryOpsUnderTest {
+		for _, dt := range []isa.DataType{isa.Int16, isa.UInt16, isa.Int32} {
+			op, dt := op, dt
+			f := func(a, b int64) bool {
+				got := runOp(t, op, dt, 0, []int64{a}, []int64{b})
+				return got[0] == refBinary(op, dt, a, b)
+			}
+			cfg := &quick.Config{MaxCount: 60, Rand: rng}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Errorf("%v.%v: %v", op, dt, err)
+			}
+		}
+	}
+}
+
+// refDiv mirrors the restoring-divider semantics (see device.evalDiv).
+func refDiv(dt isa.DataType, a, b int64) int64 {
+	a, b = dt.Truncate(a), dt.Truncate(b)
+	mask := uint64(1)<<uint(dt.Bits()) - 1
+	if dt.Bits() == 64 {
+		mask = ^uint64(0)
+	}
+	if !dt.Signed() {
+		ua, ub := uint64(a)&mask, uint64(b)&mask
+		if ub == 0 {
+			return dt.Truncate(int64(mask))
+		}
+		return dt.Truncate(int64(ua / ub))
+	}
+	neg := (a < 0) != (b < 0)
+	mag := func(v int64) uint64 {
+		if v < 0 {
+			return uint64(-v) & mask
+		}
+		return uint64(v)
+	}
+	ua, ub := mag(a), mag(b)
+	q := mask
+	if ub != 0 {
+		q = ua / ub
+	}
+	if neg {
+		return dt.Truncate(-int64(q))
+	}
+	return dt.Truncate(int64(q))
+}
+
+func TestDivMicroprogramEdgeCases(t *testing.T) {
+	for _, dt := range []isa.DataType{isa.Int8, isa.UInt8, isa.Int16, isa.UInt16} {
+		ev := edgeValues(dt)
+		var as, bs []int64
+		for _, a := range ev {
+			for _, b := range ev {
+				as = append(as, a)
+				bs = append(bs, b)
+			}
+		}
+		got := runOp(t, isa.OpDiv, dt, 0, as, bs)
+		for i := range as {
+			want := refDiv(dt, as[i], bs[i])
+			if got[i] != want {
+				t.Fatalf("div.%v(%d, %d) = %d, want %d",
+					dt, dt.Truncate(as[i]), dt.Truncate(bs[i]), got[i], want)
+			}
+		}
+	}
+}
+
+func TestDivMicroprogramQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, dt := range []isa.DataType{isa.Int16, isa.UInt16} {
+		dt := dt
+		f := func(a, b int64) bool {
+			got := runOp(t, isa.OpDiv, dt, 0, []int64{a}, []int64{b})
+			return got[0] == refDiv(dt, a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+			t.Errorf("div.%v: %v", dt, err)
+		}
+	}
+}
+
+// TestDivMostExpensiveMicroprogram confirms the restoring divider costs
+// even more row operations than the multiplier.
+func TestDivMostExpensiveMicroprogram(t *testing.T) {
+	div, err := Build(isa.OpDiv, isa.Int32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul, err := Build(isa.OpMul, isa.Int32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, mc := div.Counts(), mul.Counts()
+	if dc.Reads+dc.Writes <= mc.Reads+mc.Writes {
+		t.Errorf("div row ops (%d) should exceed mul (%d)", dc.Reads+dc.Writes, mc.Reads+mc.Writes)
+	}
+}
+
+func TestUnaryMicroprograms(t *testing.T) {
+	for _, dt := range typesUnderTest {
+		vals := edgeValues(dt)
+		got := runOp(t, isa.OpNot, dt, 0, vals)
+		for i, a := range vals {
+			if want := dt.Truncate(^dt.Truncate(a)); got[i] != want {
+				t.Errorf("not.%v(%d) = %d, want %d", dt, a, got[i], want)
+			}
+		}
+		got = runOp(t, isa.OpAbs, dt, 0, vals)
+		for i, a := range vals {
+			want := dt.Truncate(a)
+			if dt.Signed() && want < 0 {
+				want = dt.Truncate(-want)
+			}
+			if got[i] != want {
+				t.Errorf("abs.%v(%d) = %d, want %d", dt, a, got[i], want)
+			}
+		}
+	}
+}
+
+func TestPopCountMicroprogram(t *testing.T) {
+	for _, dt := range []isa.DataType{isa.UInt8, isa.Int16, isa.Int32} {
+		vals := edgeValues(dt)
+		got := runOp(t, isa.OpPopCount, dt, 0, vals)
+		for i, a := range vals {
+			v := uint64(dt.Truncate(a))
+			mask := uint64(1)<<uint(dt.Bits()) - 1
+			if dt.Bits() == 64 {
+				mask = ^uint64(0)
+			}
+			v &= mask
+			want := int64(0)
+			for ; v != 0; v &= v - 1 {
+				want++
+			}
+			if got[i] != want {
+				t.Errorf("popcount.%v(%d) = %d, want %d", dt, a, got[i], want)
+			}
+		}
+	}
+}
+
+func TestShiftMicroprograms(t *testing.T) {
+	for _, dt := range []isa.DataType{isa.Int8, isa.UInt8, isa.Int32, isa.UInt32} {
+		vals := edgeValues(dt)
+		for _, amount := range []int{0, 1, 3, dt.Bits() - 1, dt.Bits()} {
+			got := runOp(t, isa.OpShiftL, dt, int64(amount), vals)
+			for i, a := range vals {
+				want := int64(0)
+				if amount < dt.Bits() {
+					want = dt.Truncate(dt.Truncate(a) << uint(amount))
+				}
+				if got[i] != want {
+					t.Errorf("shl.%v(%d, %d) = %d, want %d", dt, a, amount, got[i], want)
+				}
+			}
+			got = runOp(t, isa.OpShiftR, dt, int64(amount), vals)
+			for i, a := range vals {
+				ta := dt.Truncate(a)
+				var want int64
+				switch {
+				case amount >= dt.Bits():
+					if dt.Signed() && ta < 0 {
+						want = dt.Truncate(-1)
+					}
+				case dt.Signed():
+					want = dt.Truncate(ta >> uint(amount))
+				default:
+					mask := uint64(1)<<uint(dt.Bits()) - 1
+					if dt.Bits() == 64 {
+						mask = ^uint64(0)
+					}
+					want = dt.Truncate(int64((uint64(ta) & mask) >> uint(amount)))
+				}
+				if got[i] != want {
+					t.Errorf("shr.%v(%d, %d) = %d, want %d", dt, a, amount, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectMicroprogram(t *testing.T) {
+	dt := isa.Int32
+	mask := []int64{1, 0, 1, 0, 1, 1, 0, 0}
+	a := []int64{10, 20, 30, 40, -50, 60, -70, 80}
+	b := []int64{-1, -2, -3, -4, -5, -6, -7, -8}
+	got := runOp(t, isa.OpSelect, dt, 0, mask, a, b)
+	for i := range mask {
+		want := b[i]
+		if mask[i] != 0 {
+			want = a[i]
+		}
+		if got[i] != dt.Truncate(want) {
+			t.Errorf("select[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestBroadcastMicroprogram(t *testing.T) {
+	for _, dt := range []isa.DataType{isa.Int8, isa.Int32, isa.UInt16} {
+		for _, v := range edgeValues(dt) {
+			p, err := Build(isa.OpBroadcast, dt, v)
+			if err != nil {
+				t.Fatalf("Build(broadcast): %v", err)
+			}
+			e := NewEngine(p.Rows, 128)
+			if err := e.Run(p, 0); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			out := e.ReadVertical(0, dt.Bits(), 128)
+			for j, got := range out {
+				if dt.Truncate(got) != dt.Truncate(v) {
+					t.Fatalf("broadcast.%v(%d) col %d = %d", dt, v, j, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildUnsupportedOps(t *testing.T) {
+	for _, op := range []isa.Op{isa.OpRedSum, isa.OpRedSumSeg, isa.OpCopyD2D} {
+		if _, err := Build(op, isa.Int32, 0); err == nil {
+			t.Errorf("Build(%v) succeeded, want error", op)
+		}
+	}
+}
+
+// TestMicroprogramComplexity checks the asymptotic shapes the paper relies
+// on: adds are linear in bit width, multiplies quadratic, popcount
+// log-linear (Section IV / Section VII).
+func TestMicroprogramComplexity(t *testing.T) {
+	rowOps := func(op isa.Op, dt isa.DataType) int {
+		p, err := Build(op, dt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := p.Counts()
+		return c.Reads + c.Writes
+	}
+	add16, add32 := rowOps(isa.OpAdd, isa.Int16), rowOps(isa.OpAdd, isa.Int32)
+	if r := float64(add32) / float64(add16); r < 1.8 || r > 2.2 {
+		t.Errorf("add row-op scaling 16->32 bits = %.2f, want ~2 (linear)", r)
+	}
+	mul16, mul32 := rowOps(isa.OpMul, isa.Int16), rowOps(isa.OpMul, isa.Int32)
+	if r := float64(mul32) / float64(mul16); r < 3.4 || r > 4.6 {
+		t.Errorf("mul row-op scaling 16->32 bits = %.2f, want ~4 (quadratic)", r)
+	}
+	if mul32 <= 10*add32 {
+		t.Errorf("mul.int32 (%d row ops) should dwarf add.int32 (%d)", mul32, add32)
+	}
+	pop16, pop32 := rowOps(isa.OpPopCount, isa.Int16), rowOps(isa.OpPopCount, isa.Int32)
+	if r := float64(pop32) / float64(pop16); r < 1.9 || r > 2.8 {
+		t.Errorf("popcount row-op scaling 16->32 bits = %.2f, want ~2.2 (log-linear)", r)
+	}
+}
+
+// TestRegisterBudget verifies no microprogram uses registers outside the
+// architecture's four bit registers plus the sense-amp latch.
+func TestRegisterBudget(t *testing.T) {
+	ops := append([]isa.Op{isa.OpNot, isa.OpAbs, isa.OpPopCount, isa.OpSelect,
+		isa.OpShiftL, isa.OpShiftR, isa.OpBroadcast}, binaryOpsUnderTest...)
+	for _, op := range ops {
+		p, err := Build(op, isa.Int32, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, mo := range p.Ops {
+			for _, r := range []Reg{mo.Dst, mo.A, mo.B, mo.C} {
+				if r >= numRegs {
+					t.Fatalf("%v op %d uses register %d beyond budget", op, i, r)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package cluster implements the statistical machinery behind the paper's
+// Figure 1 benchmark-diversity dendrogram: feature standardization,
+// principal component analysis (via cyclic Jacobi eigendecomposition of the
+// covariance matrix), and agglomerative hierarchical clustering with
+// average linkage, plus an ASCII dendrogram renderer.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Standardize z-scores each column of the m x d matrix in place-safe copy:
+// (x - mean) / stddev, with constant columns mapped to zero.
+func Standardize(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	m, d := len(rows), len(rows[0])
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	for j := 0; j < d; j++ {
+		var mean float64
+		for i := 0; i < m; i++ {
+			mean += rows[i][j]
+		}
+		mean /= float64(m)
+		var variance float64
+		for i := 0; i < m; i++ {
+			dv := rows[i][j] - mean
+			variance += dv * dv
+		}
+		variance /= float64(m)
+		sd := math.Sqrt(variance)
+		for i := 0; i < m; i++ {
+			if sd > 0 {
+				out[i][j] = (rows[i][j] - mean) / sd
+			}
+		}
+	}
+	return out
+}
+
+// PCA projects the m x d matrix onto its top-k principal components.
+// Columns should be standardized first. k is clamped to d.
+func PCA(rows [][]float64, k int) ([][]float64, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("cluster: empty matrix")
+	}
+	m, d := len(rows), len(rows[0])
+	for _, r := range rows {
+		if len(r) != d {
+			return nil, errors.New("cluster: ragged matrix")
+		}
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k=%d", k)
+	}
+	if k > d {
+		k = d
+	}
+	// Covariance matrix (columns are already centered by Standardize).
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			var s float64
+			for r := 0; r < m; r++ {
+				s += rows[r][i] * rows[r][j]
+			}
+			s /= float64(m)
+			cov[i][j], cov[j][i] = s, s
+		}
+	}
+	vals, vecs := jacobiEigen(cov)
+	// Order components by descending eigenvalue.
+	idx := make([]int, d)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	// Project.
+	out := make([][]float64, m)
+	for r := 0; r < m; r++ {
+		out[r] = make([]float64, k)
+		for c := 0; c < k; c++ {
+			comp := idx[c]
+			var s float64
+			for j := 0; j < d; j++ {
+				s += rows[r][j] * vecs[j][comp]
+			}
+			out[r][c] = s
+		}
+	}
+	return out, nil
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi rotations,
+// returning eigenvalues and the matrix of column eigenvectors.
+func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	d := len(a)
+	// Work on a copy.
+	w := make([][]float64, d)
+	for i := range w {
+		w[i] = append([]float64(nil), a[i]...)
+	}
+	v := make([][]float64, d)
+	for i := range v {
+		v[i] = make([]float64, d)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		var off float64
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				off += w[i][j] * w[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				if math.Abs(w[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (w[q][q] - w[p][p]) / (2 * w[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for i := 0; i < d; i++ {
+					wip, wiq := w[i][p], w[i][q]
+					w[i][p] = c*wip - s*wiq
+					w[i][q] = s*wip + c*wiq
+				}
+				for i := 0; i < d; i++ {
+					wpi, wqi := w[p][i], w[q][i]
+					w[p][i] = c*wpi - s*wqi
+					w[q][i] = s*wpi + c*wqi
+				}
+				for i := 0; i < d; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = c*vip - s*viq
+					v[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	vals := make([]float64, d)
+	for i := range vals {
+		vals[i] = w[i][i]
+	}
+	return vals, v
+}
+
+// Merge is one agglomeration step of the dendrogram: clusters A and B (which
+// are leaf indices < n, or previous merge indices n+i) join at Distance.
+type Merge struct {
+	A, B     int
+	Distance float64
+	Size     int
+}
+
+// Dendrogram is the result of hierarchical clustering over n leaves.
+type Dendrogram struct {
+	Labels []string
+	Merges []Merge
+}
+
+// Linkage selects the inter-cluster distance used by Agglomerate.
+type Linkage int
+
+// Supported linkage criteria (Murtagh & Contreras overview, the paper's
+// clustering reference). The paper's Figure 1 uses average linkage.
+const (
+	AverageLinkage Linkage = iota
+	SingleLinkage
+	CompleteLinkage
+)
+
+// Agglomerate builds an average-linkage hierarchical clustering of the
+// points (one row per item) — the paper's Figure 1 configuration.
+func Agglomerate(points [][]float64, labels []string) (*Dendrogram, error) {
+	return AgglomerateLinkage(points, labels, AverageLinkage)
+}
+
+// AgglomerateLinkage builds a hierarchical clustering under the chosen
+// linkage criterion.
+func AgglomerateLinkage(points [][]float64, labels []string, linkage Linkage) (*Dendrogram, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: no points")
+	}
+	if len(labels) != n {
+		return nil, fmt.Errorf("cluster: %d labels for %d points", len(labels), n)
+	}
+	type node struct {
+		id     int
+		size   int
+		points []int // leaf indices
+	}
+	active := make([]*node, n)
+	for i := range active {
+		active[i] = &node{id: i, size: 1, points: []int{i}}
+	}
+	dist := func(a, b int) float64 {
+		var s float64
+		for j := range points[a] {
+			dv := points[a][j] - points[b][j]
+			s += dv * dv
+		}
+		return math.Sqrt(s)
+	}
+	// Cluster distance under the chosen linkage, over the original points.
+	clusterDist := func(x, y *node) float64 {
+		switch linkage {
+		case SingleLinkage:
+			best := math.Inf(1)
+			for _, i := range x.points {
+				for _, j := range y.points {
+					if d := dist(i, j); d < best {
+						best = d
+					}
+				}
+			}
+			return best
+		case CompleteLinkage:
+			worst := 0.0
+			for _, i := range x.points {
+				for _, j := range y.points {
+					if d := dist(i, j); d > worst {
+						worst = d
+					}
+				}
+			}
+			return worst
+		default: // AverageLinkage
+			var s float64
+			for _, i := range x.points {
+				for _, j := range y.points {
+					s += dist(i, j)
+				}
+			}
+			return s / float64(len(x.points)*len(y.points))
+		}
+	}
+	dg := &Dendrogram{Labels: append([]string(nil), labels...)}
+	next := n
+	for len(active) > 1 {
+		bi, bj, best := 0, 1, math.Inf(1)
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				if d := clusterDist(active[i], active[j]); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		merged := &node{id: next, size: a.size + b.size, points: append(append([]int{}, a.points...), b.points...)}
+		dg.Merges = append(dg.Merges, Merge{A: a.id, B: b.id, Distance: best, Size: merged.size})
+		next++
+		// Remove bj first (bj > bi).
+		active = append(active[:bj], active[bj+1:]...)
+		active[bi] = merged
+	}
+	return dg, nil
+}
+
+// LeafOrder returns the leaves in dendrogram traversal order (the order the
+// paper's Figure 1 lists benchmarks).
+func (d *Dendrogram) LeafOrder() []int {
+	n := len(d.Labels)
+	if len(d.Merges) == 0 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	var walk func(id int) []int
+	walk = func(id int) []int {
+		if id < n {
+			return []int{id}
+		}
+		m := d.Merges[id-n]
+		return append(walk(m.A), walk(m.B)...)
+	}
+	root := n + len(d.Merges) - 1
+	return walk(root)
+}
+
+// Render draws an ASCII dendrogram: one line per leaf in traversal order,
+// with each leaf annotated by the distance at which it first merges.
+func (d *Dendrogram) Render() string {
+	n := len(d.Labels)
+	firstMerge := make([]float64, n)
+	for i := range firstMerge {
+		firstMerge[i] = math.Inf(1)
+	}
+	var mark func(id int, dist float64)
+	mark = func(id int, dist float64) {
+		if id < n {
+			if dist < firstMerge[id] {
+				firstMerge[id] = dist
+			}
+			return
+		}
+		m := d.Merges[id-n]
+		mark(m.A, math.Min(dist, m.Distance))
+		mark(m.B, math.Min(dist, m.Distance))
+	}
+	for _, m := range d.Merges {
+		mark(m.A, m.Distance)
+		mark(m.B, m.Distance)
+	}
+	width := 0
+	for _, l := range d.Labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var b strings.Builder
+	for _, leaf := range d.LeafOrder() {
+		bars := int(math.Min(40, math.Max(1, 8*math.Log10(1+firstMerge[leaf]*100))))
+		fmt.Fprintf(&b, "%-*s |%s %.4f\n", width, d.Labels[leaf], strings.Repeat("-", bars), firstMerge[leaf])
+	}
+	return b.String()
+}

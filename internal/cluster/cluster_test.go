@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardize(t *testing.T) {
+	rows := [][]float64{{1, 10, 5}, {2, 20, 5}, {3, 30, 5}}
+	out := Standardize(rows)
+	// Column means must be ~0, stddev ~1; constant column -> zeros.
+	for j := 0; j < 2; j++ {
+		var mean, variance float64
+		for i := range out {
+			mean += out[i][j]
+		}
+		mean /= 3
+		for i := range out {
+			variance += (out[i][j] - mean) * (out[i][j] - mean)
+		}
+		variance /= 3
+		if math.Abs(mean) > 1e-12 || math.Abs(variance-1) > 1e-12 {
+			t.Errorf("col %d: mean %v var %v", j, mean, variance)
+		}
+	}
+	for i := range out {
+		if out[i][2] != 0 {
+			t.Error("constant column must map to zero")
+		}
+	}
+	if Standardize(nil) != nil {
+		t.Error("empty input")
+	}
+	// Input must be untouched.
+	if rows[0][0] != 1 {
+		t.Error("Standardize mutated its input")
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points stretched along (1,1): first PC must capture that direction.
+	var rows [][]float64
+	for i := -10; i <= 10; i++ {
+		rows = append(rows, []float64{float64(i), float64(i) + 0.01*float64(i%3)})
+	}
+	std := Standardize(rows)
+	proj, err := PCA(std, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projection onto PC1 must preserve the ordering of the diagonal.
+	increasing, decreasing := true, true
+	for i := 1; i < len(proj); i++ {
+		if proj[i][0] < proj[i-1][0] {
+			increasing = false
+		}
+		if proj[i][0] > proj[i-1][0] {
+			decreasing = false
+		}
+	}
+	if !increasing && !decreasing {
+		t.Error("PC1 projection must be monotone along the dominant axis")
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := PCA(nil, 1); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := PCA([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := PCA([][]float64{{1, 2}}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// k > d clamps.
+	out, err := PCA([][]float64{{1, 2}, {3, 4}}, 10)
+	if err != nil || len(out[0]) != 2 {
+		t.Errorf("clamp: %v %v", out, err)
+	}
+}
+
+// TestPCAPreservesTotalVariance: with k=d, projection is a rotation, so the
+// total variance is preserved.
+func TestPCAPreservesTotalVariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rows := make([][]float64, 12)
+		s := seed
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s%1000) / 100
+		}
+		for i := range rows {
+			rows[i] = []float64{next(), next(), next()}
+		}
+		std := Standardize(rows)
+		proj, err := PCA(std, 3)
+		if err != nil {
+			return false
+		}
+		variance := func(m [][]float64) float64 {
+			var tot float64
+			d := len(m[0])
+			for j := 0; j < d; j++ {
+				var mean float64
+				for i := range m {
+					mean += m[i][j]
+				}
+				mean /= float64(len(m))
+				for i := range m {
+					tot += (m[i][j] - mean) * (m[i][j] - mean)
+				}
+			}
+			return tot
+		}
+		return math.Abs(variance(std)-variance(proj)) < 1e-6*math.Max(1, variance(std))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgglomerateTwoObviousClusters(t *testing.T) {
+	pts := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, // cluster A
+		{10, 10}, {10.1, 10}, {10, 10.1}, // cluster B
+	}
+	labels := []string{"a1", "a2", "a3", "b1", "b2", "b3"}
+	dg, err := Agglomerate(pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dg.Merges) != 5 {
+		t.Fatalf("merges = %d, want 5", len(dg.Merges))
+	}
+	// The final merge joins the two clusters at a much larger distance.
+	last := dg.Merges[len(dg.Merges)-1]
+	if last.Distance < 10 {
+		t.Errorf("final merge at %v, want >10", last.Distance)
+	}
+	for _, m := range dg.Merges[:4] {
+		if m.Distance > 1 {
+			t.Errorf("intra-cluster merge at %v, want <1", m.Distance)
+		}
+	}
+	// Leaf order groups each cluster contiguously.
+	order := dg.LeafOrder()
+	if len(order) != 6 {
+		t.Fatalf("leaf order = %v", order)
+	}
+	firstHalf := map[int]bool{}
+	for _, l := range order[:3] {
+		firstHalf[l] = true
+	}
+	aTogether := firstHalf[0] && firstHalf[1] && firstHalf[2]
+	bTogether := firstHalf[3] && firstHalf[4] && firstHalf[5]
+	if !aTogether && !bTogether {
+		t.Errorf("leaf order does not group clusters: %v", order)
+	}
+}
+
+func TestMergeDistancesMonotone(t *testing.T) {
+	// Average linkage on well-separated points yields non-decreasing merge
+	// distances (no inversions for metric average linkage).
+	pts := [][]float64{{0}, {1}, {3}, {7}, {15}, {31}}
+	labels := []string{"a", "b", "c", "d", "e", "f"}
+	dg, err := Agglomerate(pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(dg.Merges); i++ {
+		if dg.Merges[i].Distance < dg.Merges[i-1].Distance {
+			t.Errorf("merge %d at %v after %v", i, dg.Merges[i].Distance, dg.Merges[i-1].Distance)
+		}
+	}
+}
+
+func TestAgglomerateErrors(t *testing.T) {
+	if _, err := Agglomerate(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Agglomerate([][]float64{{1}}, []string{"a", "b"}); err == nil {
+		t.Error("label mismatch accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0.1, 0}, {5, 5}}
+	dg, err := Agglomerate(pts, []string{"close1", "close2", "far"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dg.Render()
+	for _, want := range []string{"close1", "close2", "far"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("render missing %q:\n%s", want, r)
+		}
+	}
+	if lines := strings.Count(r, "\n"); lines != 3 {
+		t.Errorf("render has %d lines, want 3", lines)
+	}
+}
+
+func TestLinkageVariants(t *testing.T) {
+	// Two tight pairs plus an outlier between them: single linkage chains,
+	// complete linkage resists chaining — their final merge distances
+	// bracket average linkage.
+	pts := [][]float64{{0}, {1}, {4.5}, {8}, {9}}
+	labels := []string{"a", "b", "m", "c", "d"}
+	final := func(l Linkage) float64 {
+		dg, err := AgglomerateLinkage(pts, labels, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dg.Merges[len(dg.Merges)-1].Distance
+	}
+	single, avg, complete := final(SingleLinkage), final(AverageLinkage), final(CompleteLinkage)
+	if !(single < avg && avg < complete) {
+		t.Errorf("final merge distances single=%v avg=%v complete=%v, want increasing", single, avg, complete)
+	}
+	// All linkages must produce the same number of merges.
+	for _, l := range []Linkage{SingleLinkage, AverageLinkage, CompleteLinkage} {
+		dg, err := AgglomerateLinkage(pts, labels, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dg.Merges) != len(pts)-1 {
+			t.Errorf("linkage %d: %d merges", l, len(dg.Merges))
+		}
+	}
+}
+
+func TestSingleLinkageChains(t *testing.T) {
+	// An evenly spaced chain: single linkage merges neighbors at the unit
+	// spacing throughout (no merge ever exceeds the chain step).
+	pts := [][]float64{{0}, {1}, {2}, {3}, {4}}
+	labels := []string{"a", "b", "c", "d", "e"}
+	dg, err := AgglomerateLinkage(pts, labels, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range dg.Merges {
+		if m.Distance > 1.0001 {
+			t.Errorf("single linkage merge at %v, want <= 1 (chaining)", m.Distance)
+		}
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	dg, err := Agglomerate([][]float64{{1, 2}}, []string{"only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dg.Merges) != 0 {
+		t.Errorf("merges = %v", dg.Merges)
+	}
+	if order := dg.LeafOrder(); len(order) != 1 || order[0] != 0 {
+		t.Errorf("leaf order = %v", order)
+	}
+}

@@ -1,0 +1,387 @@
+// Package device implements the PIMeval simulator core: PIM device creation,
+// the resource manager for PIM data objects, command dispatch with
+// functional word-level execution, and performance/energy accounting through
+// the per-architecture cost models.
+//
+// The public programming surface lives in package pim; this package is the
+// engine behind it.
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"pimeval/internal/analog"
+	"pimeval/internal/banklevel"
+	"pimeval/internal/bitserial"
+	"pimeval/internal/dram"
+	"pimeval/internal/energy"
+	"pimeval/internal/fulcrum"
+	"pimeval/internal/isa"
+	"pimeval/internal/perf"
+	"pimeval/internal/stats"
+)
+
+// Target selects the simulated PIM architecture.
+type Target int
+
+// The three architectures modeled by the paper.
+const (
+	TargetBitSerial Target = iota // subarray-level digital bit-serial (DRAM-AP)
+	TargetFulcrum                 // subarray-level bit-parallel (Fulcrum)
+	TargetBankLevel               // bank-level bit-parallel
+	// TargetAnalogBitSerial is the Ambit/SIMDRAM-style analog bit-serial
+	// extension (paper Section IX in-progress work); it is not part of the
+	// paper's three-way comparison.
+	TargetAnalogBitSerial
+)
+
+var targetNames = [...]string{"bitserial", "fulcrum", "banklevel", "analog"}
+
+// String returns the short target name.
+func (t Target) String() string {
+	if int(t) < len(targetNames) {
+		return targetNames[t]
+	}
+	return fmt.Sprintf("target(%d)", int(t))
+}
+
+// Valid reports whether t names a supported architecture.
+func (t Target) Valid() bool { return t >= 0 && int(t) < len(targetNames) }
+
+// ArchModel is the per-architecture cost model consumed by the simulator.
+type ArchModel interface {
+	// Name returns the simulation-target identifier used in reports.
+	Name() string
+	// Vertical reports whether data is laid out vertically (bit-serial).
+	Vertical() bool
+	// Cores returns the number of PIM cores the geometry provides.
+	Cores(g dram.Geometry) int
+	// ElemCapacityPerCore returns how many elements of the given bit width
+	// fit in one core's memory under the architecture's layout.
+	ElemCapacityPerCore(g dram.Geometry, bits int) int64
+	// ActiveSubarraysPerCore returns how many subarrays an active core
+	// holds open (for background energy).
+	ActiveSubarraysPerCore() int
+	// CmdCost returns the latency and energy of one command execution.
+	CmdCost(cmd isa.Command, elemsPerCore int64, activeCores int, mod dram.Module, em energy.Model) perf.Cost
+}
+
+// Config describes a PIM device instance.
+type Config struct {
+	Target Target
+	Module dram.Module
+	// Functional enables data-carrying simulation: objects hold real
+	// values and every command computes its result. With Functional off,
+	// only the performance/energy model runs, allowing paper-scale inputs
+	// without materializing gigabytes.
+	Functional bool
+}
+
+// Sentinel errors returned by the resource manager and dispatcher.
+var (
+	ErrOutOfMemory   = errors.New("device: PIM memory capacity exceeded")
+	ErrBadObject     = errors.New("device: unknown or freed PIM object")
+	ErrShapeMismatch = errors.New("device: operand shapes or types differ")
+	ErrBadArgument   = errors.New("device: invalid argument")
+)
+
+// ObjID identifies an allocated PIM data object. The zero value is invalid.
+type ObjID int64
+
+// Object is one allocated PIM data object: a 1-D array of fixed-width
+// elements distributed across PIM cores.
+type Object struct {
+	id           ObjID
+	dt           isa.DataType
+	n            int64
+	data         []int64 // canonical truncated values; nil in model-only mode
+	elemsPerCore int64
+	activeCores  int
+}
+
+// Len returns the element count.
+func (o *Object) Len() int64 { return o.n }
+
+// Type returns the element type.
+func (o *Object) Type() isa.DataType { return o.dt }
+
+// Bytes returns the object's data size in bytes.
+func (o *Object) Bytes() int64 { return o.n * int64(o.dt.Bytes()) }
+
+// Device is one simulated PIM device instance.
+type Device struct {
+	cfg      Config
+	arch     ArchModel
+	em       energy.Model
+	st       *stats.Stats
+	objs     map[ObjID]*Object
+	nextID   ObjID
+	usedBits int64
+	repeat   int64
+	tracing  bool
+	trace    []TraceEntry
+	traceSeq int64
+}
+
+// New creates a PIM device for the configuration.
+func New(cfg Config) (*Device, error) {
+	if !cfg.Target.Valid() {
+		return nil, fmt.Errorf("%w: target %d", ErrBadArgument, int(cfg.Target))
+	}
+	if err := cfg.Module.Validate(); err != nil {
+		return nil, err
+	}
+	var arch ArchModel
+	switch cfg.Target {
+	case TargetBitSerial:
+		arch = bitserial.NewModel()
+	case TargetFulcrum:
+		arch = fulcrum.NewModel()
+	case TargetBankLevel:
+		arch = banklevel.NewModel()
+	case TargetAnalogBitSerial:
+		arch = analog.NewModel()
+	}
+	return &Device{
+		cfg:    cfg,
+		arch:   arch,
+		em:     energy.NewModel(cfg.Module),
+		st:     stats.New(),
+		objs:   make(map[ObjID]*Object),
+		nextID: 1,
+		repeat: 1,
+	}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Arch returns the architecture model (for reporting).
+func (d *Device) Arch() ArchModel { return d.arch }
+
+// Stats returns the device's statistics collector.
+func (d *Device) Stats() *stats.Stats { return d.st }
+
+// Cores returns the device's PIM core count.
+func (d *Device) Cores() int { return d.arch.Cores(d.cfg.Module.Geometry) }
+
+// Alloc allocates a PIM object of n elements of type dt, spread across all
+// PIM cores for maximum parallelism (the paper's PIM_ALLOC_AUTO policy).
+func (d *Device) Alloc(n int64, dt isa.DataType) (ObjID, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: element count %d", ErrBadArgument, n)
+	}
+	if !dt.Valid() {
+		return 0, fmt.Errorf("%w: data type %d", ErrBadArgument, int(dt))
+	}
+	g := d.cfg.Module.Geometry
+	cores := int64(d.arch.Cores(g))
+	elemsPerCore := (n + cores - 1) / cores
+	capPerCore := d.arch.ElemCapacityPerCore(g, dt.Bits())
+	if elemsPerCore > capPerCore {
+		return 0, fmt.Errorf("%w: need %d elems/core, capacity %d", ErrOutOfMemory, elemsPerCore, capPerCore)
+	}
+	bits := n * int64(dt.Bits())
+	if d.usedBits+bits > d.cfg.Module.Geometry.CapacityBits() {
+		return 0, fmt.Errorf("%w: %d bits requested, %d free", ErrOutOfMemory,
+			bits, d.cfg.Module.Geometry.CapacityBits()-d.usedBits)
+	}
+	obj := &Object{
+		id:           d.nextID,
+		dt:           dt,
+		n:            n,
+		elemsPerCore: elemsPerCore,
+		activeCores:  int((n + elemsPerCore - 1) / elemsPerCore),
+	}
+	if d.cfg.Functional {
+		obj.data = make([]int64, n)
+	}
+	d.objs[obj.id] = obj
+	d.nextID++
+	d.usedBits += bits
+	return obj.id, nil
+}
+
+// AllocAssociated allocates an object with the same shape and core mapping
+// as ref (the paper's pimAllocAssociated), optionally with a different type.
+func (d *Device) AllocAssociated(ref ObjID, dt isa.DataType) (ObjID, error) {
+	r, err := d.obj(ref)
+	if err != nil {
+		return 0, err
+	}
+	return d.Alloc(r.n, dt)
+}
+
+// Free releases a PIM object.
+func (d *Device) Free(id ObjID) error {
+	o, err := d.obj(id)
+	if err != nil {
+		return err
+	}
+	d.usedBits -= o.n * int64(o.dt.Bits())
+	delete(d.objs, id)
+	return nil
+}
+
+// obj resolves an object ID.
+func (d *Device) obj(id ObjID) (*Object, error) {
+	o := d.objs[id]
+	if o == nil {
+		return nil, fmt.Errorf("%w: id %d", ErrBadObject, int64(id))
+	}
+	return o, nil
+}
+
+// Object returns the object for inspection (tests, benchmarks).
+func (d *Device) Object(id ObjID) (*Object, error) { return d.obj(id) }
+
+// WithRepeat runs fn with every command and host record inside it charged n
+// times (loop collapsing for paper-scale iteration counts: the body executes
+// functionally once, the model charges it n times). Calls may not nest.
+func (d *Device) WithRepeat(n int64, fn func() error) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: repeat %d", ErrBadArgument, n)
+	}
+	if d.repeat != 1 {
+		return fmt.Errorf("%w: WithRepeat may not nest", ErrBadArgument)
+	}
+	d.repeat = n
+	defer func() { d.repeat = 1 }()
+	return fn()
+}
+
+// CopyHostToDevice copies values into the object. In model-only mode values
+// may be nil; in functional mode len(values) must equal the object length.
+func (d *Device) CopyHostToDevice(id ObjID, values []int64) error {
+	o, err := d.obj(id)
+	if err != nil {
+		return err
+	}
+	if d.cfg.Functional {
+		if int64(len(values)) != o.n {
+			return fmt.Errorf("%w: copy of %d values into object of %d", ErrShapeMismatch, len(values), o.n)
+		}
+		for i, v := range values {
+			o.data[i] = o.dt.Truncate(v)
+		}
+	}
+	cost := perf.DataMovement(d.cfg.Module, o.Bytes(), false).Scale(float64(d.repeat))
+	d.record("copy.h2d", o.Bytes(), cost)
+	d.st.RecordCopy(o.Bytes()*d.repeat, 0, 0, cost)
+	return nil
+}
+
+// CopyDeviceToHost copies the object's values out. In model-only mode it
+// returns nil data after charging the transfer.
+func (d *Device) CopyDeviceToHost(id ObjID) ([]int64, error) {
+	o, err := d.obj(id)
+	if err != nil {
+		return nil, err
+	}
+	cost := perf.DataMovement(d.cfg.Module, o.Bytes(), true).Scale(float64(d.repeat))
+	d.record("copy.d2h", o.Bytes(), cost)
+	d.st.RecordCopy(0, o.Bytes()*d.repeat, 0, cost)
+	if !d.cfg.Functional {
+		return nil, nil
+	}
+	out := make([]int64, o.n)
+	copy(out, o.data)
+	return out, nil
+}
+
+// CopyDeviceToDevice copies src into dst. If dst is larger, src is tiled
+// (replicated) to fill it — the mechanism GEMV-style kernels use to
+// broadcast a vector across matrix rows.
+func (d *Device) CopyDeviceToDevice(src, dst ObjID) error {
+	s, err := d.obj(src)
+	if err != nil {
+		return err
+	}
+	t, err := d.obj(dst)
+	if err != nil {
+		return err
+	}
+	if s.dt != t.dt {
+		return fmt.Errorf("%w: d2d between %v and %v", ErrShapeMismatch, s.dt, t.dt)
+	}
+	if t.n%s.n != 0 {
+		return fmt.Errorf("%w: dst length %d not a multiple of src length %d", ErrShapeMismatch, t.n, s.n)
+	}
+	if d.cfg.Functional {
+		for i := int64(0); i < t.n; i += s.n {
+			copy(t.data[i:i+s.n], s.data)
+		}
+	}
+	var cost perf.Cost
+	var volume int64
+	if t.n > s.n {
+		// Replicating a small operand across a large object is a
+		// broadcast: the controller transmits the source once over the
+		// shared bus and every core writes its local rows in parallel.
+		em := energy.NewModel(d.cfg.Module)
+		g := d.cfg.Module.Geometry
+		rowsPerCore := float64(t.elemsPerCore*int64(t.dt.Bits())+int64(g.ColsPerRow)-1) /
+			float64(g.ColsPerRow)
+		cost = perf.DataMovement(d.cfg.Module, s.Bytes(), false)
+		cost.TimeNS += rowsPerCore * d.cfg.Module.Timing.RowWriteNS
+		cost.EnergyPJ += rowsPerCore * em.RowWritePJ() * float64(t.activeCores)
+		volume = s.Bytes()
+	} else {
+		// A same-size move travels over the module's internal buses at
+		// rank bandwidth.
+		cost = perf.DataMovement(d.cfg.Module, t.Bytes(), false)
+		volume = t.Bytes()
+	}
+	cost = cost.Scale(float64(d.repeat))
+	d.st.RecordCopy(0, 0, volume*d.repeat, cost)
+	return nil
+}
+
+// CopyDeviceToDeviceRange copies n elements from src starting at srcOff
+// into dst starting at dstOff — the gather primitive graph kernels use to
+// assemble row batches from a resident adjacency matrix.
+func (d *Device) CopyDeviceToDeviceRange(src ObjID, srcOff int64, dst ObjID, dstOff, n int64) error {
+	s, err := d.obj(src)
+	if err != nil {
+		return err
+	}
+	t, err := d.obj(dst)
+	if err != nil {
+		return err
+	}
+	if s.dt != t.dt {
+		return fmt.Errorf("%w: ranged d2d between %v and %v", ErrShapeMismatch, s.dt, t.dt)
+	}
+	if n <= 0 || srcOff < 0 || dstOff < 0 || srcOff+n > s.n || dstOff+n > t.n {
+		return fmt.Errorf("%w: ranged d2d [%d,%d)->[%d,%d) outside objects of %d/%d",
+			ErrBadArgument, srcOff, srcOff+n, dstOff, dstOff+n, s.n, t.n)
+	}
+	if d.cfg.Functional {
+		copy(t.data[dstOff:dstOff+n], s.data[srcOff:srcOff+n])
+	}
+	bytes := n * int64(t.dt.Bytes())
+	cost := perf.DataMovement(d.cfg.Module, bytes, false).Scale(float64(d.repeat))
+	d.st.RecordCopy(0, 0, bytes*d.repeat, cost)
+	return nil
+}
+
+// RecordHost charges a host-executed phase to the device's statistics.
+func (d *Device) RecordHost(cost perf.Cost) {
+	d.st.RecordHost(cost.Scale(float64(d.repeat)))
+}
+
+// charge records the command's modeled cost against the stats.
+func (d *Device) charge(cmd isa.Command, shape *Object) {
+	cost := d.arch.CmdCost(cmd, shape.elemsPerCore, shape.activeCores, d.cfg.Module, d.em)
+	d.record(cmd.Name(), cmd.N, cost)
+	// Background energy: the per-subarray active/precharge standby delta
+	// multiplied by the module's total subarray count and the command
+	// duration (paper Section V-D iii: "multiply this power by the total
+	// number of subarrays"). Slow architectures therefore pay background
+	// power for longer — a first-order effect for bank-level PIM.
+	total := d.cfg.Module.Geometry.TotalSubarrays()
+	cost.EnergyPJ += d.em.BackgroundEnergyPJ(total, cost.TimeNS)
+	cost = cost.Scale(float64(d.repeat))
+	d.st.RecordCmd(cmd.Name(), cmd.Op.Category(), d.repeat, cost)
+}

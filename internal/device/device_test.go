@@ -1,0 +1,442 @@
+package device
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pimeval/internal/dram"
+	"pimeval/internal/isa"
+	"pimeval/internal/perf"
+)
+
+func newDev(t *testing.T, target Target) *Device {
+	t.Helper()
+	d, err := New(Config{Target: target, Module: dram.DDR4(1), Functional: true})
+	if err != nil {
+		t.Fatalf("New(%v): %v", target, err)
+	}
+	return d
+}
+
+var allTargets = []Target{TargetBitSerial, TargetFulcrum, TargetBankLevel}
+
+func TestCreateDeviceValidation(t *testing.T) {
+	if _, err := New(Config{Target: Target(99), Module: dram.DDR4(1)}); err == nil {
+		t.Error("invalid target accepted")
+	}
+	bad := dram.DDR4(1)
+	bad.Geometry.Ranks = 0
+	if _, err := New(Config{Target: TargetFulcrum, Module: bad}); err == nil {
+		t.Error("invalid module accepted")
+	}
+}
+
+func TestAllocFreeLifecycle(t *testing.T) {
+	for _, tgt := range allTargets {
+		d := newDev(t, tgt)
+		id, err := d.Alloc(1000, isa.Int32)
+		if err != nil {
+			t.Fatalf("%v: Alloc: %v", tgt, err)
+		}
+		o, err := d.Object(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Len() != 1000 || o.Type() != isa.Int32 || o.Bytes() != 4000 {
+			t.Errorf("%v: object = %d/%v/%d", tgt, o.Len(), o.Type(), o.Bytes())
+		}
+		assoc, err := d.AllocAssociated(id, isa.Int32)
+		if err != nil {
+			t.Fatalf("AllocAssociated: %v", err)
+		}
+		ao, _ := d.Object(assoc)
+		if ao.Len() != 1000 {
+			t.Errorf("associated length %d", ao.Len())
+		}
+		if err := d.Free(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Object(id); !errors.Is(err, ErrBadObject) {
+			t.Errorf("freed object lookup: %v", err)
+		}
+		if err := d.Free(id); !errors.Is(err, ErrBadObject) {
+			t.Errorf("double free: %v", err)
+		}
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	d := newDev(t, TargetFulcrum)
+	if _, err := d.Alloc(0, isa.Int32); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero alloc: %v", err)
+	}
+	if _, err := d.Alloc(-1, isa.Int32); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative alloc: %v", err)
+	}
+	if _, err := d.Alloc(10, isa.DataType(99)); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("bad type: %v", err)
+	}
+}
+
+func TestAllocOutOfMemory(t *testing.T) {
+	// Model-only mode so the huge allocation does not materialize data.
+	d, err := New(Config{Target: TargetFulcrum, Module: dram.DDR4(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capBits := dram.DDR4(1).Geometry.CapacityBits()
+	if _, err := d.Alloc(capBits/32+1, isa.Int32); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("over-capacity alloc: %v", err)
+	}
+	// Exhaustion across multiple allocations.
+	half := capBits / 64
+	if _, err := d.Alloc(half, isa.Int32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(half, isa.Int32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(1024, isa.Int32); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("post-exhaustion alloc: %v", err)
+	}
+}
+
+func TestFreeReturnsCapacity(t *testing.T) {
+	d, err := New(Config{Target: TargetFulcrum, Module: dram.DDR4(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capElems := dram.DDR4(1).Geometry.CapacityBits() / 32
+	id, err := d.Alloc(capElems, isa.Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(capElems, isa.Int32); err != nil {
+		t.Errorf("realloc after free: %v", err)
+	}
+}
+
+func TestCopyRoundTrip(t *testing.T) {
+	for _, tgt := range allTargets {
+		d := newDev(t, tgt)
+		id, _ := d.Alloc(5, isa.Int32)
+		in := []int64{1, -2, 3, 1 << 40, -5} // 1<<40 truncates to 0 in int32
+		if err := d.CopyHostToDevice(id, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := d.CopyDeviceToHost(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int64{1, -2, 3, 0, -5}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Errorf("%v: out[%d] = %d, want %d", tgt, i, out[i], want[i])
+			}
+		}
+		cs := d.Stats().Copies()
+		if cs.HostToDeviceBytes != 20 || cs.DeviceToHostBytes != 20 {
+			t.Errorf("%v: copy stats %+v", tgt, cs)
+		}
+		if cs.Cost.TimeNS <= 0 {
+			t.Errorf("%v: copies must cost time", tgt)
+		}
+	}
+}
+
+func TestCopyShapeMismatch(t *testing.T) {
+	d := newDev(t, TargetBitSerial)
+	id, _ := d.Alloc(4, isa.Int32)
+	if err := d.CopyHostToDevice(id, []int64{1, 2}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("short copy: %v", err)
+	}
+}
+
+func TestCopyDeviceToDeviceTiling(t *testing.T) {
+	d := newDev(t, TargetFulcrum)
+	src, _ := d.Alloc(3, isa.Int32)
+	dst, _ := d.Alloc(9, isa.Int32)
+	if err := d.CopyHostToDevice(src, []int64{7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyDeviceToDevice(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := d.CopyDeviceToHost(dst)
+	want := []int64{7, 8, 9, 7, 8, 9, 7, 8, 9}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("tiled copy out = %v", out)
+		}
+	}
+	bad, _ := d.Alloc(10, isa.Int32) // not a multiple of 3
+	if err := d.CopyDeviceToDevice(src, bad); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("non-multiple tile: %v", err)
+	}
+	other, _ := d.Alloc(3, isa.Int16)
+	if err := d.CopyDeviceToDevice(src, other); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("cross-type d2d: %v", err)
+	}
+}
+
+func TestWithRepeat(t *testing.T) {
+	d := newDev(t, TargetFulcrum)
+	a, _ := d.Alloc(16, isa.Int32)
+	b, _ := d.Alloc(16, isa.Int32)
+	dst, _ := d.Alloc(16, isa.Int32)
+	_ = d.CopyHostToDevice(a, make([]int64, 16))
+	_ = d.CopyHostToDevice(b, make([]int64, 16))
+
+	if err := d.ExecBinary(isa.OpAdd, a, b, dst); err != nil {
+		t.Fatal(err)
+	}
+	once := d.Stats().Kernel()
+	d.Stats().Reset()
+
+	err := d.WithRepeat(1000, func() error {
+		return d.ExecBinary(isa.OpAdd, a, b, dst)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := d.Stats().Kernel()
+	if k.TimeNS != 1000*once.TimeNS {
+		t.Errorf("repeated kernel time %v, want 1000x %v", k.TimeNS, once.TimeNS)
+	}
+	cmds := d.Stats().Commands()
+	if len(cmds) != 1 || cmds[0].Count != 1000 {
+		t.Errorf("command count %+v", cmds)
+	}
+
+	if err := d.WithRepeat(0, func() error { return nil }); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero repeat: %v", err)
+	}
+	err = d.WithRepeat(2, func() error {
+		return d.WithRepeat(2, func() error { return nil })
+	})
+	if !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nested repeat: %v", err)
+	}
+	// The repeat factor must reset even if fn fails.
+	sentinel := errors.New("boom")
+	if err := d.WithRepeat(5, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("error propagation: %v", err)
+	}
+	d.Stats().Reset()
+	if err := d.ExecBinary(isa.OpAdd, a, b, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Commands()[0].Count; got != 1 {
+		t.Errorf("repeat leaked: count %d", got)
+	}
+}
+
+func TestRecordHost(t *testing.T) {
+	d := newDev(t, TargetBankLevel)
+	d.RecordHost(perf.Cost{TimeNS: 500, EnergyPJ: 10})
+	if got := d.Stats().Host(); got.TimeNS != 500 {
+		t.Errorf("host = %+v", got)
+	}
+}
+
+func TestModelOnlyModeSkipsData(t *testing.T) {
+	d, err := New(Config{Target: TargetBitSerial, Module: dram.DDR4(32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper-scale: 2 billion elements, no data materialized.
+	id, err := d.Alloc(2_035_544_320/4, isa.Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyHostToDevice(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := d.AllocAssociated(id, isa.Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ExecBinary(isa.OpAdd, id, id, dst); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := d.CopyDeviceToHost(dst); err != nil || out != nil {
+		t.Errorf("model-only d2h = %v, %v", out, err)
+	}
+	if d.Stats().Kernel().TimeNS <= 0 {
+		t.Error("model-only mode must still charge kernel time")
+	}
+}
+
+// TestAllocFreeFuzz exercises the resource manager with a random
+// allocate/free workload and checks capacity accounting never leaks: after
+// freeing everything, a full-capacity allocation must succeed again.
+func TestAllocFreeFuzz(t *testing.T) {
+	for _, tgt := range allTargets {
+		d, err := New(Config{Target: tgt, Module: dram.DDR4(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(77))
+		live := map[ObjID]bool{}
+		types := []isa.DataType{isa.Int8, isa.Int16, isa.Int32, isa.Int64, isa.UInt32}
+		for i := 0; i < 500; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				for id := range live {
+					if err := d.Free(id); err != nil {
+						t.Fatalf("free: %v", err)
+					}
+					delete(live, id)
+					break
+				}
+				continue
+			}
+			n := int64(1 + rng.Intn(1<<16))
+			id, err := d.Alloc(n, types[rng.Intn(len(types))])
+			if err != nil {
+				// Out-of-memory is acceptable mid-fuzz; anything else is not.
+				if !errors.Is(err, ErrOutOfMemory) {
+					t.Fatalf("alloc: %v", err)
+				}
+				continue
+			}
+			live[id] = true
+		}
+		for id := range live {
+			if err := d.Free(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		capElems := dram.DDR4(1).Geometry.CapacityBits() / 32
+		big, err := d.Alloc(capElems, isa.Int32)
+		if err != nil {
+			t.Fatalf("%v: capacity leaked during fuzz: %v", tgt, err)
+		}
+		if err := d.Free(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAnalogTargetBasics(t *testing.T) {
+	d, err := New(Config{Target: TargetAnalogBitSerial, Module: dram.DDR4(2), Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dram.DDR4(2).Geometry
+	if got := d.Cores(); got != g.TotalSubarrays() {
+		t.Errorf("analog cores = %d, want one per subarray", got)
+	}
+	// Reserved compute rows shrink capacity below the digital target's.
+	dig, err := New(Config{Target: TargetBitSerial, Module: dram.DDR4(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCap := d.Arch().ElemCapacityPerCore(g, 32)
+	dCap := dig.Arch().ElemCapacityPerCore(g, 32)
+	if aCap >= dCap {
+		t.Errorf("analog capacity/core (%d) must be below digital (%d): reserved rows", aCap, dCap)
+	}
+	// Functional execution matches the shared word-level semantics.
+	a, _ := d.Alloc(8, isa.Int32)
+	b, _ := d.Alloc(8, isa.Int32)
+	dst, _ := d.Alloc(8, isa.Int32)
+	_ = d.CopyHostToDevice(a, []int64{1, 2, 3, 4, -1, -2, -3, -4})
+	_ = d.CopyHostToDevice(b, []int64{10, 20, 30, 40, 50, 60, 70, 80})
+	if err := d.ExecBinary(isa.OpAdd, a, b, dst); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := d.CopyDeviceToHost(dst)
+	for i, want := range []int64{11, 22, 33, 44, 49, 58, 67, 76} {
+		if out[i] != want {
+			t.Errorf("analog add[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if d.Stats().Kernel().TimeNS <= 0 {
+		t.Error("analog target must charge kernel time")
+	}
+}
+
+func TestTraceRecordsDispatch(t *testing.T) {
+	d := newDev(t, TargetFulcrum)
+	a, _ := d.Alloc(16, isa.Int32)
+	b, _ := d.Alloc(16, isa.Int32)
+	dst, _ := d.Alloc(16, isa.Int32)
+	_ = d.CopyHostToDevice(a, make([]int64, 16))
+	_ = d.CopyHostToDevice(b, make([]int64, 16))
+	// Commands before EnableTrace must not appear.
+	if err := d.ExecBinary(isa.OpAdd, a, b, dst); err != nil {
+		t.Fatal(err)
+	}
+	d.EnableTrace()
+	if err := d.ExecBinary(isa.OpMul, a, b, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CopyDeviceToHost(dst); err != nil {
+		t.Fatal(err)
+	}
+	err := d.WithRepeat(7, func() error { return d.ExecBinary(isa.OpAdd, a, b, dst) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DisableTrace()
+	if err := d.ExecBinary(isa.OpSub, a, b, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := d.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace has %d entries, want 3: %v", len(tr), tr)
+	}
+	if tr[0].Name != "mul.int32" || tr[1].Name != "copy.d2h" || tr[2].Name != "add.int32" {
+		t.Errorf("trace names = %v %v %v", tr[0].Name, tr[1].Name, tr[2].Name)
+	}
+	if tr[2].Reps != 7 {
+		t.Errorf("repeat factor not traced: %+v", tr[2])
+	}
+	s := d.TraceString()
+	for _, want := range []string{"mul.int32", "copy.d2h", "x7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("TraceString missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestBenchErrorPropagation is the failure-injection check: a module too
+// small for the requested input must surface a clean out-of-memory error
+// through a full benchmark run, never a panic or a silent wrong answer.
+func TestDeviceOOMIsCleanError(t *testing.T) {
+	tiny := dram.DDR4(1)
+	tiny.Geometry.RowsPerSubarray = 64
+	tiny.Geometry.SubarraysPerBank = 2
+	tiny.Geometry.BanksPerRank = 2
+	d, err := New(Config{Target: TargetBitSerial, Module: tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(1<<30, isa.Int32); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("tiny module alloc: %v", err)
+	}
+}
+
+func TestCoresPerTarget(t *testing.T) {
+	g := dram.DDR4(4).Geometry
+	wants := map[Target]int{
+		TargetBitSerial: g.TotalSubarrays(),
+		TargetFulcrum:   g.TotalSubarrays() / 2,
+		TargetBankLevel: g.TotalBanks(),
+	}
+	for tgt, want := range wants {
+		d, err := New(Config{Target: tgt, Module: dram.DDR4(4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.Cores(); got != want {
+			t.Errorf("%v: Cores = %d, want %d", tgt, got, want)
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package device
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pimeval/internal/isa"
+)
+
+// binaryOps is the set of element-wise two-input commands.
+var binaryOps = map[isa.Op]bool{
+	isa.OpAdd: true, isa.OpSub: true, isa.OpMul: true, isa.OpDiv: true,
+	isa.OpAnd: true, isa.OpOr: true, isa.OpXor: true, isa.OpXnor: true,
+	isa.OpMin: true, isa.OpMax: true,
+	isa.OpLt: true, isa.OpGt: true, isa.OpEq: true,
+}
+
+// unaryOps is the set of element-wise one-input commands.
+var unaryOps = map[isa.Op]bool{
+	isa.OpNot: true, isa.OpAbs: true, isa.OpPopCount: true,
+	isa.OpSbox: true, isa.OpSboxInv: true,
+}
+
+// aesSbox and aesSboxInv are the functional semantics of OpSbox/OpSboxInv,
+// generated from GF(2^8) math rather than a hard-coded table.
+var aesSbox, aesSboxInv = func() ([256]byte, [256]byte) {
+	mul := func(a, b byte) byte {
+		var p byte
+		for i := 0; i < 8; i++ {
+			if b&1 != 0 {
+				p ^= a
+			}
+			hi := a & 0x80
+			a <<= 1
+			if hi != 0 {
+				a ^= 0x1b
+			}
+			b >>= 1
+		}
+		return p
+	}
+	var fwd, inv [256]byte
+	for i := 0; i < 256; i++ {
+		// inverse via x^254
+		x := byte(i)
+		sq := mul(x, x)
+		p := sq
+		for j := 0; j < 6; j++ {
+			sq = mul(sq, sq)
+			p = mul(p, sq)
+		}
+		rot := func(v byte, k uint) byte { return v<<k | v>>(8-k) }
+		s := p ^ rot(p, 1) ^ rot(p, 2) ^ rot(p, 3) ^ rot(p, 4) ^ 0x63
+		fwd[i] = s
+		inv[s] = byte(i)
+	}
+	return fwd, inv
+}()
+
+// compareOps produce 0/1 masks; their destination may use a narrower type
+// than the operands (a one-byte bitmap is the common case).
+var compareOps = map[isa.Op]bool{isa.OpLt: true, isa.OpGt: true, isa.OpEq: true}
+
+// ExecBinary dispatches an element-wise binary command dst = a op b.
+func (d *Device) ExecBinary(op isa.Op, a, b, dst ObjID) error {
+	if !binaryOps[op] {
+		return fmt.Errorf("%w: %v is not an element-wise binary op", ErrBadArgument, op)
+	}
+	ao, bo, do, err := d.triple(a, b, dst, compareOps[op])
+	if err != nil {
+		return err
+	}
+	if d.cfg.Functional {
+		for i := range do.data {
+			do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], bo.data[i]))
+		}
+	}
+	d.charge(isa.Command{Op: op, Type: ao.dt, N: do.n, Inputs: 2, WritesResult: true}, do)
+	return nil
+}
+
+// ExecScalar dispatches dst = a op scalar, with the scalar broadcast by the
+// controller (one memory-resident input).
+func (d *Device) ExecScalar(op isa.Op, a ObjID, scalar int64, dst ObjID) error {
+	if !binaryOps[op] {
+		return fmt.Errorf("%w: %v is not an element-wise binary op", ErrBadArgument, op)
+	}
+	ao, do, err := d.pairTyped(a, dst, compareOps[op])
+	if err != nil {
+		return err
+	}
+	s := ao.dt.Truncate(scalar)
+	if d.cfg.Functional {
+		for i := range do.data {
+			do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], s))
+		}
+	}
+	d.charge(isa.Command{Op: op, Type: ao.dt, N: do.n, Scalar: s, Inputs: 1, WritesResult: true}, do)
+	return nil
+}
+
+// ExecUnary dispatches dst = op a (not, abs, popcount).
+func (d *Device) ExecUnary(op isa.Op, a, dst ObjID) error {
+	if !unaryOps[op] {
+		return fmt.Errorf("%w: %v is not a unary op", ErrBadArgument, op)
+	}
+	ao, do, err := d.pair(a, dst)
+	if err != nil {
+		return err
+	}
+	if (op == isa.OpSbox || op == isa.OpSboxInv) && do.dt.Bits() != 8 {
+		return fmt.Errorf("%w: %v requires an 8-bit element type, got %v", ErrBadArgument, op, do.dt)
+	}
+	if d.cfg.Functional {
+		for i := range do.data {
+			do.data[i] = evalUnary(op, do.dt, ao.data[i])
+		}
+	}
+	d.charge(isa.Command{Op: op, Type: do.dt, N: do.n, Inputs: 1, WritesResult: true}, do)
+	return nil
+}
+
+// ExecShift dispatches dst = a << amount or a >> amount. Right shifts are
+// arithmetic for signed types and logical for unsigned types.
+func (d *Device) ExecShift(op isa.Op, a ObjID, amount int, dst ObjID) error {
+	if op != isa.OpShiftL && op != isa.OpShiftR {
+		return fmt.Errorf("%w: %v is not a shift", ErrBadArgument, op)
+	}
+	if amount < 0 {
+		return fmt.Errorf("%w: shift amount %d", ErrBadArgument, amount)
+	}
+	ao, do, err := d.pair(a, dst)
+	if err != nil {
+		return err
+	}
+	if d.cfg.Functional {
+		for i := range do.data {
+			do.data[i] = evalShift(op, do.dt, ao.data[i], amount)
+		}
+	}
+	d.charge(isa.Command{Op: op, Type: do.dt, N: do.n, Scalar: int64(amount), Inputs: 1, WritesResult: true}, do)
+	return nil
+}
+
+// ExecSelect dispatches dst[i] = cond[i] != 0 ? a[i] : b[i].
+func (d *Device) ExecSelect(cond, a, b, dst ObjID) error {
+	co, err := d.obj(cond)
+	if err != nil {
+		return err
+	}
+	ao, bo, do, err := d.triple(a, b, dst, false)
+	if err != nil {
+		return err
+	}
+	if co.n != do.n {
+		return fmt.Errorf("%w: cond length %d vs %d", ErrShapeMismatch, co.n, do.n)
+	}
+	if d.cfg.Functional {
+		for i := range do.data {
+			if co.data[i] != 0 {
+				do.data[i] = ao.data[i]
+			} else {
+				do.data[i] = bo.data[i]
+			}
+		}
+	}
+	d.charge(isa.Command{Op: isa.OpSelect, Type: do.dt, N: do.n, Inputs: 3, WritesResult: true}, do)
+	return nil
+}
+
+// Broadcast fills dst with a scalar value.
+func (d *Device) Broadcast(dst ObjID, val int64) error {
+	do, err := d.obj(dst)
+	if err != nil {
+		return err
+	}
+	v := do.dt.Truncate(val)
+	if d.cfg.Functional {
+		for i := range do.data {
+			do.data[i] = v
+		}
+	}
+	d.charge(isa.Command{Op: isa.OpBroadcast, Type: do.dt, N: do.n, Scalar: v, Inputs: 0, WritesResult: true}, do)
+	return nil
+}
+
+// RedSum reduces the object to one int64 sum (no truncation: the paper's
+// reduction accumulates into a wide register).
+func (d *Device) RedSum(a ObjID) (int64, error) {
+	ao, err := d.obj(a)
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	if d.cfg.Functional {
+		for _, v := range ao.data {
+			sum += signedView(ao.dt, v)
+		}
+	}
+	d.charge(isa.Command{Op: isa.OpRedSum, Type: ao.dt, N: ao.n, Inputs: 1}, ao)
+	return sum, nil
+}
+
+// RedSumSeg reduces each consecutive segment of segLen elements to one sum,
+// returning n/segLen partial sums (the batched-GEMV building block).
+func (d *Device) RedSumSeg(a ObjID, segLen int64) ([]int64, error) {
+	ao, err := d.obj(a)
+	if err != nil {
+		return nil, err
+	}
+	if segLen <= 0 || ao.n%segLen != 0 {
+		return nil, fmt.Errorf("%w: segment length %d for object of %d", ErrBadArgument, segLen, ao.n)
+	}
+	var sums []int64
+	if d.cfg.Functional {
+		sums = make([]int64, ao.n/segLen)
+		for i, v := range ao.data {
+			sums[int64(i)/segLen] += signedView(ao.dt, v)
+		}
+	}
+	d.charge(isa.Command{Op: isa.OpRedSumSeg, Type: ao.dt, N: ao.n, SegLen: segLen, Inputs: 1}, ao)
+	return sums, nil
+}
+
+// pair resolves a unary op's operands and checks shapes.
+func (d *Device) pair(a, dst ObjID) (*Object, *Object, error) {
+	return d.pairTyped(a, dst, false)
+}
+
+// pairTyped resolves operands; with dstTypeFree the destination may have a
+// different element type (mask-producing compares).
+func (d *Device) pairTyped(a, dst ObjID, dstTypeFree bool) (*Object, *Object, error) {
+	ao, err := d.obj(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	do, err := d.obj(dst)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ao.n != do.n || (!dstTypeFree && ao.dt != do.dt) {
+		return nil, nil, fmt.Errorf("%w: (%d,%v) vs (%d,%v)", ErrShapeMismatch, ao.n, ao.dt, do.n, do.dt)
+	}
+	return ao, do, nil
+}
+
+// triple resolves a binary op's operands and checks shapes.
+func (d *Device) triple(a, b, dst ObjID, dstTypeFree bool) (*Object, *Object, *Object, error) {
+	ao, err := d.obj(a)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bo, err := d.obj(b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	do, err := d.obj(dst)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if ao.n != bo.n || ao.dt != bo.dt {
+		return nil, nil, nil, fmt.Errorf("%w: inputs (%d,%v) vs (%d,%v)",
+			ErrShapeMismatch, ao.n, ao.dt, bo.n, bo.dt)
+	}
+	if ao.n != do.n || (!dstTypeFree && ao.dt != do.dt) {
+		return nil, nil, nil, fmt.Errorf("%w: dst (%d,%v) for inputs (%d,%v)",
+			ErrShapeMismatch, do.n, do.dt, ao.n, ao.dt)
+	}
+	return ao, bo, do, nil
+}
+
+// signedView returns the value as the host sees it: sign-extended for
+// signed types, zero-extended (non-negative) for unsigned types. Stored
+// canonical values are already truncated, so unsigned types only need the
+// reinterpretation of the top bit for 64-bit carriers.
+func signedView(dt isa.DataType, v int64) int64 {
+	if dt.Signed() || dt.Bits() < 64 {
+		return v
+	}
+	return v // uint64 carried as raw bits; summation wraps identically
+}
+
+// evalBinary computes one element of a binary op with the type's wraparound
+// and signedness semantics. Inputs must be canonical (truncated).
+func evalBinary(op isa.Op, dt isa.DataType, a, b int64) int64 {
+	switch op {
+	case isa.OpAdd:
+		return dt.Truncate(a + b)
+	case isa.OpSub:
+		return dt.Truncate(a - b)
+	case isa.OpMul:
+		return dt.Truncate(a * b)
+	case isa.OpDiv:
+		return evalDiv(dt, a, b)
+	case isa.OpAnd:
+		return dt.Truncate(a & b)
+	case isa.OpOr:
+		return dt.Truncate(a | b)
+	case isa.OpXor:
+		return dt.Truncate(a ^ b)
+	case isa.OpXnor:
+		return dt.Truncate(^(a ^ b))
+	case isa.OpMin:
+		if dt.Compare(a, b) <= 0 {
+			return a
+		}
+		return b
+	case isa.OpMax:
+		if dt.Compare(a, b) >= 0 {
+			return a
+		}
+		return b
+	case isa.OpLt:
+		return b2i(dt.Compare(a, b) < 0)
+	case isa.OpGt:
+		return b2i(dt.Compare(a, b) > 0)
+	case isa.OpEq:
+		return b2i(a == b)
+	default:
+		panic(fmt.Sprintf("device: evalBinary(%v)", op))
+	}
+}
+
+// evalDiv computes truncated integer division with the restoring-array
+// hardware's semantics: division by zero yields an all-ones magnitude
+// quotient, sign-adjusted for signed types. For non-zero divisors this
+// matches Go's truncated division exactly (including INT_MIN / -1
+// wrapping back to INT_MIN).
+func evalDiv(dt isa.DataType, a, b int64) int64 {
+	mask := uint64(1)<<uint(dt.Bits()) - 1
+	if dt.Bits() == 64 {
+		mask = ^uint64(0)
+	}
+	if !dt.Signed() {
+		ua, ub := uint64(a)&mask, uint64(b)&mask
+		if ub == 0 {
+			return dt.Truncate(int64(mask))
+		}
+		return dt.Truncate(int64(ua / ub))
+	}
+	neg := (a < 0) != (b < 0)
+	mag := func(v int64) uint64 {
+		if v < 0 {
+			return uint64(-v) & mask // INT_MIN maps to 2^(n-1), its magnitude
+		}
+		return uint64(v)
+	}
+	ua, ub := mag(a), mag(b)
+	var q uint64
+	if ub == 0 {
+		q = mask
+	} else {
+		q = ua / ub
+	}
+	if neg {
+		return dt.Truncate(-int64(q))
+	}
+	return dt.Truncate(int64(q))
+}
+
+// evalUnary computes one element of a unary op.
+func evalUnary(op isa.Op, dt isa.DataType, a int64) int64 {
+	switch op {
+	case isa.OpNot:
+		return dt.Truncate(^a)
+	case isa.OpAbs:
+		if dt.Signed() && a < 0 {
+			return dt.Truncate(-a)
+		}
+		return a
+	case isa.OpPopCount:
+		mask := uint64(1)<<uint(dt.Bits()) - 1
+		if dt.Bits() == 64 {
+			mask = ^uint64(0)
+		}
+		return int64(bits.OnesCount64(uint64(a) & mask))
+	case isa.OpSbox:
+		return dt.Truncate(int64(aesSbox[byte(a)]))
+	case isa.OpSboxInv:
+		return dt.Truncate(int64(aesSboxInv[byte(a)]))
+	default:
+		panic(fmt.Sprintf("device: evalUnary(%v)", op))
+	}
+}
+
+// evalShift computes one element of a shift.
+func evalShift(op isa.Op, dt isa.DataType, a int64, amount int) int64 {
+	if amount >= dt.Bits() {
+		if op == isa.OpShiftR && dt.Signed() && a < 0 {
+			return dt.Truncate(-1)
+		}
+		return 0
+	}
+	if op == isa.OpShiftL {
+		return dt.Truncate(a << uint(amount))
+	}
+	if dt.Signed() {
+		return dt.Truncate(a >> uint(amount))
+	}
+	mask := uint64(1)<<uint(dt.Bits()) - 1
+	if dt.Bits() == 64 {
+		mask = ^uint64(0)
+	}
+	return dt.Truncate(int64((uint64(a) & mask) >> uint(amount)))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

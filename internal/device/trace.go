@@ -1,0 +1,68 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+
+	"pimeval/internal/perf"
+)
+
+// TraceEntry records one dispatched command or copy for inspection.
+type TraceEntry struct {
+	Seq  int64
+	Name string // command mnemonic or copy direction
+	N    int64  // elements processed / bytes moved
+	Reps int64  // WithRepeat multiplier in effect
+	Cost perf.Cost
+}
+
+// String renders the entry as one trace line.
+func (e TraceEntry) String() string {
+	reps := ""
+	if e.Reps > 1 {
+		reps = fmt.Sprintf(" x%d", e.Reps)
+	}
+	return fmt.Sprintf("%6d  %-16s n=%-12d%s  %.3f us  %.3f uJ",
+		e.Seq, e.Name, e.N, reps, e.Cost.TimeNS/1e3, e.Cost.EnergyPJ/1e6)
+}
+
+// traceLimit bounds the retained trace so paper-scale runs with hundreds of
+// thousands of commands keep only the most recent window.
+const traceLimit = 1 << 16
+
+// EnableTrace starts recording dispatched commands and copies. The trace
+// retains the most recent 64Ki entries.
+func (d *Device) EnableTrace() { d.tracing = true }
+
+// DisableTrace stops recording (the collected trace is kept).
+func (d *Device) DisableTrace() { d.tracing = false }
+
+// Trace returns the recorded entries in dispatch order.
+func (d *Device) Trace() []TraceEntry {
+	return append([]TraceEntry(nil), d.trace...)
+}
+
+// TraceString renders the whole trace.
+func (d *Device) TraceString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s  %-16s %-15s %10s %10s\n", "seq", "command", "elements", "time", "energy")
+	for _, e := range d.trace {
+		fmt.Fprintln(&b, e.String())
+	}
+	return b.String()
+}
+
+// record appends a trace entry when tracing is enabled.
+func (d *Device) record(name string, n int64, cost perf.Cost) {
+	if !d.tracing {
+		return
+	}
+	d.traceSeq++
+	if len(d.trace) >= traceLimit {
+		copy(d.trace, d.trace[1:])
+		d.trace = d.trace[:len(d.trace)-1]
+	}
+	d.trace = append(d.trace, TraceEntry{
+		Seq: d.traceSeq, Name: name, N: n, Reps: d.repeat, Cost: cost,
+	})
+}

@@ -1,0 +1,58 @@
+package dram
+
+import "fmt"
+
+// Address locates one column bit within the module's hierarchy. The PIM
+// resource manager uses it to translate flat object offsets into physical
+// placements (rank-major, then bank, subarray, row, column — the layout
+// that spreads consecutive cores across subarrays first, matching the
+// PIM_ALLOC_AUTO distribution).
+type Address struct {
+	Rank     int
+	Bank     int
+	Subarray int
+	Row      int
+	Col      int
+}
+
+// Decompose translates a flat bit offset into a physical address under the
+// core-major layout: offset / (rows*cols) selects the subarray (the PIM
+// core for subarray-level designs), the remainder walks rows then columns.
+func (g Geometry) Decompose(bitOffset int64) (Address, error) {
+	if bitOffset < 0 || bitOffset >= g.CapacityBits() {
+		return Address{}, fmt.Errorf("dram: bit offset %d outside capacity %d", bitOffset, g.CapacityBits())
+	}
+	perSubarray := int64(g.RowsPerSubarray) * int64(g.ColsPerRow)
+	sub := bitOffset / perSubarray
+	rem := bitOffset % perSubarray
+	a := Address{
+		Row: int(rem / int64(g.ColsPerRow)),
+		Col: int(rem % int64(g.ColsPerRow)),
+	}
+	a.Subarray = int(sub % int64(g.SubarraysPerBank))
+	sub /= int64(g.SubarraysPerBank)
+	a.Bank = int(sub % int64(g.BanksPerRank))
+	a.Rank = int(sub / int64(g.BanksPerRank))
+	return a, nil
+}
+
+// Compose is the inverse of Decompose.
+func (g Geometry) Compose(a Address) (int64, error) {
+	if a.Rank < 0 || a.Rank >= g.Ranks ||
+		a.Bank < 0 || a.Bank >= g.BanksPerRank ||
+		a.Subarray < 0 || a.Subarray >= g.SubarraysPerBank ||
+		a.Row < 0 || a.Row >= g.RowsPerSubarray ||
+		a.Col < 0 || a.Col >= g.ColsPerRow {
+		return 0, fmt.Errorf("dram: address %+v outside geometry", a)
+	}
+	sub := (int64(a.Rank)*int64(g.BanksPerRank)+int64(a.Bank))*int64(g.SubarraysPerBank) +
+		int64(a.Subarray)
+	perSubarray := int64(g.RowsPerSubarray) * int64(g.ColsPerRow)
+	return sub*perSubarray + int64(a.Row)*int64(g.ColsPerRow) + int64(a.Col), nil
+}
+
+// SubarrayIndex returns the flat PIM-core index of the address for
+// subarray-level architectures.
+func (g Geometry) SubarrayIndex(a Address) int {
+	return (a.Rank*g.BanksPerRank+a.Bank)*g.SubarraysPerBank + a.Subarray
+}

@@ -1,0 +1,80 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressRoundTrip(t *testing.T) {
+	g := DDR4(2).Geometry
+	f := func(raw uint32) bool {
+		off := int64(raw) % g.CapacityBits()
+		a, err := g.Decompose(off)
+		if err != nil {
+			return false
+		}
+		back, err := g.Compose(a)
+		return err == nil && back == off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddressKnownPoints(t *testing.T) {
+	g := Geometry{Ranks: 2, BanksPerRank: 4, SubarraysPerBank: 8, RowsPerSubarray: 16, ColsPerRow: 64, GDLWidthBits: 64}
+	// Offset 0 is rank 0, bank 0, subarray 0, row 0, col 0.
+	a, err := g.Decompose(0)
+	if err != nil || a != (Address{}) {
+		t.Fatalf("Decompose(0) = %+v, %v", a, err)
+	}
+	// One full subarray later: subarray 1.
+	a, err = g.Decompose(16 * 64)
+	if err != nil || a.Subarray != 1 || a.Row != 0 {
+		t.Fatalf("Decompose(subarray) = %+v, %v", a, err)
+	}
+	// One full row later within subarray 0: row 1, col 0.
+	a, err = g.Decompose(64)
+	if err != nil || a.Row != 1 || a.Col != 0 || a.Subarray != 0 {
+		t.Fatalf("Decompose(row) = %+v, %v", a, err)
+	}
+	// Last addressable bit.
+	last := g.CapacityBits() - 1
+	a, err = g.Decompose(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rank != 1 || a.Bank != 3 || a.Subarray != 7 || a.Row != 15 || a.Col != 63 {
+		t.Fatalf("Decompose(last) = %+v", a)
+	}
+}
+
+func TestAddressErrors(t *testing.T) {
+	g := DDR4(1).Geometry
+	if _, err := g.Decompose(-1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := g.Decompose(g.CapacityBits()); err == nil {
+		t.Error("out-of-capacity offset accepted")
+	}
+	if _, err := g.Compose(Address{Rank: 99}); err == nil {
+		t.Error("bad rank accepted")
+	}
+	if _, err := g.Compose(Address{Col: g.ColsPerRow}); err == nil {
+		t.Error("bad col accepted")
+	}
+}
+
+func TestSubarrayIndexContiguous(t *testing.T) {
+	g := DDR4(1).Geometry
+	perSubarray := int64(g.RowsPerSubarray) * int64(g.ColsPerRow)
+	for i := 0; i < 5; i++ {
+		a, err := g.Decompose(int64(i) * perSubarray)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.SubarrayIndex(a); got != i {
+			t.Errorf("SubarrayIndex(subarray %d) = %d", i, got)
+		}
+	}
+}

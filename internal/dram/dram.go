@@ -1,0 +1,225 @@
+// Package dram models the organization, timing, and power parameters of
+// commodity DDR DRAM as used by the PIMeval performance and energy models.
+//
+// The geometry follows the paper's assumptions (Section III): each rank has
+// 8 x8 chips, each chip has 16 banks, each bank 32 subarrays, each subarray a
+// 1024-row x 8192-column matrix of cells. Subarrays are modeled as monolithic
+// arrays (no MAT-level detail), matching PIMeval.
+package dram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Geometry describes the hierarchical organization of a PIM DRAM module.
+// All counts are per the level above (BanksPerRank is the total number of
+// logical banks addressable in one rank, i.e. banks per chip, since chips in
+// a rank operate in lockstep to form logical banks; the paper's Table II
+// reports 128 banks per rank as chip-banks x chips-contributing view — we
+// keep both representations consistent via BanksPerRank directly).
+type Geometry struct {
+	Ranks            int // independent ranks (treated as independent channels, §V-C)
+	BanksPerRank     int // logical banks per rank
+	SubarraysPerBank int // subarrays within each bank
+	RowsPerSubarray  int // wordlines per subarray
+	ColsPerRow       int // bitline columns per subarray row (local row buffer width, bits)
+	GDLWidthBits     int // global data line width between subarray and bank interface
+}
+
+// Validate reports an error if any dimension is non-positive or the row
+// width is not a multiple of 64 (the functional engine packs rows into
+// 64-bit words).
+func (g Geometry) Validate() error {
+	switch {
+	case g.Ranks <= 0:
+		return errors.New("dram: Ranks must be positive")
+	case g.BanksPerRank <= 0:
+		return errors.New("dram: BanksPerRank must be positive")
+	case g.SubarraysPerBank <= 0:
+		return errors.New("dram: SubarraysPerBank must be positive")
+	case g.RowsPerSubarray <= 0:
+		return errors.New("dram: RowsPerSubarray must be positive")
+	case g.ColsPerRow <= 0:
+		return errors.New("dram: ColsPerRow must be positive")
+	case g.ColsPerRow%64 != 0:
+		return fmt.Errorf("dram: ColsPerRow (%d) must be a multiple of 64", g.ColsPerRow)
+	case g.GDLWidthBits <= 0:
+		return errors.New("dram: GDLWidthBits must be positive")
+	}
+	return nil
+}
+
+// TotalSubarrays returns the number of subarrays across the whole module.
+func (g Geometry) TotalSubarrays() int {
+	return g.Ranks * g.BanksPerRank * g.SubarraysPerBank
+}
+
+// TotalBanks returns the number of banks across the whole module.
+func (g Geometry) TotalBanks() int { return g.Ranks * g.BanksPerRank }
+
+// CapacityBits returns the total cell capacity of the module in bits.
+func (g Geometry) CapacityBits() int64 {
+	return int64(g.TotalSubarrays()) * int64(g.RowsPerSubarray) * int64(g.ColsPerRow)
+}
+
+// CapacityBytes returns the total cell capacity of the module in bytes.
+func (g Geometry) CapacityBytes() int64 { return g.CapacityBits() / 8 }
+
+// Timing holds the DRAM timing parameters used by the kernel-latency model.
+// Values are in nanoseconds and follow the artifact's reported parameters
+// (row read 28.5 ns, row write 43.5 ns, tCCD 3 ns) plus standard DDR4-3200
+// datasheet values for the activate/precharge window used by the energy model.
+type Timing struct {
+	RowReadNS  float64 // activate + sense: local row buffer load
+	RowWriteNS float64 // write back a full row
+	TCCDNS     float64 // column-to-column delay (one GDL/burst beat)
+	TRASNS     float64 // row active time (energy Eq. 2)
+	TRPNS      float64 // row precharge time (energy Eq. 2)
+}
+
+// Validate reports an error for non-positive timing values.
+func (t Timing) Validate() error {
+	if t.RowReadNS <= 0 || t.RowWriteNS <= 0 || t.TCCDNS <= 0 || t.TRASNS <= 0 || t.TRPNS <= 0 {
+		return errors.New("dram: all timing parameters must be positive")
+	}
+	return nil
+}
+
+// Power holds the Micron TN-40-07 power-model parameters for one DRAM device,
+// used by the energy model (Equations 1 and 2 of the paper). Currents are in
+// milliamps, voltage in volts.
+type Power struct {
+	VDD          float64 // supply voltage (V)
+	IDD0         float64 // one-bank activate-precharge current (mA)
+	IDD2N        float64 // precharge standby current (mA)
+	IDD3N        float64 // active standby current (mA)
+	IDD4R        float64 // burst read current (mA)
+	IDD4W        float64 // burst write current (mA)
+	ChipsPerRank int     // devices sharing the current draw of a rank access
+}
+
+// Validate reports an error for non-positive electrical parameters or
+// inconsistent current ordering (burst currents must exceed standby).
+func (p Power) Validate() error {
+	if p.VDD <= 0 || p.IDD0 <= 0 || p.IDD2N <= 0 || p.IDD3N <= 0 || p.IDD4R <= 0 || p.IDD4W <= 0 {
+		return errors.New("dram: all power parameters must be positive")
+	}
+	if p.ChipsPerRank <= 0 {
+		return errors.New("dram: ChipsPerRank must be positive")
+	}
+	if p.IDD4R <= p.IDD3N || p.IDD4W <= p.IDD3N {
+		return errors.New("dram: burst currents must exceed active standby current")
+	}
+	if p.IDD3N <= p.IDD2N {
+		return errors.New("dram: active standby current must exceed precharge standby")
+	}
+	return nil
+}
+
+// Module bundles the geometry, timing, power, and interface bandwidth of one
+// PIM DRAM module.
+type Module struct {
+	Geometry Geometry
+	Timing   Timing
+	Power    Power
+	// RankBandwidthGBs is the peak data-transfer bandwidth of a single rank
+	// interface (the paper assumes a 25.6 GB/s DDR interface per rank).
+	RankBandwidthGBs float64
+}
+
+// Validate checks every component of the module description.
+func (m Module) Validate() error {
+	if err := m.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := m.Timing.Validate(); err != nil {
+		return err
+	}
+	if err := m.Power.Validate(); err != nil {
+		return err
+	}
+	if m.RankBandwidthGBs <= 0 {
+		return errors.New("dram: RankBandwidthGBs must be positive")
+	}
+	return nil
+}
+
+// AggregateBandwidthGBs returns the module-wide host transfer bandwidth under
+// the paper's simplification that every rank behaves as an independent
+// channel (§V-C: "all ranks are treated as independent channels, which
+// amplifies data transfer bandwidth").
+func (m Module) AggregateBandwidthGBs() float64 {
+	return float64(m.Geometry.Ranks) * m.RankBandwidthGBs
+}
+
+// HBM2 returns a High Bandwidth Memory module with the given number of
+// pseudo-channels — the paper's named future-work direction (Sections III
+// and IX). Each pseudo-channel plays the role a rank plays for DDR: an
+// independent command/data path. Relative to DDR4, HBM brings a much wider
+// GDL (the paper: "for HBM it is wider"), higher per-channel bandwidth,
+// and smaller banks; the PIM architecture models are unchanged, so the
+// tradeoffs between the three designs can be re-examined on HBM as the
+// paper suggests.
+func HBM2(pseudoChannels int) Module {
+	return Module{
+		Geometry: Geometry{
+			Ranks:            pseudoChannels,
+			BanksPerRank:     32,
+			SubarraysPerBank: 32,
+			RowsPerSubarray:  512,
+			ColsPerRow:       8192,
+			GDLWidthBits:     256,
+		},
+		Timing: Timing{
+			RowReadNS:  26.0,
+			RowWriteNS: 40.0,
+			TCCDNS:     2.0,
+			TRASNS:     28.0,
+			TRPNS:      14.0,
+		},
+		Power: Power{
+			VDD:          1.2,
+			IDD0:         42,
+			IDD2N:        36,
+			IDD3N:        42,
+			IDD4R:        130,
+			IDD4W:        138,
+			ChipsPerRank: 1, // a pseudo-channel lives in one stack layer
+		},
+		RankBandwidthGBs: 32.0,
+	}
+}
+
+// DDR4 returns the default module used throughout the paper: 32 GB DDR4 with
+// the requested number of ranks, 128 banks per rank, 32 subarrays per bank,
+// 1024x8192 subarrays, 128-bit GDL and 25.6 GB/s per-rank bandwidth.
+func DDR4(ranks int) Module {
+	return Module{
+		Geometry: Geometry{
+			Ranks:            ranks,
+			BanksPerRank:     128,
+			SubarraysPerBank: 32,
+			RowsPerSubarray:  1024,
+			ColsPerRow:       8192,
+			GDLWidthBits:     128,
+		},
+		Timing: Timing{
+			RowReadNS:  28.5,
+			RowWriteNS: 43.5,
+			TCCDNS:     3.0,
+			TRASNS:     32.0,
+			TRPNS:      13.75,
+		},
+		Power: Power{
+			VDD:          1.2,
+			IDD0:         48,
+			IDD2N:        38,
+			IDD3N:        44,
+			IDD4R:        140,
+			IDD4W:        148,
+			ChipsPerRank: 8,
+		},
+		RankBandwidthGBs: 25.6,
+	}
+}

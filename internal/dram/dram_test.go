@@ -1,0 +1,138 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDDR4Defaults(t *testing.T) {
+	m := DDR4(32)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("DDR4(32) invalid: %v", err)
+	}
+	g := m.Geometry
+	if got := g.TotalSubarrays(); got != 32*128*32 {
+		t.Errorf("TotalSubarrays = %d, want %d", got, 32*128*32)
+	}
+	if got := g.TotalBanks(); got != 32*128 {
+		t.Errorf("TotalBanks = %d, want %d", got, 32*128)
+	}
+	if got := m.AggregateBandwidthGBs(); got != 32*25.6 {
+		t.Errorf("AggregateBandwidthGBs = %v, want %v", got, 32*25.6)
+	}
+	// Listing 3 of the artifact: 4 ranks, 128 banks/rank, 32 subarrays/bank.
+	m4 := DDR4(4)
+	if got := m4.Geometry.TotalSubarrays() / 2; got != 8192 {
+		t.Errorf("Fulcrum cores at 4 ranks = %d, want 8192 (artifact Listing 3)", got)
+	}
+}
+
+func TestGeometryCapacity(t *testing.T) {
+	g := Geometry{Ranks: 1, BanksPerRank: 2, SubarraysPerBank: 2, RowsPerSubarray: 4, ColsPerRow: 64, GDLWidthBits: 64}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CapacityBits(); got != 1*2*2*4*64 {
+		t.Errorf("CapacityBits = %d", got)
+	}
+	if got := g.CapacityBytes(); got != g.CapacityBits()/8 {
+		t.Errorf("CapacityBytes = %d", got)
+	}
+}
+
+// TestGeometryInvariants checks structural relations over random valid
+// geometries with testing/quick.
+func TestGeometryInvariants(t *testing.T) {
+	f := func(r, b, s, rows, colsRaw uint8) bool {
+		g := Geometry{
+			Ranks:            1 + int(r%8),
+			BanksPerRank:     1 + int(b%32),
+			SubarraysPerBank: 1 + int(s%16),
+			RowsPerSubarray:  1 + int(rows%64),
+			ColsPerRow:       64 * (1 + int(colsRaw%16)),
+			GDLWidthBits:     64,
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		if g.TotalSubarrays() != g.TotalBanks()*g.SubarraysPerBank {
+			return false
+		}
+		if g.CapacityBits() != int64(g.TotalSubarrays())*int64(g.RowsPerSubarray)*int64(g.ColsPerRow) {
+			return false
+		}
+		return g.CapacityBytes()*8 == g.CapacityBits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHBM2Preset(t *testing.T) {
+	m := HBM2(16)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("HBM2 invalid: %v", err)
+	}
+	ddr := DDR4(16)
+	if m.Geometry.GDLWidthBits <= ddr.Geometry.GDLWidthBits {
+		t.Error("HBM GDL must be wider than DDR's (paper Section III)")
+	}
+	if m.RankBandwidthGBs <= ddr.RankBandwidthGBs {
+		t.Error("HBM per-channel bandwidth must exceed DDR's")
+	}
+	if m.Geometry.CapacityBits() >= ddr.Geometry.CapacityBits() {
+		t.Error("HBM pseudo-channel must be smaller than a DDR rank")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	base := DDR4(1).Geometry
+	cases := []struct {
+		name   string
+		mutate func(*Geometry)
+	}{
+		{"zero ranks", func(g *Geometry) { g.Ranks = 0 }},
+		{"negative banks", func(g *Geometry) { g.BanksPerRank = -1 }},
+		{"zero subarrays", func(g *Geometry) { g.SubarraysPerBank = 0 }},
+		{"zero rows", func(g *Geometry) { g.RowsPerSubarray = 0 }},
+		{"zero cols", func(g *Geometry) { g.ColsPerRow = 0 }},
+		{"non-64 cols", func(g *Geometry) { g.ColsPerRow = 100 }},
+		{"zero gdl", func(g *Geometry) { g.GDLWidthBits = 0 }},
+	}
+	for _, tc := range cases {
+		g := base
+		tc.mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+}
+
+func TestTimingAndPowerValidation(t *testing.T) {
+	m := DDR4(1)
+	bad := m.Timing
+	bad.TCCDNS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero tCCD accepted")
+	}
+	p := m.Power
+	p.IDD4R = p.IDD3N // burst below standby
+	if err := p.Validate(); err == nil {
+		t.Error("IDD4R <= IDD3N accepted")
+	}
+	p = m.Power
+	p.IDD3N = p.IDD2N
+	if err := p.Validate(); err == nil {
+		t.Error("IDD3N <= IDD2N accepted")
+	}
+	p = m.Power
+	p.ChipsPerRank = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero ChipsPerRank accepted")
+	}
+	m2 := m
+	m2.RankBandwidthGBs = 0
+	if err := m2.Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}

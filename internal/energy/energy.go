@@ -1,0 +1,144 @@
+// Package energy implements PIMeval's energy model (paper Section V-D).
+//
+// The model has three components:
+//
+//  1. Data transfer energy — Micron power model Equation 1:
+//     ReadPower = VDD x (IDD4R - IDD3N), multiplied by transfer time.
+//  2. Application execution energy — per-PIM-command energy aggregated from
+//     row activate/precharge energy (Equation 2), GDL transfer energy
+//     (scaled from LISA), and processing-element energy (from RTL-derived
+//     per-op constants).
+//  3. Background energy — the active-vs-precharged standby power difference
+//     per subarray, multiplied by the number of concurrently active
+//     subarrays and the kernel execution time, plus host idle power while
+//     the CPU waits on PIM.
+//
+// All energies are in picojoules (pJ) and all times in nanoseconds (ns)
+// unless a name says otherwise; 1 mA x 1 V x 1 ns = 1 pJ, so the Micron
+// current/voltage parameters compose without unit conversions.
+package energy
+
+import "pimeval/internal/dram"
+
+// Per-operation processing-element energies, in picojoules. The bit-serial
+// value is per logic micro-op per active bitline; the ALU values are per
+// 32-bit scalar operation and are representative of the RTL-derived numbers
+// referenced in the paper (Fulcrum-provided ALU figures).
+const (
+	BitlineLogicPJ      = 0.0012 // one digital gate op at one sense amplifier
+	BitlineRegMovePJ    = 0.0008 // register move/set at one sense amplifier
+	ALUSimplePJ         = 0.45   // 32-bit add/sub/logic/compare on an ALPU
+	ALUMulPJ            = 1.80   // 32-bit multiply on an ALPU
+	WalkerLatchPJPerBit = 0.0002 // latching one bit into a walker row
+	// GDLPJPerBit is the energy to move one bit across the global data lines
+	// between a subarray and the bank interface, scaled from the LISA study.
+	GDLPJPerBit = 0.035
+	// RowPopcountPJ is the energy of one hardware row-wide popcount in the
+	// bit-serial architecture (tree of compressors across the row buffer).
+	RowPopcountPJ = 12.0
+	// SubarrayLocalFactor discounts PIM in-situ row operations relative to
+	// a full host-visible activation: a PIM row op switches only the
+	// wordline and local sense amplifiers, never the GDL, global row
+	// buffer, or I/O — subarray-local accesses cost ~5x less energy
+	// (LISA / Fulcrum measurements).
+	SubarrayLocalFactor = 0.05
+)
+
+// Model evaluates DRAM-side energy for a given module description.
+type Model struct {
+	mod dram.Module
+}
+
+// NewModel returns an energy model for the module.
+func NewModel(mod dram.Module) Model { return Model{mod: mod} }
+
+// ReadPowerMW returns the burst-read power of one rank in milliwatts
+// (Equation 1, summed over the chips in the rank).
+func (m Model) ReadPowerMW() float64 {
+	p := m.mod.Power
+	return p.VDD * (p.IDD4R - p.IDD3N) * float64(p.ChipsPerRank)
+}
+
+// WritePowerMW returns the burst-write power of one rank in milliwatts.
+func (m Model) WritePowerMW() float64 {
+	p := m.mod.Power
+	return p.VDD * (p.IDD4W - p.IDD3N) * float64(p.ChipsPerRank)
+}
+
+// TransferEnergyPJ returns the energy to move the given number of bytes
+// between host and device in the stated direction. The transfer runs at the
+// module's aggregate bandwidth across all ranks, so the power of all ranks
+// is charged for the duration.
+func (m Model) TransferEnergyPJ(bytes int64, deviceToHost bool) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	powerMW := m.WritePowerMW() // host-to-device ends in DRAM writes
+	if deviceToHost {
+		powerMW = m.ReadPowerMW()
+	}
+	t := m.TransferTimeNS(bytes)
+	return powerMW * float64(m.mod.Geometry.Ranks) * t
+}
+
+// TransferTimeNS returns the host<->device transfer latency for the given
+// byte count at the module's aggregate bandwidth (GB/s == bytes/ns).
+func (m Model) TransferTimeNS(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / m.mod.AggregateBandwidthGBs()
+}
+
+// ActPrePJ returns the activate-precharge energy of opening and closing one
+// row in one subarray (Equation 2), summed over the chips of a rank since a
+// logical row spans all chips.
+func (m Model) ActPrePJ() float64 {
+	p := m.mod.Power
+	t := m.mod.Timing
+	perChip := p.VDD * (p.IDD0*(t.TRASNS+t.TRPNS) - (p.IDD3N*t.TRASNS + p.IDD2N*t.TRPNS))
+	return perChip * float64(p.ChipsPerRank)
+}
+
+// RowReadPJ returns the energy of one subarray-local PIM row activation
+// into the local row buffer (activate-precharge plus sense-amplifier
+// latching, discounted for never leaving the subarray).
+func (m Model) RowReadPJ() float64 {
+	return m.ActPrePJ()*SubarrayLocalFactor + float64(m.mod.Geometry.ColsPerRow)*WalkerLatchPJPerBit
+}
+
+// RowWritePJ returns the energy of one subarray-local row write-back.
+func (m Model) RowWritePJ() float64 {
+	// A write-back drives the bitlines for the full restore window; charge
+	// the activate-precharge envelope scaled by the write/read time ratio.
+	scale := m.mod.Timing.RowWriteNS / m.mod.Timing.RowReadNS
+	return m.ActPrePJ() * SubarrayLocalFactor * scale
+}
+
+// GDLTransferPJ returns the energy of moving one full row between a
+// subarray's local row buffer and the bank's global row buffer.
+func (m Model) GDLTransferPJ() float64 {
+	return float64(m.mod.Geometry.ColsPerRow) * GDLPJPerBit
+}
+
+// BackgroundPowerMW returns the incremental standby power of one active
+// subarray: the difference between active standby and precharge standby
+// (paper Section V-D iii). The Micron IDD3N/IDD2N delta corresponds to one
+// open row per device, which maps to one active subarray.
+func (m Model) BackgroundPowerMW() float64 {
+	p := m.mod.Power
+	return p.VDD * (p.IDD3N - p.IDD2N)
+}
+
+// BackgroundEnergyPJ returns the background energy of running a kernel for
+// kernelNS nanoseconds with the given number of concurrently active
+// subarrays (mW x ns = pJ).
+func (m Model) BackgroundEnergyPJ(activeSubarrays int, kernelNS float64) float64 {
+	if activeSubarrays <= 0 || kernelNS <= 0 {
+		return 0
+	}
+	return m.BackgroundPowerMW() * float64(activeSubarrays) * kernelNS
+}
+
+// MJFromPJ converts picojoules to millijoules (the report unit).
+func MJFromPJ(pj float64) float64 { return pj * 1e-9 }

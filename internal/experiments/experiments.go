@@ -1,0 +1,766 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §6 for the experiment index). Each Fig*/Table*
+// function returns a plain-text rendering of the corresponding artifact;
+// cmd/pimexperiments writes them to disk and bench_test.go wraps them in
+// testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/area"
+	"pimeval/internal/cluster"
+	"pimeval/internal/dram"
+	"pimeval/internal/fulcrum"
+	"pimeval/internal/upmem"
+	"pimeval/pim"
+
+	_ "pimeval/benchmarks/all" // register the full PIMbench lineup
+)
+
+// targetLabel maps architectures to the paper's series names.
+func targetLabel(t pim.Target) string {
+	switch t {
+	case pim.BitSerial:
+		return "Bit-Serial"
+	case pim.Fulcrum:
+		return "Fulcrum"
+	default:
+		return "Bank-level"
+	}
+}
+
+// RunSuite executes every benchmark at paper scale (model-only) on the
+// given target and rank count, returning results in registry order.
+func RunSuite(target pim.Target, ranks int) ([]suite.Result, error) {
+	var out []suite.Result
+	for _, b := range suite.All() {
+		res, err := b.Run(suite.Config{Target: target, Ranks: ranks})
+		if err != nil {
+			return nil, fmt.Errorf("%s on %v: %w", b.Info().Name, target, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// SuiteAllTargets runs the whole suite on all three architectures.
+func SuiteAllTargets(ranks int) (map[pim.Target][]suite.Result, error) {
+	out := make(map[pim.Target][]suite.Result, 3)
+	for _, t := range pim.AllTargets {
+		rs, err := RunSuite(t, ranks)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = rs
+	}
+	return out, nil
+}
+
+// gmean returns the geometric mean of positive values.
+func gmean(vals []float64) float64 {
+	var s float64
+	var n int
+	for _, v := range vals {
+		if v > 0 {
+			s += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Table1 renders the PIMbench suite listing (paper Table I).
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: PIMbench Suite\n")
+	fmt.Fprintf(&b, "%-14s %-20s %-12s %-10s %s\n", "Name", "Domain", "Access", "Execution", "Input")
+	for _, bench := range suite.All() {
+		info := bench.Info()
+		access := ""
+		if info.Access.Sequential {
+			access += "seq"
+		}
+		if info.Access.Random {
+			if access != "" {
+				access += "+"
+			}
+			access += "rand"
+		}
+		exec := "PIM"
+		if info.HostPhase {
+			exec = "PIM+Host"
+		}
+		fmt.Fprintf(&b, "%-14s %-20s %-12s %-10s %s\n", info.Name, info.Domain, access, exec, info.PaperInput)
+	}
+	return b.String()
+}
+
+// Table2 renders the evaluated configurations (paper Table II).
+func Table2() string {
+	var b strings.Builder
+	mod := dram.DDR4(32)
+	g := mod.Geometry
+	fmt.Fprintln(&b, "Table II: Configuration of the Evaluated Architectures")
+	fmt.Fprintln(&b, "CPU        : AMD EPYC 9124 16-core @ 3.71GHz, 200W TDP, peak memory BW 460.8GB/s (roofline model)")
+	fmt.Fprintln(&b, "GPU        : NVIDIA A100, 300W TDP, peak memory BW 1,935GB/s, 19.5 TFLOPs FP32 (roofline model)")
+	base := fmt.Sprintf("DDR4, %d ranks, %d banks/rank, %d subarrays/bank, %d-bit local row buffers",
+		g.Ranks, g.BanksPerRank, g.SubarraysPerBank, g.ColsPerRow)
+	fmt.Fprintf(&b, "Bit-serial : %s; bit-serial PE per sense amplifier, 4 registers, move/set/and/xnor/mux\n", base)
+	fmt.Fprintf(&b, "Fulcrum    : %s; 32-bit 167MHz ALU + three row-wide walkers per two subarrays\n", base)
+	fmt.Fprintf(&b, "Bank-level : %s; %d-bit GDL, 128-bit Fulcrum-style PE + walkers per bank\n", base, g.GDLWidthBits)
+	fmt.Fprintf(&b, "Timing     : row read %.1fns, row write %.1fns, tCCD %.1fns, rank BW %.1fGB/s\n",
+		mod.Timing.RowReadNS, mod.Timing.RowWriteNS, mod.Timing.TCCDNS, mod.RankBandwidthGBs)
+	return b.String()
+}
+
+// Fig1 runs the suite once (any architecture exposes the same op mix) and
+// renders the benchmark-diversity dendrogram.
+func Fig1() (string, error) {
+	results, err := RunSuite(pim.BitSerial, 32)
+	if err != nil {
+		return "", err
+	}
+	var feats [][]float64
+	var labels []string
+	benches := suite.All()
+	for i, res := range results {
+		feats = append(feats, suite.Features(benches[i].Info(), res))
+		labels = append(labels, res.Benchmark)
+	}
+	std := cluster.Standardize(feats)
+	proj, err := cluster.PCA(std, 6)
+	if err != nil {
+		return "", err
+	}
+	dg, err := cluster.Agglomerate(proj, labels)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 1: PIMbench diversity dendrogram (PCA + average-linkage clustering)")
+	b.WriteString(dg.Render())
+	fmt.Fprintln(&b, "\nMerge order (distance):")
+	for _, m := range dg.Merges {
+		fmt.Fprintf(&b, "  %v + %v at %.4f\n", nodeName(dg, m.A), nodeName(dg, m.B), m.Distance)
+	}
+	return b.String(), nil
+}
+
+func nodeName(dg *cluster.Dendrogram, id int) string {
+	if id < len(dg.Labels) {
+		return dg.Labels[id]
+	}
+	return fmt.Sprintf("cluster#%d", id-len(dg.Labels))
+}
+
+// SweepPoint is one cell of the Figure 6 sensitivity analysis.
+type SweepPoint struct {
+	Target    pim.Target
+	Op        string
+	Param     int // column count or bank count
+	LatencyMS float64
+}
+
+// sweepOps measures the four primitive operations of Figure 6 on 256M
+// int32 elements (kernel only, no data movement), with one geometry knob
+// swept. Eight ranks give the narrowest geometries enough capacity for the
+// three 256M-element operands.
+func sweepOps(mutate func(*suite.Config, int), params []int) ([]SweepPoint, error) {
+	const n = 256 << 20
+	var out []SweepPoint
+	for _, tgt := range pim.AllTargets {
+		for _, p := range params {
+			cfg := pim.Config{Target: tgt, Ranks: 8}
+			sc := suite.Config{Target: tgt, Ranks: 8}
+			mutate(&sc, p)
+			cfg.BanksPerRank = sc.BanksPerRank
+			cfg.ColsPerRow = sc.ColsPerRow
+			dev, err := pim.NewDevice(cfg)
+			if err != nil {
+				return nil, err
+			}
+			a, err := dev.Alloc(n, pim.Int32)
+			if err != nil {
+				return nil, err
+			}
+			bo, err := dev.AllocAssociated(a)
+			if err != nil {
+				return nil, err
+			}
+			dst, err := dev.AllocAssociated(a)
+			if err != nil {
+				return nil, err
+			}
+			ops := []struct {
+				name string
+				run  func() error
+			}{
+				{"Add", func() error { return dev.Add(a, bo, dst) }},
+				{"Mul", func() error { return dev.Mul(a, bo, dst) }},
+				{"Reduction", func() error { _, err := dev.RedSum(a); return err }},
+				{"PopCount", func() error { return dev.PopCount(a, dst) }},
+			}
+			for _, op := range ops {
+				dev.ResetStats()
+				if err := op.run(); err != nil {
+					return nil, err
+				}
+				out = append(out, SweepPoint{
+					Target:    tgt,
+					Op:        op.name,
+					Param:     p,
+					LatencyMS: dev.Metrics().KernelMS,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig6Cols runs the #columns sensitivity sweep (Figure 6a).
+func Fig6Cols() ([]SweepPoint, error) {
+	return sweepOps(func(c *suite.Config, p int) { c.ColsPerRow = p }, []int{1024, 2048, 4096, 8192})
+}
+
+// Fig6Banks runs the #banks sensitivity sweep (Figure 6b).
+func Fig6Banks() ([]SweepPoint, error) {
+	return sweepOps(func(c *suite.Config, p int) { c.BanksPerRank = p }, []int{16, 32, 64, 128})
+}
+
+// RenderSweep formats sweep points as the Figure 6 latency table.
+func RenderSweep(title, param string, pts []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-11s %-10s %8s %14s\n", "Arch", "Op", param, "Latency(ms)")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-11s %-10s %8d %14.4f\n", targetLabel(p.Target), p.Op, p.Param, p.LatencyMS)
+	}
+	return b.String()
+}
+
+// Fig7 renders the runtime-breakdown table (data movement / host / kernel
+// percentages at 32 ranks).
+func Fig7(results map[pim.Target][]suite.Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 7: runtime breakdown (%) at 32 ranks")
+	fmt.Fprintf(&b, "%-11s %-14s %10s %8s %8s\n", "Arch", "Benchmark", "DataMove", "Host", "Kernel")
+	for _, tgt := range pim.AllTargets {
+		for _, r := range results[tgt] {
+			total := r.Metrics.TotalMS()
+			if total == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-11s %-14s %9.1f%% %7.1f%% %7.1f%%\n",
+				targetLabel(tgt), r.Benchmark,
+				100*r.Metrics.CopyMS/total, 100*r.Metrics.HostMS/total, 100*r.Metrics.KernelMS/total)
+		}
+	}
+	return b.String()
+}
+
+// Fig7Energy renders the energy-breakdown counterpart of Figure 7 — the
+// paper states "the energy breakdown exhibits similar behavior and is not
+// shown"; this artifact shows it.
+func Fig7Energy(results map[pim.Target][]suite.Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 7 (energy counterpart): energy breakdown (%) at 32 ranks")
+	fmt.Fprintf(&b, "%-11s %-14s %10s %8s %8s\n", "Arch", "Benchmark", "DataMove", "Host", "Kernel")
+	for _, tgt := range pim.AllTargets {
+		for _, r := range results[tgt] {
+			m := r.Metrics
+			total := m.TotalMJ()
+			if total == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-11s %-14s %9.1f%% %7.1f%% %7.1f%%\n",
+				targetLabel(tgt), r.Benchmark,
+				100*m.CopyMJ/total, 100*m.HostMJ/total, 100*m.KernelMJ/total)
+		}
+	}
+	return b.String()
+}
+
+// Fig8 renders the operation-frequency distribution per benchmark.
+func Fig8(results []suite.Result) string {
+	keys := suite.FeatureMixKeys()
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 8: PIM operation frequency distribution (% of total ops)")
+	fmt.Fprintf(&b, "%-14s", "Benchmark")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %9s", k)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-14s", r.Benchmark)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %8.1f%%", 100*r.OpMix[k])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Fig9 renders the speedup-over-CPU table with the paper's two series.
+func Fig9(results map[pim.Target][]suite.Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 9: speedup over CPU baseline at 32 ranks")
+	fmt.Fprintf(&b, "%-11s %-14s %16s %12s\n", "Arch", "Benchmark", "Kernel+DataMove", "Kernel")
+	for _, tgt := range pim.AllTargets {
+		var withDMs, kernels []float64
+		for _, r := range results[tgt] {
+			w, k := r.SpeedupCPU()
+			withDMs = append(withDMs, w)
+			kernels = append(kernels, k)
+			fmt.Fprintf(&b, "%-11s %-14s %16.3f %12.3f\n", targetLabel(tgt), r.Benchmark, w, k)
+		}
+		fmt.Fprintf(&b, "%-11s %-14s %16.3f %12.3f\n", targetLabel(tgt), "Gmean", gmean(withDMs), gmean(kernels))
+	}
+	return b.String()
+}
+
+// Fig10a renders the speedup-over-GPU table.
+func Fig10a(results map[pim.Target][]suite.Result) string {
+	return renderSingleSeries("Figure 10a: speedup over GPU baseline (transfers factored out)", results,
+		func(r suite.Result) float64 { return r.SpeedupGPU() })
+}
+
+// Fig10b renders the energy-reduction-vs-GPU table.
+func Fig10b(results map[pim.Target][]suite.Result) string {
+	return renderSingleSeries("Figure 10b: energy reduction vs GPU (idle energy factored out)", results,
+		func(r suite.Result) float64 { return r.EnergyReductionGPU() })
+}
+
+// Fig11 renders the energy-reduction-vs-CPU table.
+func Fig11(results map[pim.Target][]suite.Result) string {
+	return renderSingleSeries("Figure 11: energy reduction vs CPU", results,
+		func(r suite.Result) float64 { return r.EnergyReductionCPU() })
+}
+
+func renderSingleSeries(title string, results map[pim.Target][]suite.Result, f func(suite.Result) float64) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-11s %-14s %12s\n", "Arch", "Benchmark", "Factor")
+	for _, tgt := range pim.AllTargets {
+		var vals []float64
+		for _, r := range results[tgt] {
+			v := f(r)
+			vals = append(vals, v)
+			fmt.Fprintf(&b, "%-11s %-14s %12.4f\n", targetLabel(tgt), r.Benchmark, v)
+		}
+		fmt.Fprintf(&b, "%-11s %-14s %12.4f\n", targetLabel(tgt), "Gmean", gmean(vals))
+	}
+	return b.String()
+}
+
+// kernelHostMS is the Figure 12/13 metric: execution excluding data movement.
+func kernelHostMS(r suite.Result) float64 { return r.Metrics.KernelMS + r.Metrics.HostMS }
+
+// fig12Sizes caps the two largest inputs so they fit the 4-rank module;
+// the same size is used at every rank count so ratios stay self-relative.
+var fig12Sizes = map[string]int64{
+	"vecadd": 1 << 30,
+	"linreg": 1 << 30,
+	"vgg13":  112, // input image edge: quarter-size activations fit 4 ranks
+	"vgg16":  112,
+	"vgg19":  112,
+}
+
+// Fig12 renders rank scaling: speedup over 4 ranks at 8/16/32 ranks,
+// kernel+host only, capacity scaling with ranks.
+func Fig12() (string, error) {
+	ranksList := []int{4, 8, 16, 32}
+	byRank := make(map[int]map[pim.Target][]suite.Result, len(ranksList))
+	for _, ranks := range ranksList {
+		rs := make(map[pim.Target][]suite.Result, 3)
+		for _, tgt := range pim.AllTargets {
+			for _, bench := range suite.All() {
+				res, err := bench.Run(suite.Config{
+					Target: tgt, Ranks: ranks, Size: fig12Sizes[bench.Info().Name],
+				})
+				if err != nil {
+					return "", fmt.Errorf("fig12 %s/%v/%d ranks: %w", bench.Info().Name, tgt, ranks, err)
+				}
+				rs[tgt] = append(rs[tgt], res)
+			}
+		}
+		byRank[ranks] = rs
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 12: rank sensitivity (speedup over #Rank=4, kernel+host only)")
+	fmt.Fprintf(&b, "%-11s %-14s %10s %10s %10s\n", "Arch", "Benchmark", "Rank=8", "Rank=16", "Rank=32")
+	for _, tgt := range pim.AllTargets {
+		base := byRank[4][tgt]
+		for i, r := range base {
+			b4 := kernelHostMS(r)
+			row := []float64{}
+			for _, ranks := range ranksList[1:] {
+				row = append(row, b4/kernelHostMS(byRank[ranks][tgt][i]))
+			}
+			fmt.Fprintf(&b, "%-11s %-14s %10.3f %10.3f %10.3f\n",
+				targetLabel(tgt), r.Benchmark, row[0], row[1], row[2])
+		}
+	}
+	return b.String(), nil
+}
+
+// Fig13 renders the 1-vs-32-rank comparison at constant capacity: the
+// 1-rank module gets 32x taller subarrays, so total cells match while the
+// parallel PE count drops 32x.
+func Fig13() (string, error) {
+	wide, err := SuiteAllTargets(32)
+	if err != nil {
+		return "", err
+	}
+	var tall map[pim.Target][]suite.Result
+	{
+		tall = make(map[pim.Target][]suite.Result, 3)
+		for _, tgt := range pim.AllTargets {
+			var rs []suite.Result
+			for _, bench := range suite.All() {
+				res, err := bench.Run(suite.Config{
+					Target: tgt, Ranks: 1, RowsPerSubarray: 1024 * 32,
+				})
+				if err != nil {
+					return "", err
+				}
+				rs = append(rs, res)
+			}
+			tall[tgt] = rs
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 13: rank 1 vs 32 at equal capacity (speedup over #Rank=1, kernel+host only)")
+	fmt.Fprintf(&b, "%-11s %-14s %12s\n", "Arch", "Benchmark", "Speedup")
+	for _, tgt := range pim.AllTargets {
+		for i, r := range wide[tgt] {
+			fmt.Fprintf(&b, "%-11s %-14s %12.3f\n", targetLabel(tgt), r.Benchmark,
+				kernelHostMS(tall[tgt][i])/kernelHostMS(r))
+		}
+	}
+	return b.String(), nil
+}
+
+// ValidationRow is one kernel of the Section V-E Fulcrum validation.
+type ValidationRow struct {
+	Kernel      string
+	PIMevalMS   float64
+	ReferenceMS float64
+}
+
+// Ratio returns PIMeval time over reference time.
+func (v ValidationRow) Ratio() float64 { return v.PIMevalMS / v.ReferenceMS }
+
+// ValidateFulcrum compares PIMeval's Fulcrum model against the independent
+// analytic reference on the paper's four validation kernels.
+func ValidateFulcrum() ([]ValidationRow, error) {
+	ref := fulcrum.Reference{Mod: dram.DDR4(32)}
+	type k struct {
+		name  string
+		bench string
+		refMS float64
+	}
+	const vecN, axpyN = 1 << 28, 1 << 24
+	const gvRows, gvCols = 287, 8192
+	const gmM, gmK, gmN = 23_521, 4096, 512
+	kernels := []k{
+		{"VectorAdd", "vecadd", ref.VecAddNS(vecN) * 1e-6},
+		{"AXPY", "axpy", ref.AXPYNS(axpyN) * 1e-6},
+		{"GEMV", "gemv", ref.GEMVNS(gvRows, gvCols) * 1e-6},
+		{"GEMM", "gemm", ref.GEMMNS(gmM, gmK, gmN) * 1e-6},
+	}
+	sizes := map[string]int64{"vecadd": vecN, "axpy": axpyN, "gemv": gvRows, "gemm": gmM}
+	var out []ValidationRow
+	for _, kn := range kernels {
+		bench, err := suite.ByName(kn.bench)
+		if err != nil {
+			return nil, err
+		}
+		res, err := bench.Run(suite.Config{Target: pim.Fulcrum, Ranks: 32, Size: sizes[kn.bench]})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ValidationRow{Kernel: kn.name, PIMevalMS: res.Metrics.KernelMS, ReferenceMS: kn.refMS})
+	}
+	return out, nil
+}
+
+// RenderValidation formats the validation rows, followed by the Section
+// V-E ii toy-UPMEM comparison.
+func RenderValidation(rows []ValidationRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Section V-E validation: PIMeval Fulcrum vs independent analytic model")
+	fmt.Fprintf(&b, "%-10s %14s %14s %8s\n", "Kernel", "PIMeval(ms)", "Reference(ms)", "Ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %14.4f %14.4f %8.3f\n", r.Kernel, r.PIMevalMS, r.ReferenceMS, r.Ratio())
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, "Section V-E ii: toy UPMEM model vs hardware reference (paper: 23% / 35% slower)")
+	fmt.Fprintf(&b, "%-10s %14s %14s %10s\n", "Kernel", "Toy(ms)", "Hardware(ms)", "Slowdown")
+	for _, v := range upmem.Validate() {
+		fmt.Fprintf(&b, "%-10s %14.4f %14.4f %9.1f%%\n", v.Kernel, v.ToyMS, v.HardwareMS, v.SlowdownPercent())
+	}
+	return b.String()
+}
+
+// ExtensionsTable runs the future-work kernels (prefix sum, string match,
+// transitive closure, PCA — the paper's Section II/IX extension list) at
+// full scale on all three architectures.
+func ExtensionsTable() (string, error) {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Extension kernels (paper future-work list), 32 ranks")
+	fmt.Fprintf(&b, "%-11s %-18s %14s %14s %16s\n", "Arch", "Kernel", "Total(ms)", "SpeedupCPU", "EnergyRed.CPU")
+	for _, tgt := range pim.AllTargets {
+		for _, bench := range suite.Extensions() {
+			res, err := bench.Run(suite.Config{Target: tgt, Ranks: 32})
+			if err != nil {
+				return "", fmt.Errorf("%s on %v: %w", bench.Info().Name, tgt, err)
+			}
+			w, _ := res.SpeedupCPU()
+			fmt.Fprintf(&b, "%-11s %-18s %14.4f %14.3f %16.3f\n",
+				targetLabel(tgt), res.Benchmark, res.Metrics.TotalMS(), w, res.EnergyReductionCPU())
+		}
+	}
+	return b.String(), nil
+}
+
+// HBMTable re-runs four representative benchmarks on an HBM2 module with
+// the same pseudo-channel count — the paper's future-work question of
+// whether the architecture ranking changes on HBM (Section IX notes the
+// conclusions "might change with HBM").
+func HBMTable() (string, error) {
+	// Sizes capped to the HBM2 module's smaller capacity (fewer banks and
+	// shorter subarrays per pseudo-channel); both memories run the same
+	// input so the ratio isolates the technology.
+	apps := map[string]int64{"vecadd": 1 << 28, "axpy": 0, "gemv": 0, "histogram": 400_000_000}
+	order := []string{"vecadd", "axpy", "gemv", "histogram"}
+	var b strings.Builder
+	fmt.Fprintln(&b, "Future work: DDR4 vs HBM2 (32 ranks / pseudo-channels, total ms incl. transfers)")
+	fmt.Fprintf(&b, "%-11s %-12s %12s %12s %10s\n", "Arch", "Benchmark", "DDR4(ms)", "HBM2(ms)", "HBM gain")
+	for _, tgt := range pim.AllTargets {
+		for _, app := range order {
+			bench, err := suite.ByName(app)
+			if err != nil {
+				return "", err
+			}
+			ddr, err := bench.Run(suite.Config{Target: tgt, Ranks: 32, Size: apps[app]})
+			if err != nil {
+				return "", err
+			}
+			hbm, err := bench.Run(suite.Config{Target: tgt, Ranks: 32, Memory: pim.MemHBM2, Size: apps[app]})
+			if err != nil {
+				return "", err
+			}
+			d, h := ddr.Metrics.TotalMS(), hbm.Metrics.TotalMS()
+			fmt.Fprintf(&b, "%-11s %-12s %12.4f %12.4f %10.3f\n", targetLabel(tgt), app, d, h, d/h)
+		}
+	}
+	return b.String(), nil
+}
+
+// AnalogTable compares the digital bit-serial design (DRAM-AP) against the
+// Ambit/SIMDRAM-style analog bit-serial extension on primitive operations —
+// quantifying the paper's Section IV argument for going digital: TRA
+// operand staging multiplies the row-operation count.
+func AnalogTable() (string, error) {
+	const n = 64 << 20
+	var b strings.Builder
+	fmt.Fprintln(&b, "Extension: digital (DRAM-AP) vs analog (TRA) bit-serial, 64M int32, 8 ranks")
+	fmt.Fprintf(&b, "%-10s %14s %14s %14s\n", "Op", "Digital(ms)", "Analog(ms)", "Analog/Digital")
+	type dev struct {
+		d         *pim.Device
+		a, b, dst pim.ObjID
+	}
+	mk := func(tgt pim.Target) (dev, error) {
+		d, err := pim.NewDevice(pim.Config{Target: tgt, Ranks: 8})
+		if err != nil {
+			return dev{}, err
+		}
+		a, err := d.Alloc(n, pim.Int32)
+		if err != nil {
+			return dev{}, err
+		}
+		bb, err := d.AllocAssociated(a)
+		if err != nil {
+			return dev{}, err
+		}
+		dst, err := d.AllocAssociated(a)
+		if err != nil {
+			return dev{}, err
+		}
+		return dev{d, a, bb, dst}, nil
+	}
+	dig, err := mk(pim.BitSerial)
+	if err != nil {
+		return "", err
+	}
+	ana, err := mk(pim.AnalogBitSerial)
+	if err != nil {
+		return "", err
+	}
+	ops := []struct {
+		name string
+		run  func(d dev) error
+	}{
+		{"Add", func(d dev) error { return d.d.Add(d.a, d.b, d.dst) }},
+		{"Xor", func(d dev) error { return d.d.Xor(d.a, d.b, d.dst) }},
+		{"Mul", func(d dev) error { return d.d.Mul(d.a, d.b, d.dst) }},
+		{"Lt", func(d dev) error { return d.d.Lt(d.a, d.b, d.dst) }},
+		{"PopCount", func(d dev) error { return d.d.PopCount(d.a, d.dst) }},
+	}
+	for _, op := range ops {
+		dig.d.ResetStats()
+		ana.d.ResetStats()
+		if err := op.run(dig); err != nil {
+			return "", err
+		}
+		if err := op.run(ana); err != nil {
+			return "", err
+		}
+		dm, am := dig.d.Metrics().KernelMS, ana.d.Metrics().KernelMS
+		fmt.Fprintf(&b, "%-10s %14.4f %14.4f %14.2f\n", op.name, dm, am, am/dm)
+	}
+	return b.String(), nil
+}
+
+// SizeSweep explores problem-size sensitivity — the paper's Section IX
+// future work ("a comprehensive exploration of problem size is an
+// essential direction"): speedup over the CPU as the vector-add and GEMV
+// inputs grow, locating the size where PIM overtakes the baseline.
+func SizeSweep() (string, error) {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Future work: problem-size exploration (speedup vs CPU incl. transfers, 32 ranks)")
+	fmt.Fprintf(&b, "%-11s %-10s %14s %12s\n", "Arch", "Benchmark", "N", "SpeedupCPU")
+	type sweep struct {
+		app   string
+		sizes []int64
+	}
+	sweeps := []sweep{
+		{"vecadd", []int64{1 << 16, 1 << 20, 1 << 24, 1 << 28, 1 << 31}},
+		{"gemv", []int64{4, 64, 1024, 16_384}}, // rows at 8192 columns
+	}
+	for _, tgt := range pim.AllTargets {
+		for _, sw := range sweeps {
+			bench, err := suite.ByName(sw.app)
+			if err != nil {
+				return "", err
+			}
+			for _, n := range sw.sizes {
+				res, err := bench.Run(suite.Config{Target: tgt, Ranks: 32, Size: n})
+				if err != nil {
+					return "", fmt.Errorf("%s size %d: %w", sw.app, n, err)
+				}
+				w, _ := res.SpeedupCPU()
+				fmt.Fprintf(&b, "%-11s %-10s %14d %12.4f\n", targetLabel(tgt), sw.app, n, w)
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+// AreaTable renders the per-chip area-overhead estimates (Section IX
+// future work) for the paper's DDR4 module.
+func AreaTable() string {
+	return area.Render(area.ForModule(dram.DDR4(32)))
+}
+
+// BatchingTable explores batching small problems to fill the PIM
+// computation bandwidth (Section IX: "many use cases call for smaller
+// problem sizes, requiring batching to utilize the full PIM computation
+// bandwidth"): amortized per-GEMV kernel latency as independent GEMV
+// instances batch together.
+func BatchingTable() (string, error) {
+	const rows, cols = 64, 8192
+	var b strings.Builder
+	fmt.Fprintln(&b, "Future work: batching small GEMVs (64x8192 each, kernel ms per instance, 32 ranks)")
+	fmt.Fprintf(&b, "%-11s %8s %18s %14s\n", "Arch", "Batch", "PerInstance(ms)", "Utilization")
+	bench, err := suite.ByName("gemv")
+	if err != nil {
+		return "", err
+	}
+	for _, tgt := range pim.AllTargets {
+		var single float64
+		for _, batch := range []int64{1, 4, 16, 64} {
+			// A batch of B independent GEMVs is one GEMV with B-fold rows.
+			res, err := bench.Run(suite.Config{Target: tgt, Ranks: 32, Size: rows * batch})
+			if err != nil {
+				return "", err
+			}
+			per := res.Metrics.KernelMS / float64(batch)
+			if batch == 1 {
+				single = per
+			}
+			fmt.Fprintf(&b, "%-11s %8d %18.5f %13.1fx\n", targetLabel(tgt), batch, per, single/per)
+		}
+	}
+	return b.String(), nil
+}
+
+// GDLTable ablates the bank-level GDL width — the paper "assume[s] a
+// 128-bit GDL here to be generous to bank-level PIM"; this quantifies how
+// much that generosity matters.
+func GDLTable() (string, error) {
+	const n = 64 << 20
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation: bank-level GDL width (64M int32 add, kernel ms, 8 ranks)")
+	fmt.Fprintf(&b, "%8s %14s\n", "GDLbits", "Latency(ms)")
+	for _, width := range []int{32, 64, 128, 256} {
+		dev, err := pim.NewDevice(pim.Config{Target: pim.BankLevel, Ranks: 8, GDLWidthBits: width})
+		if err != nil {
+			return "", err
+		}
+		a, err := dev.Alloc(n, pim.Int32)
+		if err != nil {
+			return "", err
+		}
+		bb, err := dev.AllocAssociated(a)
+		if err != nil {
+			return "", err
+		}
+		dst, err := dev.AllocAssociated(a)
+		if err != nil {
+			return "", err
+		}
+		if err := dev.Add(a, bb, dst); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%8d %14.4f\n", width, dev.Metrics().KernelMS)
+	}
+	return b.String(), nil
+}
+
+// GmeansSummary computes the headline numbers of the paper's conclusion:
+// per-architecture geometric-mean speedup over the CPU (with data movement)
+// and energy reductions vs CPU and GPU.
+func GmeansSummary(results map[pim.Target][]suite.Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Headline geometric means (paper Conclusions)")
+	fmt.Fprintf(&b, "%-11s %18s %18s %18s\n", "Arch", "SpeedupCPU(w/DM)", "EnergyRed.CPU", "EnergyRed.GPU")
+	type row struct {
+		name            string
+		spd, ecpu, egpu float64
+	}
+	var rows []row
+	for _, tgt := range pim.AllTargets {
+		var spd, ecpu, egpu []float64
+		for _, r := range results[tgt] {
+			w, _ := r.SpeedupCPU()
+			spd = append(spd, w)
+			ecpu = append(ecpu, r.EnergyReductionCPU())
+			egpu = append(egpu, r.EnergyReductionGPU())
+		}
+		rows = append(rows, row{targetLabel(tgt), gmean(spd), gmean(ecpu), gmean(egpu)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %18.3f %18.3f %18.3f\n", r.name, r.spd, r.ecpu, r.egpu)
+	}
+	return b.String()
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pimeval/pim"
+)
+
+func TestTable1ListsAllEighteen(t *testing.T) {
+	s := Table1()
+	for _, name := range []string{
+		"vecadd", "axpy", "gemv", "gemm", "radixsort", "aes-enc", "aes-dec",
+		"trianglecount", "filterbykey", "histogram", "brightness",
+		"downsample", "knn", "linreg", "kmeans", "vgg13", "vgg16", "vgg19",
+	} {
+		if !strings.Contains(s, name) {
+			t.Errorf("Table1 missing %s", name)
+		}
+	}
+	if strings.Contains(s, "prefixsum") {
+		t.Error("Table1 must exclude extension kernels")
+	}
+}
+
+func TestTable2Configurations(t *testing.T) {
+	s := Table2()
+	for _, want := range []string{"EPYC", "A100", "Bit-serial", "Fulcrum", "Bank-level", "25.6", "28.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestSweepColumnsShapes(t *testing.T) {
+	pts, err := Fig6Cols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := func(tgt pim.Target, op string, p int) float64 {
+		for _, pt := range pts {
+			if pt.Target == tgt && pt.Op == op && pt.Param == p {
+				return pt.LatencyMS
+			}
+		}
+		t.Fatalf("missing point %v/%s/%d", tgt, op, p)
+		return 0
+	}
+	// Bit-serial halves with column doubling.
+	if r := lat(pim.BitSerial, "Add", 1024) / lat(pim.BitSerial, "Add", 8192); r < 7 || r > 9 {
+		t.Errorf("bit-serial column scaling = %v, want ~8", r)
+	}
+	// Figure 6 orderings at the full row width.
+	if !(lat(pim.BitSerial, "Add", 8192) < lat(pim.Fulcrum, "Add", 8192) &&
+		lat(pim.Fulcrum, "Add", 8192) < lat(pim.BankLevel, "Add", 8192)) {
+		t.Error("Add ordering must be bit-serial < Fulcrum < bank-level")
+	}
+	if lat(pim.Fulcrum, "Mul", 8192) >= lat(pim.BitSerial, "Mul", 8192) {
+		t.Error("Fulcrum must win Mul")
+	}
+	if lat(pim.BitSerial, "Mul", 8192) >= lat(pim.BankLevel, "Mul", 8192) {
+		t.Error("bit-serial Mul must still beat bank-level (paper §VII)")
+	}
+	if lat(pim.BitSerial, "Reduction", 8192) >= lat(pim.Fulcrum, "Reduction", 8192) {
+		t.Error("bit-serial must win Reduction")
+	}
+	if lat(pim.Fulcrum, "PopCount", 8192) <= lat(pim.BankLevel, "PopCount", 8192) ||
+		lat(pim.Fulcrum, "PopCount", 8192) <= lat(pim.BitSerial, "PopCount", 8192) {
+		t.Error("both bit-serial and bank-level must beat Fulcrum on PopCount")
+	}
+}
+
+func TestSweepBanksScaling(t *testing.T) {
+	pts, err := Fig6Banks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := func(tgt pim.Target, op string, p int) float64 {
+		for _, pt := range pts {
+			if pt.Target == tgt && pt.Op == op && pt.Param == p {
+				return pt.LatencyMS
+			}
+		}
+		t.Fatalf("missing point")
+		return 0
+	}
+	// Bit-parallel designs scale with banks (paper: "Fulcrum and
+	// bank-level... show sensitivity to bank-level parallelism").
+	for _, tgt := range []pim.Target{pim.Fulcrum, pim.BankLevel} {
+		if r := lat(tgt, "Add", 16) / lat(tgt, "Add", 128); r < 7 || r > 9 {
+			t.Errorf("%v bank scaling = %v, want ~8", tgt, r)
+		}
+	}
+	// Bit-serial also gains subarrays with banks here (capacity-bound).
+	if lat(pim.BitSerial, "Add", 16) <= lat(pim.BitSerial, "Add", 128) {
+		t.Error("bit-serial must not slow down with more banks")
+	}
+}
+
+func TestValidationWithinPaperBounds(t *testing.T) {
+	rows, err := ValidateFulcrum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		ratio := r.Ratio()
+		switch r.Kernel {
+		case "VectorAdd", "AXPY":
+			if ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("%s ratio = %v, want ~1.0 (paper: identical)", r.Kernel, ratio)
+			}
+		default:
+			if ratio < 1.0 || ratio > 1.4 {
+				t.Errorf("%s ratio = %v, want 1.0-1.4 (paper: ~10%% slower)", r.Kernel, ratio)
+			}
+		}
+	}
+	out := RenderValidation(rows)
+	if !strings.Contains(out, "GEMM") {
+		t.Error("render missing kernels")
+	}
+}
+
+func TestFig1Structure(t *testing.T) {
+	s, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's named near-duplicates must merge first: the VGG triple
+	// and the AES pair appear before any other merge involving them.
+	idx := strings.Index
+	if idx(s, "vgg16 + vgg19") == -1 {
+		t.Error("VGG variants must merge directly")
+	}
+	if idx(s, "aes-dec + aes-enc") == -1 {
+		t.Error("AES directions must merge directly")
+	}
+	if idx(s, "axpy + vecadd") == -1 && idx(s, "brightness + vecadd") == -1 &&
+		idx(s, "vecadd + axpy") == -1 && idx(s, "vecadd + brightness") == -1 {
+		t.Error("vecadd must pair with another streaming kernel")
+	}
+}
+
+func TestSuiteRunsDeterministic(t *testing.T) {
+	a, err := RunSuite(pim.Fulcrum, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSuite(pim.Fulcrum, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Metrics.KernelMS != b[i].Metrics.KernelMS {
+			t.Errorf("%s: non-deterministic kernel time", a[i].Benchmark)
+		}
+	}
+}
+
+func TestGmeanHelper(t *testing.T) {
+	if g := gmean([]float64{1, 4}); g != 2 {
+		t.Errorf("gmean(1,4) = %v", g)
+	}
+	if g := gmean([]float64{0, -1}); g != 0 {
+		t.Errorf("gmean of non-positives = %v, want 0", g)
+	}
+	if g := gmean([]float64{0, 9, 1}); g < 2.999 || g > 3.001 {
+		t.Errorf("gmean skips non-positives: %v, want 3", g)
+	}
+}
+
+func TestRenderersNonEmpty(t *testing.T) {
+	res, err := SuiteAllTargets(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]struct{ body, want string }{
+		"fig7":   {Fig7(res), "Fulcrum"},
+		"fig8":   {Fig8(res[pim.BitSerial]), "popcount"},
+		"fig9":   {Fig9(res), "Fulcrum"},
+		"fig10a": {Fig10a(res), "Fulcrum"},
+		"fig10b": {Fig10b(res), "Fulcrum"},
+		"fig11":  {Fig11(res), "Fulcrum"},
+		"sum":    {GmeansSummary(res), "Fulcrum"},
+	}
+	for name, c := range checks {
+		if !strings.Contains(c.body, c.want) || len(c.body) < 200 {
+			t.Errorf("%s render incomplete:\n%s", name, c.body[:min(200, len(c.body))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestExtensionsTable(t *testing.T) {
+	s, err := ExtensionsTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"prefixsum", "stringmatch", "transitiveclosure", "pca"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("extensions table missing %s", want)
+		}
+	}
+}
+
+func TestHBMTableShapes(t *testing.T) {
+	s, err := HBMTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "HBM gain") || !strings.Contains(s, "vecadd") {
+		t.Fatalf("HBM table incomplete:\n%s", s)
+	}
+}
+
+func TestAnalogTableDigitalWins(t *testing.T) {
+	s, err := AnalogTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every row's Analog/Digital ratio must exceed 1 — the Section IV
+	// argument for the digital design.
+	for _, line := range strings.Split(s, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 4 || fields[0] == "Op" {
+			continue
+		}
+		var ratio float64
+		if _, err := fmt.Sscanf(fields[3], "%f", &ratio); err != nil {
+			continue
+		}
+		if ratio <= 1 {
+			t.Errorf("%s: analog/digital ratio = %v, want > 1", fields[0], ratio)
+		}
+	}
+}
+
+func TestSizeSweepCrossovers(t *testing.T) {
+	s, err := SizeSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-serial GEMV must cross from slowdown to speedup as rows grow.
+	var first, last float64
+	for _, line := range strings.Split(s, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 4 && f[0] == "Bit-Serial" && f[1] == "gemv" {
+			var v float64
+			if _, err := fmt.Sscanf(f[3], "%f", &v); err == nil {
+				if first == 0 {
+					first = v
+				}
+				last = v
+			}
+		}
+	}
+	if first >= 1 {
+		t.Errorf("tiny GEMV must lose to the CPU (got %v)", first)
+	}
+	if last <= 1 {
+		t.Errorf("large GEMV must beat the CPU (got %v)", last)
+	}
+}
+
+func TestAreaTable(t *testing.T) {
+	s := AreaTable()
+	if !strings.Contains(s, "Overhead") || !strings.Contains(s, "Analog") {
+		t.Fatalf("area table incomplete:\n%s", s)
+	}
+}

@@ -1,0 +1,162 @@
+// Package fulcrum models the subarray-level bit-parallel PIM architecture of
+// the paper (Section IV, after Lenjani et al., HPCA 2020, adapted to DDR):
+// a 32-bit 167 MHz scalar ALU (the AddressLess Processing Unit) plus three
+// row-wide walker latch rows shared between every two consecutive subarrays.
+//
+// A command streams operand rows into the walkers, sequences the ALU across
+// the row one element at a time, and writes the result row back. Following
+// PIMeval's documented simplification (paper Section V-E), full-row latency
+// is charged even when the row is only partially filled with valid data —
+// this is what makes the artifact's 2048-element vector add cost 1.66 µs.
+package fulcrum
+
+import (
+	"pimeval/internal/dram"
+	"pimeval/internal/energy"
+	"pimeval/internal/isa"
+	"pimeval/internal/perf"
+)
+
+// ALU parameters from the paper: 32-bit integer ALU at 167 MHz (Table II),
+// one scalar op per cycle including multiply (Section VII), popcount via a
+// 12-cycle SWAR sequence.
+const (
+	ALUHz             = 167e6
+	ALUCycleNS        = 1e9 / ALUHz
+	ALUWidthBits      = 32
+	PopcountALUCycles = 12
+	// SboxALUCycles is the bitsliced AES S-box gate network evaluated
+	// serially in the ALU (no lookup-table buffer exists at the subarray).
+	SboxALUCycles = 30
+	// DivALUCycles is an iterative radix-2 divider (2 bits per cycle).
+	DivALUCycles = 16
+	// SubarraysPerCore: one ALPU and walker set is shared between every two
+	// consecutive subarrays.
+	SubarraysPerCore = 2
+	// WalkerRows is the number of row-wide latch rows per core.
+	WalkerRows = 3
+)
+
+// Model is the Fulcrum performance/energy model.
+type Model struct{}
+
+// NewModel returns the Fulcrum cost model.
+func NewModel() *Model { return &Model{} }
+
+// Name returns the simulation-target name used in reports.
+func (*Model) Name() string { return "PIM_DEVICE_FULCRUM" }
+
+// Vertical reports the data layout; Fulcrum uses conventional horizontal
+// layout.
+func (*Model) Vertical() bool { return false }
+
+// Cores returns one PIM core per pair of subarrays.
+func (*Model) Cores(g dram.Geometry) int {
+	return g.TotalSubarrays() / SubarraysPerCore
+}
+
+// ElemCapacityPerCore returns the element capacity of one core's two
+// subarrays in horizontal layout.
+func (*Model) ElemCapacityPerCore(g dram.Geometry, bits int) int64 {
+	return int64(SubarraysPerCore) * int64(g.RowsPerSubarray) * int64(g.ColsPerRow/bits)
+}
+
+// ActiveSubarraysPerCore returns the subarrays kept open by an active core
+// (one row open at a time per subarray pair).
+func (*Model) ActiveSubarraysPerCore() int { return 1 }
+
+// aluCycles returns the ALU cycles per element for the op. Elements wider
+// than the ALU datapath take proportionally more cycles; narrower types are
+// processed in SIMD fashion inside the 32-bit datapath (paper Section IV:
+// "able to perform SIMD operations if needed"), so a lane-group of 32 bits
+// completes per cycle.
+func aluCycles(op isa.Op, bits int) float64 {
+	widthFactor := float64(bits) / ALUWidthBits
+	switch op {
+	case isa.OpPopCount:
+		return PopcountALUCycles * widthFactor
+	case isa.OpDiv:
+		return DivALUCycles * widthFactor
+	case isa.OpSbox, isa.OpSboxInv:
+		// The AES S-box lacks a table buffer; it is evaluated as a
+		// bitsliced gate network in the ALU (paper Section VIII).
+		return SboxALUCycles * widthFactor
+	case isa.OpCopyD2D:
+		return 0 // row moves bypass the ALU
+	default:
+		return widthFactor
+	}
+}
+
+// CmdCost models one command execution on elemsPerCore elements per core.
+func (*Model) CmdCost(cmd isa.Command, elemsPerCore int64, activeCores int, mod dram.Module, em energy.Model) perf.Cost {
+	g, t := mod.Geometry, mod.Timing
+	if elemsPerCore <= 0 || activeCores <= 0 {
+		return perf.Cost{}
+	}
+	bits := cmd.Type.Bits()
+	elemsPerRow := int64(g.ColsPerRow / bits)
+	if elemsPerRow == 0 {
+		elemsPerRow = 1
+	}
+	rowGroups := (elemsPerCore + elemsPerRow - 1) / elemsPerRow
+
+	reads := float64(cmd.Inputs)
+	writes := 0.0
+	if cmd.WritesResult {
+		writes = 1
+	}
+	aluNS := float64(elemsPerRow) * aluCycles(cmd.Op, bits) * ALUCycleNS
+
+	// The three walkers let the next rows' fetches overlap ALU processing
+	// of the current rows, so a row group costs the slower of the two plus
+	// the result write-back.
+	fetchNS := reads * t.RowReadNS
+	perGroupNS := aluNS
+	if fetchNS > perGroupNS {
+		perGroupNS = fetchNS
+	}
+	perGroupNS += writes * t.RowWriteNS
+	perGroupPJ := reads*em.RowReadPJ() + writes*em.RowWritePJ() +
+		float64(WalkerRows)*float64(g.ColsPerRow)*energy.WalkerLatchPJPerBit +
+		float64(elemsPerRow)*opEnergyPJ(cmd.Op, bits)
+
+	cost := perf.Cost{
+		TimeNS:   float64(rowGroups) * perGroupNS,
+		EnergyPJ: float64(rowGroups) * perGroupPJ * float64(activeCores),
+	}
+	if cmd.Op == isa.OpRedSum || cmd.Op == isa.OpRedSumSeg {
+		// Controller-side combine of per-core partials.
+		cost.TimeNS += combineNS(activeCores)
+	}
+	return cost
+}
+
+// opEnergyPJ returns the per-element processing energy. Narrow SIMD lanes
+// share one datapath activation, so energy scales with bits/32 in both
+// directions.
+func opEnergyPJ(op isa.Op, bits int) float64 {
+	widthFactor := float64(bits) / ALUWidthBits
+	switch op {
+	case isa.OpMul:
+		return energy.ALUMulPJ * widthFactor
+	case isa.OpDiv:
+		return energy.ALUSimplePJ * DivALUCycles * widthFactor
+	case isa.OpCopyD2D:
+		return 0
+	case isa.OpPopCount:
+		return energy.ALUSimplePJ * PopcountALUCycles * widthFactor
+	case isa.OpSbox, isa.OpSboxInv:
+		return energy.ALUSimplePJ * SboxALUCycles * widthFactor
+	default:
+		return energy.ALUSimplePJ * widthFactor
+	}
+}
+
+func combineNS(cores int) float64 {
+	l := 0.0
+	for v := 1; v < cores; v <<= 1 {
+		l++
+	}
+	return 50 * l
+}

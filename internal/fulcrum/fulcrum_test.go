@@ -1,0 +1,113 @@
+package fulcrum
+
+import (
+	"testing"
+
+	"pimeval/internal/dram"
+	"pimeval/internal/energy"
+	"pimeval/internal/isa"
+	"pimeval/internal/perf"
+)
+
+func cost(t *testing.T, op isa.Op, dt isa.DataType, elemsPerCore int64, cores int) perf.Cost {
+	t.Helper()
+	mod := dram.DDR4(1)
+	cmd := isa.Command{Op: op, Type: dt, Inputs: 2, WritesResult: true}
+	if op == isa.OpRedSum {
+		cmd.Inputs, cmd.WritesResult = 1, false
+	}
+	return NewModel().CmdCost(cmd, elemsPerCore, cores, mod, energy.NewModel(mod))
+}
+
+func TestModelBasics(t *testing.T) {
+	m := NewModel()
+	g := dram.DDR4(4).Geometry
+	if m.Vertical() {
+		t.Error("Fulcrum uses horizontal layout")
+	}
+	// Artifact Listing 3: 4 ranks -> 8192 cores.
+	if got := m.Cores(g); got != 8192 {
+		t.Errorf("Cores = %d, want 8192", got)
+	}
+	// Two subarrays of 1024x8192 bits hold 512Ki int32 elements.
+	if got := m.ElemCapacityPerCore(g, 32); got != 2*1024*256 {
+		t.Errorf("ElemCapacityPerCore = %d, want %d", got, 2*1024*256)
+	}
+}
+
+// TestArtifactListing3Anchor reproduces the artifact's add.int32 figure:
+// a 2048-element vector add on 8192 cores costs one row group,
+// 2 reads + 1 write + 256 ALU cycles ~ 1.63-1.66 us (full-row charging).
+func TestArtifactListing3Anchor(t *testing.T) {
+	c := cost(t, isa.OpAdd, isa.Int32, 1, 2048)
+	if us := c.TimeNS / 1000; us < 1.5 || us > 1.8 {
+		t.Errorf("add.int32 one row group = %v us, want ~1.66 us (artifact Listing 3)", us)
+	}
+}
+
+func TestMulSameAsAdd(t *testing.T) {
+	add := cost(t, isa.OpAdd, isa.Int32, 4096, 1)
+	mul := cost(t, isa.OpMul, isa.Int32, 4096, 1)
+	if add.TimeNS != mul.TimeNS {
+		t.Errorf("Fulcrum mul (%v) must match add (%v): one op per ALU cycle", mul.TimeNS, add.TimeNS)
+	}
+	if mul.EnergyPJ <= add.EnergyPJ {
+		t.Errorf("mul energy (%v) must exceed add energy (%v)", mul.EnergyPJ, add.EnergyPJ)
+	}
+}
+
+func TestPopcountSWARPenalty(t *testing.T) {
+	add := cost(t, isa.OpAdd, isa.Int32, 4096, 1)
+	pop := cost(t, isa.OpPopCount, isa.Int32, 4096, 1)
+	if pop.TimeNS <= 5*add.TimeNS {
+		t.Errorf("12-cycle SWAR popcount (%v) should dwarf add (%v)", pop.TimeNS, add.TimeNS)
+	}
+}
+
+func TestFullRowCharging(t *testing.T) {
+	// 1 element or 256 elements: same single row group cost (paper §V-E).
+	one := cost(t, isa.OpAdd, isa.Int32, 1, 1)
+	full := cost(t, isa.OpAdd, isa.Int32, 256, 1)
+	if one.TimeNS != full.TimeNS {
+		t.Errorf("partial row (%v) must charge full-row latency (%v)", one.TimeNS, full.TimeNS)
+	}
+	next := cost(t, isa.OpAdd, isa.Int32, 257, 1)
+	if next.TimeNS != 2*full.TimeNS {
+		t.Errorf("257 elems (%v) must cost two row groups (%v)", next.TimeNS, 2*full.TimeNS)
+	}
+}
+
+func TestWideTypesScale(t *testing.T) {
+	i32 := cost(t, isa.OpAdd, isa.Int32, 4096, 1)
+	i64 := cost(t, isa.OpAdd, isa.Int64, 4096, 1)
+	if i64.TimeNS <= i32.TimeNS {
+		t.Errorf("int64 (%v) must cost more than int32 (%v): half the elems per row, 2 cycles each", i64.TimeNS, i32.TimeNS)
+	}
+}
+
+func TestZeroWork(t *testing.T) {
+	if c := cost(t, isa.OpAdd, isa.Int32, 0, 4); c.TimeNS != 0 {
+		t.Errorf("zero elems cost %+v", c)
+	}
+}
+
+func TestReferenceModelTracks(t *testing.T) {
+	ref := Reference{Mod: dram.DDR4(32)}
+	if v := ref.VecAddNS(1 << 26); v <= 0 {
+		t.Fatalf("VecAddNS = %v", v)
+	}
+	// AXPY does strictly more work than vector add.
+	if ref.AXPYNS(1<<26) <= ref.VecAddNS(1<<26) {
+		t.Error("AXPY must cost more than vector add")
+	}
+	// GEMM is n batched GEMVs.
+	g1 := ref.GEMVNS(1024, 512)
+	if got := ref.GEMMNS(1024, 512, 4); got != 4*g1 {
+		t.Errorf("GEMM = %v, want %v", got, 4*g1)
+	}
+	// Latency shrinks with more ranks (more cores).
+	small := Reference{Mod: dram.DDR4(1)}
+	if small.VecAddNS(1<<28) <= ref.VecAddNS(1<<28) {
+		t.Error("1-rank reference should be slower than 32-rank")
+	}
+}

@@ -1,0 +1,81 @@
+package hostmodel
+
+import "testing"
+
+func TestRooflineRegimes(t *testing.T) {
+	cpu := CPU()
+	// Memory-bound: heavy traffic, few ops.
+	memBound := Kernel{Bytes: 1 << 30, Ops: 1}
+	wantMem := float64(1<<30)/cpu.MemBWGBs/cpu.Efficiency + cpu.LaunchNS
+	if got := cpu.TimeNS(memBound); got != wantMem {
+		t.Errorf("memory-bound TimeNS = %v, want %v", got, wantMem)
+	}
+	// Compute-bound: few bytes, many ops.
+	cmpBound := Kernel{Bytes: 64, Ops: 1 << 40}
+	wantCmp := float64(int64(1)<<40)/cpu.OpsPerNS/cpu.Efficiency + cpu.LaunchNS
+	if got := cpu.TimeNS(cmpBound); got != wantCmp {
+		t.Errorf("compute-bound TimeNS = %v, want %v", got, wantCmp)
+	}
+	// Dense kernels reach the FMA tier.
+	dense := Kernel{Bytes: 64, Ops: 1 << 40, Dense: true}
+	if got := cpu.TimeNS(dense); got >= wantCmp {
+		t.Errorf("dense TimeNS = %v, want below scalar %v", got, wantCmp)
+	}
+	if got := cpu.TimeNS(Kernel{}); got != 0 {
+		t.Errorf("empty kernel TimeNS = %v, want 0", got)
+	}
+}
+
+func TestRandomAccessPenalty(t *testing.T) {
+	cpu := CPU()
+	seq := cpu.TimeNS(Kernel{Bytes: 1 << 30})
+	rnd := cpu.TimeNS(Kernel{Bytes: 1 << 30, Random: true})
+	if rnd <= seq {
+		t.Errorf("random access (%v) must cost more than sequential (%v)", rnd, seq)
+	}
+	wantRatio := cpu.RandomAccessPenalty
+	gotRatio := (rnd - cpu.LaunchNS) / (seq - cpu.LaunchNS)
+	if gotRatio < wantRatio*0.99 || gotRatio > wantRatio*1.01 {
+		t.Errorf("penalty ratio = %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestGPUFasterThanCPUOnStreaming(t *testing.T) {
+	k := Kernel{Bytes: 8 << 30, Ops: 2 << 30}
+	cpu, gpu := CPU().TimeNS(k), GPU().TimeNS(k)
+	if gpu >= cpu {
+		t.Errorf("A100 (%v ns) should beat EPYC (%v ns) on streaming", gpu, cpu)
+	}
+	// Bandwidth ratio ~4.2x plus the efficiency gap (0.75/0.45) should
+	// dominate for memory-bound work: ~7x.
+	if r := cpu / gpu; r < 5 || r > 9 {
+		t.Errorf("CPU/GPU streaming ratio = %v, want ~7", r)
+	}
+}
+
+func TestCostEnergyUnits(t *testing.T) {
+	cpu := CPU()
+	k := Kernel{Bytes: 460_800} // exactly 1000 ns of bandwidth
+	c := cpu.Cost(k)
+	wantPJ := cpu.TDPWatts * c.TimeNS * 1000
+	if c.EnergyPJ != wantPJ {
+		t.Errorf("EnergyPJ = %v, want %v", c.EnergyPJ, wantPJ)
+	}
+	// 200 W for ~3 us ~ 0.6 mJ.
+	if mj := c.EnergyMJ(); mj < 0.1 || mj > 1 {
+		t.Errorf("EnergyMJ = %v, out of plausible range", mj)
+	}
+}
+
+func TestIdleEnergy(t *testing.T) {
+	if got := IdleEnergyPJ(0); got != 0 {
+		t.Errorf("IdleEnergyPJ(0) = %v", got)
+	}
+	if got := IdleEnergyPJ(-1); got != 0 {
+		t.Errorf("IdleEnergyPJ(-1) = %v", got)
+	}
+	// 10 W x 1 ms = 10 mJ = 1e10 pJ.
+	if got := IdleEnergyPJ(1e6); got != 1e10 {
+		t.Errorf("IdleEnergyPJ(1ms) = %v, want 1e10", got)
+	}
+}

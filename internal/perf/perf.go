@@ -1,0 +1,64 @@
+// Package perf defines the cost vocabulary shared by the per-architecture
+// performance models and implements PIMeval's data-movement latency model
+// (paper Section V-C i): transfer time is bytes over the module's aggregate
+// bandwidth, with every rank treated as an independent channel.
+package perf
+
+import (
+	"pimeval/internal/dram"
+	"pimeval/internal/energy"
+)
+
+// Cost is the latency and energy of one modeled activity.
+type Cost struct {
+	TimeNS   float64
+	EnergyPJ float64
+}
+
+// Plus returns the component-wise sum of two costs.
+func (c Cost) Plus(o Cost) Cost {
+	return Cost{TimeNS: c.TimeNS + o.TimeNS, EnergyPJ: c.EnergyPJ + o.EnergyPJ}
+}
+
+// Scale returns the cost multiplied by a repetition factor.
+func (c Cost) Scale(n float64) Cost {
+	return Cost{TimeNS: c.TimeNS * n, EnergyPJ: c.EnergyPJ * n}
+}
+
+// TimeMS returns the latency in milliseconds.
+func (c Cost) TimeMS() float64 { return c.TimeNS * 1e-6 }
+
+// EnergyMJ returns the energy in millijoules.
+func (c Cost) EnergyMJ() float64 { return energy.MJFromPJ(c.EnergyPJ) }
+
+// Breakdown splits a benchmark's total cost into the three components of
+// the paper's Figure 7: host<->device data movement, host execution, and
+// PIM kernel execution.
+type Breakdown struct {
+	Copy   Cost
+	Host   Cost
+	Kernel Cost
+}
+
+// Total returns the end-to-end cost.
+func (b Breakdown) Total() Cost { return b.Copy.Plus(b.Host).Plus(b.Kernel) }
+
+// Fractions returns the copy/host/kernel time shares (each in [0,1]).
+// A zero-total breakdown returns all zeros.
+func (b Breakdown) Fractions() (copyFrac, hostFrac, kernelFrac float64) {
+	total := b.Total().TimeNS
+	if total <= 0 {
+		return 0, 0, 0
+	}
+	return b.Copy.TimeNS / total, b.Host.TimeNS / total, b.Kernel.TimeNS / total
+}
+
+// DataMovement returns the cost of transferring bytes between host and the
+// PIM module in the stated direction.
+func DataMovement(mod dram.Module, bytes int64, deviceToHost bool) Cost {
+	em := energy.NewModel(mod)
+	return Cost{
+		TimeNS:   em.TransferTimeNS(bytes),
+		EnergyPJ: em.TransferEnergyPJ(bytes, deviceToHost),
+	}
+}

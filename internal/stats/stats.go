@@ -1,0 +1,197 @@
+// Package stats collects PIM simulation statistics: per-command counts with
+// estimated runtime and energy, host-phase costs, and data-copy traffic.
+// Report rendering follows the output format of the paper's artifact
+// (Listing 3).
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pimeval/internal/perf"
+)
+
+// CmdStat aggregates every dispatch of one command mnemonic.
+type CmdStat struct {
+	Name  string
+	Count int64
+	Cost  perf.Cost
+}
+
+// CopyStats tracks host<->device and device<->device traffic.
+type CopyStats struct {
+	HostToDeviceBytes   int64
+	DeviceToHostBytes   int64
+	DeviceToDeviceBytes int64
+	Cost                perf.Cost
+}
+
+// TotalBytes returns all copied bytes.
+func (c CopyStats) TotalBytes() int64 {
+	return c.HostToDeviceBytes + c.DeviceToHostBytes + c.DeviceToDeviceBytes
+}
+
+// Stats accumulates all measurements for one device instance. It is not
+// safe for concurrent use; the simulator serializes command dispatch.
+type Stats struct {
+	cmds   map[string]*CmdStat
+	copies CopyStats
+	host   perf.Cost
+	// opCount tracks Figure-8 operation-category frequencies.
+	opCount map[string]int64
+}
+
+// New returns an empty statistics collector.
+func New() *Stats {
+	return &Stats{cmds: make(map[string]*CmdStat), opCount: make(map[string]int64)}
+}
+
+// RecordCmd adds n executions of the named command with the given total cost.
+func (s *Stats) RecordCmd(name, category string, n int64, cost perf.Cost) {
+	cs := s.cmds[name]
+	if cs == nil {
+		cs = &CmdStat{Name: name}
+		s.cmds[name] = cs
+	}
+	cs.Count += n
+	cs.Cost = cs.Cost.Plus(cost)
+	if category != "" {
+		s.opCount[category] += n
+	}
+}
+
+// RecordCopy adds one copy operation. Exactly one of the byte arguments
+// should be non-zero per call in practice, but sums are accepted.
+func (s *Stats) RecordCopy(h2d, d2h, d2d int64, cost perf.Cost) {
+	s.copies.HostToDeviceBytes += h2d
+	s.copies.DeviceToHostBytes += d2h
+	s.copies.DeviceToDeviceBytes += d2d
+	s.copies.Cost = s.copies.Cost.Plus(cost)
+}
+
+// RecordHost adds a host-executed phase.
+func (s *Stats) RecordHost(cost perf.Cost) { s.host = s.host.Plus(cost) }
+
+// Reset clears all accumulated statistics.
+func (s *Stats) Reset() {
+	s.cmds = make(map[string]*CmdStat)
+	s.opCount = make(map[string]int64)
+	s.copies = CopyStats{}
+	s.host = perf.Cost{}
+}
+
+// Copies returns the copy traffic summary.
+func (s *Stats) Copies() CopyStats { return s.copies }
+
+// Host returns the accumulated host-phase cost.
+func (s *Stats) Host() perf.Cost { return s.host }
+
+// Kernel returns the accumulated PIM kernel cost over all commands.
+// Summation follows the sorted command order so repeated runs produce
+// bit-identical floating-point totals.
+func (s *Stats) Kernel() perf.Cost {
+	var total perf.Cost
+	for _, c := range s.Commands() {
+		total = total.Plus(c.Cost)
+	}
+	return total
+}
+
+// Breakdown returns the copy/host/kernel split (Figure 7).
+func (s *Stats) Breakdown() perf.Breakdown {
+	return perf.Breakdown{Copy: s.copies.Cost, Host: s.host, Kernel: s.Kernel()}
+}
+
+// Commands returns per-command statistics sorted by name.
+func (s *Stats) Commands() []CmdStat {
+	out := make([]CmdStat, 0, len(s.cmds))
+	for _, c := range s.cmds {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// OpMix returns the Figure-8 operation-category frequencies as fractions of
+// the total operation count, keyed by category label.
+func (s *Stats) OpMix() map[string]float64 {
+	var total int64
+	for _, n := range s.opCount {
+		total += n
+	}
+	mix := make(map[string]float64, len(s.opCount))
+	if total == 0 {
+		return mix
+	}
+	for k, n := range s.opCount {
+		mix[k] = float64(n) / float64(total)
+	}
+	return mix
+}
+
+// OpCounts returns a copy of the raw operation-category counts.
+func (s *Stats) OpCounts() map[string]int64 {
+	out := make(map[string]int64, len(s.opCount))
+	for k, v := range s.opCount {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteCSV emits the per-command statistics as machine-readable CSV
+// (command, count, runtime_ms, energy_mj) for downstream tooling.
+func (s *Stats) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"command", "count", "runtime_ms", "energy_mj"}); err != nil {
+		return err
+	}
+	for _, c := range s.Commands() {
+		rec := []string{
+			c.Name,
+			strconv.FormatInt(c.Count, 10),
+			strconv.FormatFloat(c.Cost.TimeMS(), 'g', -1, 64),
+			strconv.FormatFloat(c.Cost.EnergyMJ(), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report renders the artifact-style statistics report (Listing 3).
+func (s *Stats) Report(header string) string {
+	var b strings.Builder
+	line := strings.Repeat("-", 40)
+	fmt.Fprintln(&b, line)
+	if header != "" {
+		fmt.Fprintln(&b, header)
+	}
+	c := s.copies
+	fmt.Fprintln(&b, "Data Copy Stats:")
+	fmt.Fprintf(&b, "  Host to Device   : %d bytes\n", c.HostToDeviceBytes)
+	fmt.Fprintf(&b, "  Device to Host   : %d bytes\n", c.DeviceToHostBytes)
+	fmt.Fprintf(&b, "  Device to Device : %d bytes\n", c.DeviceToDeviceBytes)
+	fmt.Fprintf(&b, "  TOTAL ---------  : %d bytes %fms Runtime %fmj Energy\n",
+		c.TotalBytes(), c.Cost.TimeMS(), c.Cost.EnergyMJ())
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, "PIM Command Stats:")
+	fmt.Fprintf(&b, "  %-14s: %8s %22s %30s\n", "PIM-CMD", "CNT", "EstimatedRuntime(ms)", "EstimatedEnergyConsumption(mJ)")
+	var total CmdStat
+	for _, cs := range s.Commands() {
+		fmt.Fprintf(&b, "  %-14s: %8d %22f %30f\n", cs.Name, cs.Count, cs.Cost.TimeMS(), cs.Cost.EnergyMJ())
+		total.Count += cs.Count
+		total.Cost = total.Cost.Plus(cs.Cost)
+	}
+	fmt.Fprintf(&b, "  %-14s: %8d %22f %30f\n", "TOTAL -----", total.Count, total.Cost.TimeMS(), total.Cost.EnergyMJ())
+	if s.host.TimeNS > 0 {
+		fmt.Fprintf(&b, "  Host elapsed   : %f ms, %f mJ\n", s.host.TimeMS(), s.host.EnergyMJ())
+	}
+	fmt.Fprintln(&b, line)
+	return b.String()
+}

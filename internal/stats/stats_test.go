@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"pimeval/internal/perf"
+)
+
+func TestRecordAndAggregate(t *testing.T) {
+	s := New()
+	s.RecordCmd("add.int32", "add", 2, perf.Cost{TimeNS: 100, EnergyPJ: 10})
+	s.RecordCmd("add.int32", "add", 1, perf.Cost{TimeNS: 50, EnergyPJ: 5})
+	s.RecordCmd("mul.int32", "mul", 1, perf.Cost{TimeNS: 500, EnergyPJ: 80})
+	cmds := s.Commands()
+	if len(cmds) != 2 {
+		t.Fatalf("Commands() = %d entries, want 2", len(cmds))
+	}
+	if cmds[0].Name != "add.int32" || cmds[0].Count != 3 || cmds[0].Cost.TimeNS != 150 {
+		t.Errorf("add stat = %+v", cmds[0])
+	}
+	k := s.Kernel()
+	if k.TimeNS != 650 || k.EnergyPJ != 95 {
+		t.Errorf("Kernel = %+v", k)
+	}
+}
+
+func TestCopyAndHostAndBreakdown(t *testing.T) {
+	s := New()
+	s.RecordCopy(1000, 0, 0, perf.Cost{TimeNS: 10})
+	s.RecordCopy(0, 500, 200, perf.Cost{TimeNS: 5})
+	s.RecordHost(perf.Cost{TimeNS: 85})
+	c := s.Copies()
+	if c.HostToDeviceBytes != 1000 || c.DeviceToHostBytes != 500 || c.DeviceToDeviceBytes != 200 {
+		t.Errorf("Copies = %+v", c)
+	}
+	if c.TotalBytes() != 1700 {
+		t.Errorf("TotalBytes = %d", c.TotalBytes())
+	}
+	b := s.Breakdown()
+	if b.Copy.TimeNS != 15 || b.Host.TimeNS != 85 || b.Kernel.TimeNS != 0 {
+		t.Errorf("Breakdown = %+v", b)
+	}
+}
+
+func TestOpMix(t *testing.T) {
+	s := New()
+	s.RecordCmd("add.int32", "add", 3, perf.Cost{})
+	s.RecordCmd("mul.int32", "mul", 1, perf.Cost{})
+	s.RecordCmd("copy.d2d.int32", "", 5, perf.Cost{}) // structural: excluded
+	mix := s.OpMix()
+	if got := mix["add"]; got != 0.75 {
+		t.Errorf("add mix = %v, want 0.75", got)
+	}
+	if got := mix["mul"]; got != 0.25 {
+		t.Errorf("mul mix = %v, want 0.25", got)
+	}
+	if _, ok := mix[""]; ok {
+		t.Error("empty category must not appear in mix")
+	}
+	counts := s.OpCounts()
+	counts["add"] = 999
+	if s.OpCounts()["add"] != 3 {
+		t.Error("OpCounts must return a copy")
+	}
+}
+
+func TestOpMixEmpty(t *testing.T) {
+	if mix := New().OpMix(); len(mix) != 0 {
+		t.Errorf("empty stats OpMix = %v", mix)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New()
+	s.RecordCmd("add.int32", "add", 1, perf.Cost{TimeNS: 1})
+	s.RecordCopy(10, 0, 0, perf.Cost{TimeNS: 1})
+	s.RecordHost(perf.Cost{TimeNS: 1})
+	s.Reset()
+	if len(s.Commands()) != 0 || s.Copies().TotalBytes() != 0 || s.Host().TimeNS != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := New()
+	s.RecordCmd("add.int32", "add", 3, perf.Cost{TimeNS: 1500, EnergyPJ: 2e9})
+	s.RecordCmd("mul.int32", "mul", 1, perf.Cost{TimeNS: 9000, EnergyPJ: 5e9})
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "command,count,runtime_ms,energy_mj" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "add.int32,3,0.0015,2") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	s := New()
+	s.RecordCmd("add.int32", "add", 1, perf.Cost{TimeNS: 1660, EnergyPJ: 4197})
+	s.RecordCopy(16384, 8192, 0, perf.Cost{TimeNS: 224})
+	s.RecordHost(perf.Cost{TimeNS: 1e6})
+	r := s.Report("PIM Params: test")
+	for _, want := range []string{
+		"PIM Params: test",
+		"Data Copy Stats:",
+		"Host to Device   : 16384 bytes",
+		"Device to Host   : 8192 bytes",
+		"PIM Command Stats:",
+		"add.int32",
+		"TOTAL",
+		"Host elapsed",
+	} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package upmem
+
+import "testing"
+
+// TestSlowdownsMatchPaper asserts the Section V-E ii result: the toy model
+// runs ~23% slower than hardware on vector add and ~35% slower on GEMV.
+func TestSlowdownsMatchPaper(t *testing.T) {
+	rows := Validate()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[string][2]float64{
+		"VectorAdd": {18, 28}, // paper: 23%
+		"GEMV":      {30, 40}, // paper: 35%
+	}
+	for _, r := range rows {
+		lo, hi := want[r.Kernel][0], want[r.Kernel][1]
+		if s := r.SlowdownPercent(); s < lo || s > hi {
+			t.Errorf("%s: toy slowdown = %.1f%%, want %v-%v%% (paper Section V-E)", r.Kernel, s, lo, hi)
+		}
+		if r.ToyMS <= r.HardwareMS {
+			t.Errorf("%s: toy (%v ms) must be slower than hardware (%v ms)", r.Kernel, r.ToyMS, r.HardwareMS)
+		}
+	}
+}
+
+// TestScalesLinearly checks both models scale linearly in input size.
+func TestScalesLinearly(t *testing.T) {
+	if r := ToyVecAddMS(2<<20) / ToyVecAddMS(1<<20); r < 1.99 || r > 2.01 {
+		t.Errorf("toy vecadd scaling = %v", r)
+	}
+	if r := HWGEMVMS(2048, 512) / HWGEMVMS(1024, 512); r < 1.99 || r > 2.01 {
+		t.Errorf("hw gemv scaling = %v", r)
+	}
+}
+
+// TestPipelineDominatesToyModel verifies the model's causal story: the toy
+// per-element cost is within a few percent of a whole pipeline round trip
+// per MRAM burst (no overlap at all).
+func TestPipelineDominatesToyModel(t *testing.T) {
+	perElemNS := ToyVecAddMS(1<<20) * 1e6 / (1 << 20 / DPUs)
+	wantNS := 12.0 / mramBurstBytes * instrNS
+	if perElemNS < wantNS*0.99 || perElemNS > wantNS*1.01 {
+		t.Errorf("toy per-element = %v ns, want %v ns", perElemNS, wantNS)
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Image is an uncompressed 24-bit RGB image, the input format of the
+// histogram, brightness, and downsampling benchmarks (the paper uses 24-bit
+// .bmp files).
+type Image struct {
+	Width  int
+	Height int
+	// Pix holds R, G, B triples in row-major order, top row first.
+	Pix []byte
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{Width: w, Height: h, Pix: make([]byte, 3*w*h)}
+}
+
+// RandomImage generates a synthetic photo-like image: smooth per-row color
+// gradients plus noise, so histograms are non-degenerate.
+func RandomImage(rng *rand.Rand, w, h int) *Image {
+	img := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		baseR := byte(rng.Intn(200))
+		baseG := byte(rng.Intn(200))
+		baseB := byte(rng.Intn(200))
+		for x := 0; x < w; x++ {
+			i := 3 * (y*w + x)
+			img.Pix[i] = baseR + byte(rng.Intn(56))
+			img.Pix[i+1] = baseG + byte(rng.Intn(56))
+			img.Pix[i+2] = baseB + byte(rng.Intn(56))
+		}
+	}
+	return img
+}
+
+// Channel extracts one color channel (0=R, 1=G, 2=B) as a byte vector.
+func (m *Image) Channel(c int) []byte {
+	out := make([]byte, m.Width*m.Height)
+	for i := range out {
+		out[i] = m.Pix[3*i+c]
+	}
+	return out
+}
+
+const (
+	bmpFileHeaderSize = 14
+	bmpInfoHeaderSize = 40
+)
+
+// EncodeBMP serializes the image as a standard bottom-up 24-bit BMP with
+// 4-byte row padding.
+func (m *Image) EncodeBMP() []byte {
+	rowBytes := (3*m.Width + 3) &^ 3
+	dataSize := rowBytes * m.Height
+	total := bmpFileHeaderSize + bmpInfoHeaderSize + dataSize
+	buf := make([]byte, total)
+	// File header.
+	buf[0], buf[1] = 'B', 'M'
+	binary.LittleEndian.PutUint32(buf[2:], uint32(total))
+	binary.LittleEndian.PutUint32(buf[10:], bmpFileHeaderSize+bmpInfoHeaderSize)
+	// Info header (BITMAPINFOHEADER).
+	binary.LittleEndian.PutUint32(buf[14:], bmpInfoHeaderSize)
+	binary.LittleEndian.PutUint32(buf[18:], uint32(m.Width))
+	binary.LittleEndian.PutUint32(buf[22:], uint32(m.Height))
+	binary.LittleEndian.PutUint16(buf[26:], 1)  // planes
+	binary.LittleEndian.PutUint16(buf[28:], 24) // bpp
+	binary.LittleEndian.PutUint32(buf[34:], uint32(dataSize))
+	// Pixel array: bottom-up, BGR.
+	off := bmpFileHeaderSize + bmpInfoHeaderSize
+	for y := 0; y < m.Height; y++ {
+		srcRow := m.Height - 1 - y
+		for x := 0; x < m.Width; x++ {
+			s := 3 * (srcRow*m.Width + x)
+			d := off + y*rowBytes + 3*x
+			buf[d] = m.Pix[s+2]   // B
+			buf[d+1] = m.Pix[s+1] // G
+			buf[d+2] = m.Pix[s]   // R
+		}
+	}
+	return buf
+}
+
+// DecodeBMP parses a 24-bit uncompressed BMP produced by EncodeBMP (or any
+// standard bottom-up 24-bit BMP).
+func DecodeBMP(data []byte) (*Image, error) {
+	if len(data) < bmpFileHeaderSize+bmpInfoHeaderSize {
+		return nil, errors.New("workload: BMP too short")
+	}
+	if data[0] != 'B' || data[1] != 'M' {
+		return nil, errors.New("workload: missing BM magic")
+	}
+	off := binary.LittleEndian.Uint32(data[10:])
+	w := int(int32(binary.LittleEndian.Uint32(data[18:])))
+	h := int(int32(binary.LittleEndian.Uint32(data[22:])))
+	bpp := binary.LittleEndian.Uint16(data[28:])
+	if bpp != 24 {
+		return nil, fmt.Errorf("workload: unsupported BMP depth %d", bpp)
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("workload: bad dimensions %dx%d", w, h)
+	}
+	rowBytes := (3*w + 3) &^ 3
+	if int(off)+rowBytes*h > len(data) {
+		return nil, errors.New("workload: truncated pixel array")
+	}
+	img := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		srcRow := int(off) + (h-1-y)*rowBytes
+		for x := 0; x < w; x++ {
+			s := srcRow + 3*x
+			d := 3 * (y*w + x)
+			img.Pix[d] = data[s+2]
+			img.Pix[d+1] = data[s+1]
+			img.Pix[d+2] = data[s]
+		}
+	}
+	return img, nil
+}

@@ -1,0 +1,164 @@
+// Package workload provides deterministic input generators for the
+// PIMbench suite: integer vectors and matrices, key-value tables, random
+// graphs, 2-D point sets, and 24-bit BMP images (with an encoder/decoder
+// for the image-processing benchmarks, standing in for the paper's bitmap
+// test files).
+package workload
+
+import (
+	"math/rand"
+)
+
+// RNG returns a deterministic source for the seed. Every benchmark derives
+// its inputs from a fixed seed so results are reproducible run to run.
+func RNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Int32Vector returns n values uniform in [lo, hi].
+func Int32Vector(rng *rand.Rand, n int, lo, hi int32) []int32 {
+	out := make([]int32, n)
+	span := int64(hi) - int64(lo) + 1
+	for i := range out {
+		out[i] = int32(int64(lo) + rng.Int63n(span))
+	}
+	return out
+}
+
+// Matrix returns a rows x cols row-major matrix with entries in [lo, hi].
+func Matrix(rng *rand.Rand, rows, cols int, lo, hi int32) []int32 {
+	return Int32Vector(rng, rows*cols, lo, hi)
+}
+
+// Bytes returns n random bytes.
+func Bytes(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(256))
+	}
+	return out
+}
+
+// Points2D returns n (x, y) pairs with coordinates in [lo, hi], flattened
+// as x0,y0,x1,y1,...
+func Points2D(rng *rand.Rand, n int, lo, hi int32) []int32 {
+	return Int32Vector(rng, 2*n, lo, hi)
+}
+
+// KeyValue is one row of the filter-by-key table.
+type KeyValue struct {
+	Key   int32
+	Value int32
+}
+
+// Table returns n key-value pairs with keys uniform in [0, keyRange).
+func Table(rng *rand.Rand, n int, keyRange int32) []KeyValue {
+	out := make([]KeyValue, n)
+	for i := range out {
+		out[i] = KeyValue{Key: rng.Int31n(keyRange), Value: rng.Int31()}
+	}
+	return out
+}
+
+// Graph is an undirected graph in both edge-list and adjacency-bitmap form.
+// Row i is a bitset over nodes packed into 32-bit words (the layout triangle
+// counting streams through PIM AND/popcount ops).
+type Graph struct {
+	Nodes int
+	Edges [][2]int32
+	// Adj[i] has ceil(Nodes/32) uint32 words; bit j of Adj[i] marks edge i-j.
+	Adj [][]uint32
+}
+
+// WordsPerRow returns the adjacency row width in 32-bit words.
+func (g *Graph) WordsPerRow() int { return (g.Nodes + 31) / 32 }
+
+// HasEdge reports whether nodes i and j are adjacent.
+func (g *Graph) HasEdge(i, j int) bool {
+	return g.Adj[i][j/32]&(1<<(j%32)) != 0
+}
+
+// BytesPerRow returns the adjacency row width in bytes.
+func (g *Graph) BytesPerRow() int { return g.WordsPerRow() * 4 }
+
+// RowBytes returns adjacency row i as little-endian bytes (the byte-vector
+// view the PIM triangle-count kernel streams through AND/popcount).
+func (g *Graph) RowBytes(i int) []byte {
+	out := make([]byte, g.BytesPerRow())
+	for w, v := range g.Adj[i] {
+		out[4*w] = byte(v)
+		out[4*w+1] = byte(v >> 8)
+		out[4*w+2] = byte(v >> 16)
+		out[4*w+3] = byte(v >> 24)
+	}
+	return out
+}
+
+// RandomGraph generates a simple undirected graph with the requested edge
+// count (self-loops and duplicates skipped, so the result can have slightly
+// fewer edges on dense requests).
+func RandomGraph(rng *rand.Rand, nodes, edges int) *Graph {
+	g := &Graph{Nodes: nodes}
+	g.Adj = make([][]uint32, nodes)
+	words := g.WordsPerRow()
+	backing := make([]uint32, nodes*words)
+	for i := range g.Adj {
+		g.Adj[i], backing = backing[:words:words], backing[words:]
+	}
+	for len(g.Edges) < edges {
+		u, v := rng.Intn(nodes), rng.Intn(nodes)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.Adj[u][v/32] |= 1 << (v % 32)
+		g.Adj[v][u/32] |= 1 << (u % 32)
+		g.Edges = append(g.Edges, [2]int32{int32(u), int32(v)})
+	}
+	return g
+}
+
+// CountTrianglesRef is the golden host-side triangle counter used to verify
+// the PIM implementation: for each edge (u,v), count common neighbors; each
+// triangle is seen from its three edges, so divide by 3.
+func (g *Graph) CountTrianglesRef() int64 {
+	var total int64
+	for _, e := range g.Edges {
+		u, v := e[0], e[1]
+		for w := 0; w < g.WordsPerRow(); w++ {
+			x := g.Adj[u][w] & g.Adj[v][w]
+			for ; x != 0; x &= x - 1 {
+				total++
+			}
+		}
+	}
+	return total / 3
+}
+
+// LinearPoints returns n 2-D points around the line y = slope*x + intercept
+// with bounded integer noise — the linear-regression benchmark's input.
+func LinearPoints(rng *rand.Rand, n int, slope, intercept, noise int32) (xs, ys []int32) {
+	xs = make([]int32, n)
+	ys = make([]int32, n)
+	for i := range xs {
+		x := rng.Int31n(1000)
+		xs[i] = x
+		ys[i] = slope*x + intercept + rng.Int31n(2*noise+1) - noise
+	}
+	return xs, ys
+}
+
+// ClusteredPoints returns n 2-D points drawn around k well-separated
+// centers — the K-means benchmark's input. Centers are spaced on a coarse
+// grid so the reference clustering is stable.
+func ClusteredPoints(rng *rand.Rand, n, k int, spread int32) (xs, ys []int32, centers [][2]int32) {
+	centers = make([][2]int32, k)
+	for c := range centers {
+		centers[c] = [2]int32{int32(c%5)*4000 + 2000, int32(c/5)*4000 + 2000}
+	}
+	xs = make([]int32, n)
+	ys = make([]int32, n)
+	for i := range xs {
+		c := centers[rng.Intn(k)]
+		xs[i] = c[0] + rng.Int31n(2*spread+1) - spread
+		ys[i] = c[1] + rng.Int31n(2*spread+1) - spread
+	}
+	return xs, ys, centers
+}

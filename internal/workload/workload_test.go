@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Int32Vector(RNG(1), 100, -50, 50)
+	b := Int32Vector(RNG(1), 100, -50, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce same vector")
+		}
+	}
+	c := Int32Vector(RNG(2), 100, -50, 50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical vectors")
+	}
+}
+
+func TestVectorBounds(t *testing.T) {
+	v := Int32Vector(RNG(3), 10000, -7, 13)
+	for _, x := range v {
+		if x < -7 || x > 13 {
+			t.Fatalf("value %d out of [-7,13]", x)
+		}
+	}
+}
+
+func TestRandomGraphInvariants(t *testing.T) {
+	g := RandomGraph(RNG(4), 100, 300)
+	if len(g.Edges) != 300 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		u, v := int(e[0]), int(e[1])
+		if u == v {
+			t.Fatal("self loop")
+		}
+		if !g.HasEdge(u, v) || !g.HasEdge(v, u) {
+			t.Fatal("adjacency not symmetric")
+		}
+	}
+	// No duplicate edges: count set bits == 2*edges.
+	var bits int
+	for _, row := range g.Adj {
+		for _, w := range row {
+			for ; w != 0; w &= w - 1 {
+				bits++
+			}
+		}
+	}
+	if bits != 2*len(g.Edges) {
+		t.Errorf("bit count %d, want %d", bits, 2*len(g.Edges))
+	}
+}
+
+func TestCountTrianglesRefKnown(t *testing.T) {
+	// Build K4 (complete graph on 4 nodes) by hand: 4 triangles.
+	g := &Graph{Nodes: 4}
+	g.Adj = make([][]uint32, 4)
+	for i := range g.Adj {
+		g.Adj[i] = make([]uint32, 1)
+	}
+	add := func(u, v int) {
+		g.Adj[u][0] |= 1 << v
+		g.Adj[v][0] |= 1 << u
+		g.Edges = append(g.Edges, [2]int32{int32(u), int32(v)})
+	}
+	add(0, 1)
+	add(0, 2)
+	add(0, 3)
+	add(1, 2)
+	add(1, 3)
+	add(2, 3)
+	if got := g.CountTrianglesRef(); got != 4 {
+		t.Errorf("K4 triangles = %d, want 4", got)
+	}
+}
+
+func TestLinearPointsFollowLine(t *testing.T) {
+	xs, ys := LinearPoints(RNG(5), 1000, 3, 17, 2)
+	for i := range xs {
+		want := 3*xs[i] + 17
+		if diff := ys[i] - want; diff < -2 || diff > 2 {
+			t.Fatalf("point %d deviates by %d", i, diff)
+		}
+	}
+}
+
+func TestClusteredPoints(t *testing.T) {
+	xs, ys, centers := ClusteredPoints(RNG(6), 500, 4, 100)
+	if len(centers) != 4 || len(xs) != 500 || len(ys) != 500 {
+		t.Fatal("shape mismatch")
+	}
+	// Every point must be within spread of some center.
+	for i := range xs {
+		ok := false
+		for _, c := range centers {
+			dx, dy := xs[i]-c[0], ys[i]-c[1]
+			if dx >= -100 && dx <= 100 && dy >= -100 && dy <= 100 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("point %d not near any center", i)
+		}
+	}
+}
+
+func TestTableKeys(t *testing.T) {
+	tab := Table(RNG(7), 1000, 50)
+	for _, kv := range tab {
+		if kv.Key < 0 || kv.Key >= 50 {
+			t.Fatalf("key %d out of range", kv.Key)
+		}
+	}
+}
+
+func TestBMPRoundTrip(t *testing.T) {
+	for _, dims := range [][2]int{{16, 16}, {17, 9}, {1, 1}, {5, 3}} {
+		img := RandomImage(RNG(8), dims[0], dims[1])
+		enc := img.EncodeBMP()
+		dec, err := DecodeBMP(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", dims, err)
+		}
+		if dec.Width != img.Width || dec.Height != img.Height {
+			t.Fatalf("%v: dims %dx%d", dims, dec.Width, dec.Height)
+		}
+		if !bytes.Equal(dec.Pix, img.Pix) {
+			t.Fatalf("%v: pixel mismatch", dims)
+		}
+	}
+}
+
+func TestBMPDecodeErrors(t *testing.T) {
+	if _, err := DecodeBMP(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := DecodeBMP(make([]byte, 100)); err == nil {
+		t.Error("missing magic accepted")
+	}
+	img := RandomImage(RNG(9), 8, 8)
+	enc := img.EncodeBMP()
+	enc[28] = 8 // claim 8bpp
+	if _, err := DecodeBMP(enc); err == nil {
+		t.Error("8bpp accepted")
+	}
+	enc2 := img.EncodeBMP()[:60]
+	if _, err := DecodeBMP(enc2); err == nil {
+		t.Error("truncated pixel data accepted")
+	}
+}
+
+func TestChannelExtraction(t *testing.T) {
+	img := NewImage(2, 1)
+	copy(img.Pix, []byte{10, 20, 30, 40, 50, 60})
+	if r := img.Channel(0); r[0] != 10 || r[1] != 40 {
+		t.Errorf("R = %v", r)
+	}
+	if g := img.Channel(1); g[0] != 20 || g[1] != 50 {
+		t.Errorf("G = %v", g)
+	}
+	if b := img.Channel(2); b[0] != 30 || b[1] != 60 {
+		t.Errorf("B = %v", b)
+	}
+}

@@ -1,0 +1,173 @@
+package pim
+
+import "pimeval/internal/isa"
+
+// Element-wise binary operations (dst = a OP b). Operands must share length
+// and type; dst may alias an input.
+
+// Add computes dst = a + b (pimAdd).
+func (v *Device) Add(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpAdd, a, b, dst) }
+
+// Sub computes dst = a - b (pimSub).
+func (v *Device) Sub(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpSub, a, b, dst) }
+
+// Mul computes dst = a * b (pimMul).
+func (v *Device) Mul(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpMul, a, b, dst) }
+
+// Div computes dst = a / b, truncated integer division (pimDiv). Division
+// by zero follows the restoring-divider hardware: an all-ones magnitude
+// quotient, sign-adjusted for signed types.
+func (v *Device) Div(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpDiv, a, b, dst) }
+
+// And computes dst = a & b (pimAnd).
+func (v *Device) And(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpAnd, a, b, dst) }
+
+// Or computes dst = a | b (pimOr).
+func (v *Device) Or(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpOr, a, b, dst) }
+
+// Xor computes dst = a ^ b (pimXor).
+func (v *Device) Xor(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpXor, a, b, dst) }
+
+// Xnor computes dst = ~(a ^ b) (pimXnor).
+func (v *Device) Xnor(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpXnor, a, b, dst) }
+
+// Min computes dst = min(a, b) element-wise (pimMin).
+func (v *Device) Min(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpMin, a, b, dst) }
+
+// Max computes dst = max(a, b) element-wise (pimMax).
+func (v *Device) Max(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpMax, a, b, dst) }
+
+// Lt computes the mask dst = (a < b) as 0/1 elements (pimLT).
+func (v *Device) Lt(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpLt, a, b, dst) }
+
+// Gt computes the mask dst = (a > b) (pimGT).
+func (v *Device) Gt(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpGt, a, b, dst) }
+
+// Eq computes the mask dst = (a == b) (pimEQ).
+func (v *Device) Eq(a, b, dst ObjID) error { return v.d.ExecBinary(isa.OpEq, a, b, dst) }
+
+// Scalar variants: the immediate is broadcast by the controller.
+
+// AddScalar computes dst = a + s.
+func (v *Device) AddScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpAdd, a, s, dst)
+}
+
+// SubScalar computes dst = a - s.
+func (v *Device) SubScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpSub, a, s, dst)
+}
+
+// MulScalar computes dst = a * s.
+func (v *Device) MulScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpMul, a, s, dst)
+}
+
+// DivScalar computes dst = a / s.
+func (v *Device) DivScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpDiv, a, s, dst)
+}
+
+// AndScalar computes dst = a & s.
+func (v *Device) AndScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpAnd, a, s, dst)
+}
+
+// OrScalar computes dst = a | s.
+func (v *Device) OrScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpOr, a, s, dst)
+}
+
+// XorScalar computes dst = a ^ s.
+func (v *Device) XorScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpXor, a, s, dst)
+}
+
+// MinScalar computes dst = min(a, s).
+func (v *Device) MinScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpMin, a, s, dst)
+}
+
+// MaxScalar computes dst = max(a, s).
+func (v *Device) MaxScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpMax, a, s, dst)
+}
+
+// LtScalar computes the mask dst = (a < s).
+func (v *Device) LtScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpLt, a, s, dst)
+}
+
+// GtScalar computes the mask dst = (a > s).
+func (v *Device) GtScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpGt, a, s, dst)
+}
+
+// EqScalar computes the mask dst = (a == s).
+func (v *Device) EqScalar(a ObjID, s int64, dst ObjID) error {
+	return v.d.ExecScalar(isa.OpEq, a, s, dst)
+}
+
+// ScaledAdd computes dst = a*factor + b (pimScaledAdd, the AXPY primitive).
+// It stages the scaled product in an internal temporary so dst may alias
+// either input, matching the paper's Listing 1 usage pimScaledAdd(x, y, y, a).
+func (v *Device) ScaledAdd(a, b, dst ObjID, factor int64) error {
+	tmp, err := v.AllocAssociated(a)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = v.Free(tmp) }()
+	if err := v.d.ExecScalar(isa.OpMul, a, factor, tmp); err != nil {
+		return err
+	}
+	return v.d.ExecBinary(isa.OpAdd, tmp, b, dst)
+}
+
+// Unary operations.
+
+// Not computes dst = ~a (pimNot).
+func (v *Device) Not(a, dst ObjID) error { return v.d.ExecUnary(isa.OpNot, a, dst) }
+
+// Abs computes dst = |a| (pimAbs).
+func (v *Device) Abs(a, dst ObjID) error { return v.d.ExecUnary(isa.OpAbs, a, dst) }
+
+// PopCount computes the per-element population count (pimPopCount).
+func (v *Device) PopCount(a, dst ObjID) error { return v.d.ExecUnary(isa.OpPopCount, a, dst) }
+
+// Sbox applies the AES S-box to each byte element (pimAesSbox): evaluated
+// as a bitsliced gate network on every architecture, since none has a
+// lookup-table buffer. Requires an 8-bit element type.
+func (v *Device) Sbox(a, dst ObjID) error { return v.d.ExecUnary(isa.OpSbox, a, dst) }
+
+// SboxInv applies the inverse AES S-box (pimAesInverseSbox).
+func (v *Device) SboxInv(a, dst ObjID) error { return v.d.ExecUnary(isa.OpSboxInv, a, dst) }
+
+// ShiftL computes dst = a << amount (pimShiftBitsLeft).
+func (v *Device) ShiftL(a ObjID, amount int, dst ObjID) error {
+	return v.d.ExecShift(isa.OpShiftL, a, amount, dst)
+}
+
+// ShiftR computes dst = a >> amount: arithmetic for signed types, logical
+// for unsigned (pimShiftBitsRight).
+func (v *Device) ShiftR(a ObjID, amount int, dst ObjID) error {
+	return v.d.ExecShift(isa.OpShiftR, a, amount, dst)
+}
+
+// Select computes dst[i] = cond[i] != 0 ? a[i] : b[i] (associative
+// conditional update, the DRAM-AP SEL primitive at API level).
+func (v *Device) Select(cond, a, b, dst ObjID) error {
+	return v.d.ExecSelect(cond, a, b, dst)
+}
+
+// Broadcast fills dst with the scalar (pimBroadcastInt).
+func (v *Device) Broadcast(dst ObjID, val int64) error { return v.d.Broadcast(dst, val) }
+
+// RedSum reduces the object to a single sum (pimRedSumInt).
+func (v *Device) RedSum(a ObjID) (int64, error) { return v.d.RedSum(a) }
+
+// RedSumSeg reduces each consecutive segLen-element segment to one sum —
+// the segmented-reduction building block batched GEMV kernels use
+// (pimRedSumRanged generalization). In model-only mode it returns nil sums.
+func (v *Device) RedSumSeg(a ObjID, segLen int64) ([]int64, error) {
+	return v.d.RedSumSeg(a, segLen)
+}

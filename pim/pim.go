@@ -1,0 +1,327 @@
+// Package pim is the public programming interface of the PIMeval simulator:
+// a Go rendition of the paper's high-level PIM API (Section V-B).
+//
+// A program creates a Device for one of the three modeled architectures,
+// allocates PIM data objects, copies data in, issues PIM commands, reads
+// results and statistics back, and frees the objects:
+//
+//	dev, _ := pim.NewDevice(pim.Config{Target: pim.Fulcrum, Ranks: 32, Functional: true})
+//	x, _ := dev.Alloc(n, pim.Int32)
+//	y, _ := dev.AllocAssociated(x)
+//	_ = pim.CopyToDevice(dev, x, xs)
+//	_ = pim.CopyToDevice(dev, y, ys)
+//	_ = dev.ScaledAdd(x, y, y, a) // y = a*x + y
+//	_ = pim.CopyFromDevice(dev, y, ys)
+//	dev.Free(x); dev.Free(y)
+//
+// The same program runs unmodified on every architecture; only the Config
+// target changes — that portability is the paper's central API claim.
+package pim
+
+import (
+	"fmt"
+	"io"
+
+	"pimeval/internal/device"
+	"pimeval/internal/dram"
+	"pimeval/internal/hostmodel"
+	"pimeval/internal/isa"
+)
+
+// Target selects the simulated PIM architecture.
+type Target = device.Target
+
+// The three PIM architectures compared in the paper.
+const (
+	BitSerial = device.TargetBitSerial // subarray-level digital bit-serial (DRAM-AP)
+	Fulcrum   = device.TargetFulcrum   // subarray-level bit-parallel
+	BankLevel = device.TargetBankLevel // bank-level bit-parallel
+	// AnalogBitSerial is the Ambit/SIMDRAM-style analog extension
+	// (triple-row-activation MAJ computing); excluded from AllTargets
+	// since the paper's figures compare the three digital designs.
+	AnalogBitSerial = device.TargetAnalogBitSerial
+)
+
+// AllTargets lists the three architectures in paper order.
+var AllTargets = []Target{BitSerial, Fulcrum, BankLevel}
+
+// DataType identifies a PIM element type.
+type DataType = isa.DataType
+
+// Supported element types.
+const (
+	Int8   = isa.Int8
+	Int16  = isa.Int16
+	Int32  = isa.Int32
+	Int64  = isa.Int64
+	UInt8  = isa.UInt8
+	UInt16 = isa.UInt16
+	UInt32 = isa.UInt32
+	UInt64 = isa.UInt64
+)
+
+// ObjID identifies an allocated PIM data object.
+type ObjID = device.ObjID
+
+// Memory selects the DRAM technology of the simulated module.
+type Memory int
+
+// Supported memory technologies. HBM2 is the paper's future-work direction
+// (Sections III and IX); Ranks counts pseudo-channels for it.
+const (
+	MemDDR4 Memory = iota
+	MemHBM2
+)
+
+// Config describes the device to simulate. Zero-valued geometry fields take
+// the paper's defaults (Table II: 128 banks/rank, 32 subarrays/bank,
+// 1024x8192 subarrays, 128-bit GDL, 25.6 GB/s per rank).
+type Config struct {
+	Target Target
+	// Memory selects DDR4 (default, the paper's configuration) or HBM2.
+	Memory Memory
+	// Ranks is the number of DRAM ranks (defaults to 32, the paper's main
+	// configuration). For HBM2 it counts pseudo-channels.
+	Ranks int
+	// Geometry overrides for sensitivity studies (Figure 6); zero = default.
+	BanksPerRank     int
+	SubarraysPerBank int
+	RowsPerSubarray  int
+	ColsPerRow       int
+	GDLWidthBits     int
+	// Functional enables data-carrying simulation. Leave false for
+	// paper-scale model-only runs.
+	Functional bool
+}
+
+// module materializes the dram description for the config.
+func (c Config) module() dram.Module {
+	ranks := c.Ranks
+	if ranks == 0 {
+		ranks = 32
+	}
+	m := dram.DDR4(ranks)
+	if c.Memory == MemHBM2 {
+		m = dram.HBM2(ranks)
+	}
+	if c.BanksPerRank > 0 {
+		m.Geometry.BanksPerRank = c.BanksPerRank
+	}
+	if c.SubarraysPerBank > 0 {
+		m.Geometry.SubarraysPerBank = c.SubarraysPerBank
+	}
+	if c.RowsPerSubarray > 0 {
+		m.Geometry.RowsPerSubarray = c.RowsPerSubarray
+	}
+	if c.ColsPerRow > 0 {
+		m.Geometry.ColsPerRow = c.ColsPerRow
+	}
+	if c.GDLWidthBits > 0 {
+		m.Geometry.GDLWidthBits = c.GDLWidthBits
+	}
+	return m
+}
+
+// Device is a simulated PIM device.
+type Device struct {
+	d   *device.Device
+	cfg Config
+}
+
+// NewDevice creates a PIM device for the configuration.
+func NewDevice(cfg Config) (*Device, error) {
+	d, err := device.New(device.Config{
+		Target:     cfg.Target,
+		Module:     cfg.module(),
+		Functional: cfg.Functional,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Device{d: d, cfg: cfg}, nil
+}
+
+// Target returns the device's architecture.
+func (v *Device) Target() Target { return v.cfg.Target }
+
+// Cores returns the device's PIM core count.
+func (v *Device) Cores() int { return v.d.Cores() }
+
+// Functional reports whether the device carries real data.
+func (v *Device) Functional() bool { return v.cfg.Functional }
+
+// Alloc allocates a PIM object of n elements (the paper's pimAlloc with
+// PIM_ALLOC_AUTO).
+func (v *Device) Alloc(n int64, dt DataType) (ObjID, error) { return v.d.Alloc(n, dt) }
+
+// AllocAssociated allocates an object shaped like ref (pimAllocAssociated).
+func (v *Device) AllocAssociated(ref ObjID) (ObjID, error) {
+	o, err := v.d.Object(ref)
+	if err != nil {
+		return 0, err
+	}
+	return v.d.AllocAssociated(ref, o.Type())
+}
+
+// AllocAssociatedTyped allocates an object shaped like ref with a different
+// element type.
+func (v *Device) AllocAssociatedTyped(ref ObjID, dt DataType) (ObjID, error) {
+	return v.d.AllocAssociated(ref, dt)
+}
+
+// Free releases an object (pimFree).
+func (v *Device) Free(id ObjID) error { return v.d.Free(id) }
+
+// Len returns the element count of an object.
+func (v *Device) Len(id ObjID) (int64, error) {
+	o, err := v.d.Object(id)
+	if err != nil {
+		return 0, err
+	}
+	return o.Len(), nil
+}
+
+// Integer is the constraint for host slices exchanged with PIM objects.
+type Integer interface {
+	~int8 | ~int16 | ~int32 | ~int64 | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~int | ~uint
+}
+
+// CopyToDevice copies a host slice into a PIM object
+// (pimCopyHostToDevice). In model-only mode pass nil to charge the
+// transfer without materializing data.
+func CopyToDevice[T Integer](v *Device, id ObjID, data []T) error {
+	if data == nil {
+		return v.d.CopyHostToDevice(id, nil)
+	}
+	vals := make([]int64, len(data))
+	for i, x := range data {
+		vals[i] = int64(x)
+	}
+	return v.d.CopyHostToDevice(id, vals)
+}
+
+// CopyFromDevice copies a PIM object back into the host slice
+// (pimCopyDeviceToHost). dst must have the object's length. In model-only
+// mode the transfer is charged and dst is left untouched.
+func CopyFromDevice[T Integer](v *Device, id ObjID, dst []T) error {
+	vals, err := v.d.CopyDeviceToHost(id)
+	if err != nil {
+		return err
+	}
+	if vals == nil {
+		return nil
+	}
+	if len(dst) != len(vals) {
+		return fmt.Errorf("pim: destination slice length %d, object length %d", len(dst), len(vals))
+	}
+	for i, x := range vals {
+		dst[i] = T(x)
+	}
+	return nil
+}
+
+// CopyDeviceToDevice copies (or tiles, when dst is an exact multiple larger)
+// one object into another. Layout-changing device-to-device traffic is
+// charged as data movement at rank bandwidth.
+func (v *Device) CopyDeviceToDevice(src, dst ObjID) error {
+	return v.d.CopyDeviceToDevice(src, dst)
+}
+
+// CopyDeviceToDeviceRange copies n elements from src[srcOff:] into
+// dst[dstOff:] — the gather primitive for assembling batches from resident
+// data (e.g. adjacency rows).
+func (v *Device) CopyDeviceToDeviceRange(src ObjID, srcOff int64, dst ObjID, dstOff, n int64) error {
+	return v.d.CopyDeviceToDeviceRange(src, srcOff, dst, dstOff, n)
+}
+
+// WithRepeat charges every command issued inside fn n times while executing
+// it functionally once — the loop-collapsing device used to run paper-scale
+// iteration counts (see DESIGN.md).
+func (v *Device) WithRepeat(n int64, fn func() error) error { return v.d.WithRepeat(n, fn) }
+
+// RecordHostKernel models a host-CPU-executed phase (PIM + Host benchmarks)
+// with the paper's CPU baseline roofline: bytes of traffic, ops of scalar
+// compute, and whether the access pattern is random. The modeled time and
+// TDP energy are charged to the device's host statistics.
+func (v *Device) RecordHostKernel(bytes, ops int64, random bool) {
+	v.d.RecordHost(hostmodel.CPU().Cost(hostmodel.Kernel{Bytes: bytes, Ops: ops, Random: random}))
+}
+
+// Metrics is the public statistics snapshot.
+type Metrics struct {
+	KernelMS float64 // PIM kernel time
+	HostMS   float64 // host-executed phase time
+	CopyMS   float64 // host<->device transfer time
+	KernelMJ float64 // PIM kernel energy
+	HostMJ   float64 // host phase energy (TDP-based)
+	CopyMJ   float64 // transfer energy
+
+	HostToDeviceBytes   int64
+	DeviceToHostBytes   int64
+	DeviceToDeviceBytes int64
+}
+
+// TotalMS returns end-to-end modeled time.
+func (m Metrics) TotalMS() float64 { return m.KernelMS + m.HostMS + m.CopyMS }
+
+// TotalMJ returns end-to-end modeled energy, excluding host idle energy.
+func (m Metrics) TotalMJ() float64 { return m.KernelMJ + m.HostMJ + m.CopyMJ }
+
+// IdleMJ returns the host idle energy burned while waiting for PIM kernels
+// (10 W during kernel time, paper Section V-D iii).
+func (m Metrics) IdleMJ() float64 {
+	return hostmodel.IdleEnergyPJ(m.KernelMS*1e6) * 1e-9
+}
+
+// Metrics returns the device's accumulated statistics.
+func (v *Device) Metrics() Metrics {
+	b := v.d.Stats().Breakdown()
+	c := v.d.Stats().Copies()
+	return Metrics{
+		KernelMS:            b.Kernel.TimeMS(),
+		HostMS:              b.Host.TimeMS(),
+		CopyMS:              b.Copy.TimeMS(),
+		KernelMJ:            b.Kernel.EnergyMJ(),
+		HostMJ:              b.Host.EnergyMJ(),
+		CopyMJ:              b.Copy.EnergyMJ(),
+		HostToDeviceBytes:   c.HostToDeviceBytes,
+		DeviceToHostBytes:   c.DeviceToHostBytes,
+		DeviceToDeviceBytes: c.DeviceToDeviceBytes,
+	}
+}
+
+// OpMix returns the Figure-8 operation-category frequencies (fractions).
+func (v *Device) OpMix() map[string]float64 { return v.d.Stats().OpMix() }
+
+// WriteCommandCSV emits the accumulated per-command statistics as CSV
+// (command, count, runtime_ms, energy_mj).
+func (v *Device) WriteCommandCSV(w io.Writer) error { return v.d.Stats().WriteCSV(w) }
+
+// EnableTrace starts recording every dispatched command and copy; the
+// trace retains the most recent 64Ki entries. Retrieve with TraceString.
+func (v *Device) EnableTrace() { v.d.EnableTrace() }
+
+// TraceString renders the recorded command trace.
+func (v *Device) TraceString() string { return v.d.TraceString() }
+
+// ResetStats clears the device's accumulated statistics.
+func (v *Device) ResetStats() { v.d.Stats().Reset() }
+
+// Report renders the artifact-style statistics report (Listing 3).
+func (v *Device) Report() string {
+	mod := v.cfg.module()
+	g := mod.Geometry
+	header := fmt.Sprintf(
+		"PIM Params:\n"+
+			"  PIM Simulation Target : %s\n"+
+			"  Rank, Bank, Subarray, Row, Col : %d, %d, %d, %d, %d\n"+
+			"  Number of PIM Cores : %d\n"+
+			"  Typical Rank BW : %f GB/s\n"+
+			"  Row Read (ns) : %f\n"+
+			"  Row Write (ns) : %f\n"+
+			"  tCCD (ns) : %f",
+		v.d.Arch().Name(), g.Ranks, g.BanksPerRank, g.SubarraysPerBank,
+		g.RowsPerSubarray, g.ColsPerRow, v.d.Cores(), mod.RankBandwidthGBs,
+		mod.Timing.RowReadNS, mod.Timing.RowWriteNS, mod.Timing.TCCDNS)
+	return v.d.Stats().Report(header)
+}

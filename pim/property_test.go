@@ -1,0 +1,363 @@
+package pim
+
+// Property-based tests of the PIM API's algebraic laws, run on real devices
+// with testing/quick: the simulated ops must satisfy the same identities as
+// Go's native integer arithmetic on every architecture.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// propDevice builds one functional device per target, reused across
+// properties to keep the suite fast.
+var propDevices = map[Target]*Device{}
+
+func propDev(t *testing.T, tgt Target) *Device {
+	t.Helper()
+	if d, ok := propDevices[tgt]; ok {
+		return d
+	}
+	d, err := NewDevice(Config{Target: tgt, Ranks: 1, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	propDevices[tgt] = d
+	return d
+}
+
+// apply runs a binary op on single-element vectors and returns the result.
+func apply(t *testing.T, dev *Device, op func(a, b, dst ObjID) error, x, y int32) int32 {
+	t.Helper()
+	a, err := dev.Alloc(1, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dev.AllocAssociated(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := dev.AllocAssociated(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dev.Free(a); _ = dev.Free(b); _ = dev.Free(dst) }()
+	if err := CopyToDevice(dev, a, []int32{x}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CopyToDevice(dev, b, []int32{y}); err != nil {
+		t.Fatal(err)
+	}
+	if err := op(a, b, dst); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, 1)
+	if err := CopyFromDevice(dev, dst, out); err != nil {
+		t.Fatal(err)
+	}
+	return out[0]
+}
+
+func TestArithmeticLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(5))}
+	for _, tgt := range AllTargets {
+		dev := propDev(t, tgt)
+		laws := []struct {
+			name string
+			prop func(x, y int32) bool
+		}{
+			{"add-commutes", func(x, y int32) bool {
+				return apply(t, dev, dev.Add, x, y) == apply(t, dev, dev.Add, y, x)
+			}},
+			{"add-matches-go", func(x, y int32) bool {
+				return apply(t, dev, dev.Add, x, y) == x+y
+			}},
+			{"mul-matches-go", func(x, y int32) bool {
+				return apply(t, dev, dev.Mul, x, y) == x*y
+			}},
+			{"sub-anti-commutes", func(x, y int32) bool {
+				return apply(t, dev, dev.Sub, x, y) == -apply(t, dev, dev.Sub, y, x)
+			}},
+			{"xor-self-annihilates", func(x, _ int32) bool {
+				return apply(t, dev, dev.Xor, x, x) == 0
+			}},
+			{"demorgan", func(x, y int32) bool {
+				lhs := apply(t, dev, func(a, b, d ObjID) error {
+					if err := dev.And(a, b, d); err != nil {
+						return err
+					}
+					return dev.Not(d, d)
+				}, x, y)
+				return lhs == (^x | ^y)
+			}},
+			{"min-max-partition", func(x, y int32) bool {
+				mn := apply(t, dev, dev.Min, x, y)
+				mx := apply(t, dev, dev.Max, x, y)
+				return int64(mn)+int64(mx) == int64(x)+int64(y) && mn <= mx
+			}},
+			{"lt-gt-eq-total-order", func(x, y int32) bool {
+				lt := apply(t, dev, dev.Lt, x, y)
+				gt := apply(t, dev, dev.Gt, x, y)
+				eq := apply(t, dev, dev.Eq, x, y)
+				return lt+gt+eq == 1
+			}},
+		}
+		for _, law := range laws {
+			if err := quick.Check(law.prop, cfg); err != nil {
+				t.Errorf("%v: %s: %v", tgt, law.name, err)
+			}
+		}
+	}
+}
+
+func TestDivisionMatchesGo(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(9))}
+	for _, tgt := range AllTargets {
+		dev := propDev(t, tgt)
+		prop := func(x, y int32) bool {
+			if y == 0 {
+				y = 1
+			}
+			want := x / y
+			if x == -(1<<31) && y == -1 {
+				want = -(1 << 31) // wraparound, Go would panic on int32
+			}
+			return apply(t, dev, dev.Div, x, y) == want
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Errorf("%v: %v", tgt, err)
+		}
+	}
+	// Division-by-zero hardware semantics: all-ones magnitude.
+	dev := propDev(t, Fulcrum)
+	if got := apply(t, dev, dev.Div, 100, 0); got != -1 {
+		t.Errorf("100/0 = %d, want -1 (all-ones)", got)
+	}
+	if got := apply(t, dev, dev.Div, -100, 0); got != 1 {
+		t.Errorf("-100/0 = %d, want 1 (sign-adjusted all-ones)", got)
+	}
+	// div/mul composition: (x*y)/y == x when the product fits.
+	prop := func(x16, y16 int16) bool {
+		x, y := int32(x16), int32(y16)
+		if y == 0 {
+			y = 3
+		}
+		got := apply(t, dev, func(a, b, d ObjID) error {
+			if err := dev.Mul(a, b, d); err != nil {
+				return err
+			}
+			return dev.Div(d, b, d)
+		}, x, y)
+		return got == x
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarEqualsVectorForm(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(6))}
+	dev := propDev(t, Fulcrum)
+	prop := func(x, s int32) bool {
+		viaScalar := apply(t, dev, func(a, _, d ObjID) error {
+			return dev.MulScalar(a, int64(s), d)
+		}, x, 0)
+		viaVector := apply(t, dev, dev.Mul, x, s)
+		return viaScalar == viaVector
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftInverseProperty(t *testing.T) {
+	dev := propDev(t, BitSerial)
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(7))}
+	prop := func(x uint16, kRaw uint8) bool {
+		k := int(kRaw % 16)
+		a, err := dev.Alloc(1, UInt16)
+		if err != nil {
+			return false
+		}
+		d, _ := dev.AllocAssociated(a)
+		defer func() { _ = dev.Free(a); _ = dev.Free(d) }()
+		if err := CopyToDevice(dev, a, []uint16{x}); err != nil {
+			return false
+		}
+		// (x >> k) << k must clear the low k bits exactly.
+		if err := dev.ShiftR(a, k, d); err != nil {
+			return false
+		}
+		if err := dev.ShiftL(d, k, d); err != nil {
+			return false
+		}
+		out := make([]uint16, 1)
+		if err := CopyFromDevice(dev, d, out); err != nil {
+			return false
+		}
+		return out[0] == x>>k<<k
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSboxRoundTripAllBytes(t *testing.T) {
+	dev := propDev(t, BitSerial)
+	a, err := dev.Alloc(256, UInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := dev.AllocAssociated(a)
+	vals := make([]uint8, 256)
+	for i := range vals {
+		vals[i] = uint8(i)
+	}
+	if err := CopyToDevice(dev, a, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Sbox(a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.SboxInv(d, d); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint8, 256)
+	if err := CopyFromDevice(dev, d, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != uint8(i) {
+			t.Fatalf("sboxInv(sbox(%d)) = %d", i, out[i])
+		}
+	}
+	// Sbox requires byte types.
+	w, _ := dev.Alloc(4, Int32)
+	if err := dev.Sbox(w, w); err == nil {
+		t.Error("sbox on int32 accepted")
+	}
+}
+
+func TestCompareIntoByteMask(t *testing.T) {
+	dev := propDev(t, BankLevel)
+	a, _ := dev.Alloc(4, Int32)
+	mask, err := dev.AllocAssociatedTyped(a, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = CopyToDevice(dev, a, []int32{-5, 0, 5, 10})
+	if err := dev.GtScalar(a, 0, mask); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int8, 4)
+	if err := CopyFromDevice(dev, mask, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int8{0, 0, 1, 1} {
+		if out[i] != want {
+			t.Errorf("mask[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestRangedCopy(t *testing.T) {
+	dev := propDev(t, Fulcrum)
+	src, _ := dev.Alloc(8, Int32)
+	dst, _ := dev.Alloc(8, Int32)
+	_ = CopyToDevice(dev, src, []int32{1, 2, 3, 4, 5, 6, 7, 8})
+	_ = dev.Broadcast(dst, 0)
+	if err := dev.CopyDeviceToDeviceRange(src, 2, dst, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, 8)
+	_ = CopyFromDevice(dev, dst, out)
+	want := []int32{0, 0, 0, 0, 0, 3, 4, 5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("ranged copy = %v, want %v", out, want)
+		}
+	}
+	// Bounds checks.
+	if err := dev.CopyDeviceToDeviceRange(src, 6, dst, 0, 3); err == nil {
+		t.Error("src overrun accepted")
+	}
+	if err := dev.CopyDeviceToDeviceRange(src, 0, dst, 7, 3); err == nil {
+		t.Error("dst overrun accepted")
+	}
+	if err := dev.CopyDeviceToDeviceRange(src, -1, dst, 0, 2); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := dev.CopyDeviceToDeviceRange(src, 0, dst, 0, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+// TestAnalogTargetMatchesDigital runs the arithmetic-law operands through
+// the analog bit-serial target and compares against the digital one — the
+// two bit-serial designs must be functionally indistinguishable.
+func TestAnalogTargetMatchesDigital(t *testing.T) {
+	ana, err := NewDevice(Config{Target: AnalogBitSerial, Ranks: 1, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig := propDev(t, BitSerial)
+	ops := []func(*Device) func(a, b, dst ObjID) error{
+		func(d *Device) func(a, b, dst ObjID) error { return d.Add },
+		func(d *Device) func(a, b, dst ObjID) error { return d.Mul },
+		func(d *Device) func(a, b, dst ObjID) error { return d.Min },
+		func(d *Device) func(a, b, dst ObjID) error { return d.Xor },
+		func(d *Device) func(a, b, dst ObjID) error { return d.Lt },
+	}
+	vals := []int32{0, 1, -1, 7, -1000, 1 << 30, -(1 << 31)}
+	for _, op := range ops {
+		for _, x := range vals {
+			for _, y := range vals {
+				if got, want := apply(t, ana, op(ana), x, y), apply(t, dig, op(dig), x, y); got != want {
+					t.Fatalf("analog(%d,%d) = %d, digital = %d", x, y, got, want)
+				}
+			}
+		}
+	}
+	// The analog design must also be slower for the same work (Section IV).
+	a, _ := ana.Alloc(1<<16, Int32)
+	b2, _ := ana.AllocAssociated(a)
+	d2, _ := ana.AllocAssociated(a)
+	_ = CopyToDevice(ana, a, make([]int32, 1<<16))
+	_ = CopyToDevice(ana, b2, make([]int32, 1<<16))
+	ana.ResetStats()
+	_ = ana.Add(a, b2, d2)
+	anaMS := ana.Metrics().KernelMS
+
+	da, _ := dig.Alloc(1<<16, Int32)
+	db, _ := dig.AllocAssociated(da)
+	dd, _ := dig.AllocAssociated(da)
+	_ = CopyToDevice(dig, da, make([]int32, 1<<16))
+	_ = CopyToDevice(dig, db, make([]int32, 1<<16))
+	dig.ResetStats()
+	_ = dig.Add(da, db, dd)
+	if digMS := dig.Metrics().KernelMS; anaMS <= digMS {
+		t.Errorf("analog add (%v ms) must be slower than digital (%v ms)", anaMS, digMS)
+	}
+}
+
+func TestHBMConfig(t *testing.T) {
+	dev, err := NewDevice(Config{Target: Fulcrum, Memory: MemHBM2, Ranks: 16, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Cores() != 16*32*32/2 {
+		t.Errorf("HBM2 Fulcrum cores = %d", dev.Cores())
+	}
+	// The API works identically on HBM.
+	a, _ := dev.Alloc(64, Int32)
+	b, _ := dev.AllocAssociated(a)
+	_ = CopyToDevice(dev, a, make([]int32, 64))
+	_ = CopyToDevice(dev, b, make([]int32, 64))
+	if err := dev.Add(a, b, a); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Metrics().KernelMS <= 0 {
+		t.Error("no kernel time on HBM")
+	}
+}
