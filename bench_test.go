@@ -7,7 +7,9 @@ package pimeval
 // `go test -bench=. -benchmem` reproduces the evaluation in one command.
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -323,6 +325,75 @@ func BenchmarkAblationAnalogBitSerial(b *testing.B) {
 		if !strings.Contains(s, "Analog/Digital") {
 			b.Fatal("analog table incomplete")
 		}
+	}
+}
+
+// BenchmarkParallelScaling measures the functional execution engine's
+// worker-pool scaling on large data-carrying kernels: an element-wise
+// vecadd and a gemv-style Mul+RedSumSeg, each over 4M int32 elements on
+// Fulcrum. Results are bit-identical across worker counts (see
+// internal/device/paralleltest); only wall-clock time changes. Speedup is
+// bounded by runtime.NumCPU() on the host running the benchmark.
+func BenchmarkParallelScaling(b *testing.B) {
+	const n = 1 << 22 // 4M elements
+	const segLen = 1 << 10
+	counts := []int{1, 2, 4}
+	if ncpu := runtime.NumCPU(); ncpu > counts[len(counts)-1] {
+		counts = append(counts, ncpu)
+	}
+	host := make([]int32, n)
+	for i := range host {
+		host[i] = int32(i*2654435761 + 12345)
+	}
+	setup := func(b *testing.B, workers int) (*pim.Device, pim.ObjID, pim.ObjID, pim.ObjID) {
+		b.Helper()
+		v, err := pim.NewDevice(pim.Config{
+			Target: pim.Fulcrum, Ranks: 32, Functional: true, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		alloc := func() pim.ObjID {
+			id, err := v.Alloc(n, pim.Int32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return id
+		}
+		a, c, dst := alloc(), alloc(), alloc()
+		if err := pim.CopyToDevice(v, a, host); err != nil {
+			b.Fatal(err)
+		}
+		if err := pim.CopyToDevice(v, c, host); err != nil {
+			b.Fatal(err)
+		}
+		return v, a, c, dst
+	}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("vecadd/workers=%d", w), func(b *testing.B) {
+			v, a, c, dst := setup(b, w)
+			b.SetBytes(3 * n * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := v.Add(a, c, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("gemv/workers=%d", w), func(b *testing.B) {
+			v, a, c, dst := setup(b, w)
+			b.SetBytes(3 * n * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := v.Mul(a, c, dst); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := v.RedSumSeg(dst, segLen); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

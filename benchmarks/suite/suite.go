@@ -24,6 +24,9 @@ type Config struct {
 	// false the run is model-only and uses the paper's input sizes (or
 	// Size, if set).
 	Functional bool
+	// Workers bounds the functional engine's worker pool (0 = NumCPU,
+	// 1 = serial reference path); see pim.Config.Workers.
+	Workers int
 	// Size overrides the benchmark's primary input dimension; 0 = default
 	// (a small functional size or the paper's Table I size, by mode).
 	Size int64
@@ -47,6 +50,7 @@ func (c Config) DeviceConfig() pim.Config {
 		Memory:           c.Memory,
 		Ranks:            c.Ranks,
 		Functional:       c.Functional,
+		Workers:          c.Workers,
 		BanksPerRank:     c.BanksPerRank,
 		SubarraysPerBank: c.SubarraysPerBank,
 		RowsPerSubarray:  c.RowsPerSubarray,

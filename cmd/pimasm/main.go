@@ -11,12 +11,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"time"
 
 	"pimeval/internal/analog"
 	"pimeval/internal/bitserial"
 	"pimeval/internal/dram"
 	"pimeval/internal/isa"
+	"pimeval/internal/par"
 )
 
 func main() {
@@ -50,6 +53,8 @@ func run(args []string, out io.Writer) error {
 		imm        = fs.Int64("imm", 1, "immediate for shift/broadcast")
 		onlyCounts = fs.Bool("counts", false, "print the composition summary only")
 		limit      = fs.Int("limit", 64, "maximum micro-ops to list (0 = all)")
+		runN       = fs.Int("run", 0, "functionally interpret the program over N random elements and report throughput (bitserial only)")
+		workers    = fs.Int("workers", 0, "worker pool for -run interpreter batches (0 = NumCPU, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,15 +84,19 @@ func run(args []string, out io.Writer) error {
 			float64(c.Logic+c.Moves)*t.TCCDNS
 		fmt.Fprintf(out, "  per-batch latency: %.1f ns (%d elements per subarray batch)\n",
 			perBatchNS, dram.DDR4(1).Geometry.ColsPerRow)
-		if *onlyCounts {
-			return nil
-		}
-		for i, mo := range p.Ops {
-			if *limit > 0 && i >= *limit {
-				fmt.Fprintf(out, "  ... %d more\n", len(p.Ops)-i)
-				break
+		if !*onlyCounts {
+			for i, mo := range p.Ops {
+				if *limit > 0 && i >= *limit {
+					fmt.Fprintf(out, "  ... %d more\n", len(p.Ops)-i)
+					break
+				}
+				fmt.Fprintf(out, "  %4d: %s\n", i, formatDigital(mo))
 			}
-			fmt.Fprintf(out, "  %4d: %s\n", i, formatDigital(mo))
+		}
+		if *runN > 0 {
+			if err := interpret(out, p, op, dt, *runN, *workers); err != nil {
+				return err
+			}
 		}
 	case "analog":
 		p, err := analog.Build(op, dt, *imm)
@@ -112,6 +121,49 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown arch %q (want bitserial or analog)", *arch)
 	}
+	return nil
+}
+
+// operandCount returns how many memory-resident operand regions op's
+// microprogram expects (the builder layout convention in programs.go).
+func operandCount(op isa.Op) int {
+	switch op {
+	case isa.OpNot, isa.OpAbs, isa.OpShiftL, isa.OpShiftR, isa.OpPopCount:
+		return 1
+	case isa.OpSelect:
+		return 3
+	case isa.OpBroadcast:
+		return 0
+	default:
+		return 2
+	}
+}
+
+// interpret runs the compiled microprogram functionally over n random
+// elements, dispatching row-buffer-wide batches across the worker pool, and
+// reports the interpreter's wall-clock throughput.
+func interpret(out io.Writer, p *bitserial.Program, op isa.Op, dt isa.DataType, n, workers int) error {
+	rng := rand.New(rand.NewSource(1))
+	ops := make([][]int64, operandCount(op))
+	for k := range ops {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = dt.Truncate(rng.Int63())
+		}
+		if op == isa.OpSelect && k == 0 {
+			for i := range vals {
+				vals[i] &= 1 // the mask operand carries 0/1 truth values
+			}
+		}
+		ops[k] = vals
+	}
+	start := time.Now()
+	if _, err := bitserial.EvalElements(p, dt.Bits(), n, ops, workers); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "  interpreted %d elements in %v (%.0f elem/s, %d workers)\n",
+		n, elapsed.Round(time.Microsecond), float64(n)/elapsed.Seconds(), par.Resolve(workers))
 	return nil
 }
 

@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		ranks      = fs.Int("ranks", 32, "DRAM ranks")
 		size       = fs.Int64("size", 0, "input size override (0 = default for mode)")
 		functional = fs.Bool("functional", false, "data-carrying run with verification (small default sizes)")
+		workers    = fs.Int("workers", 0, "functional engine worker pool size (0 = NumCPU, 1 = serial)")
 		report     = fs.Bool("report", false, "print the artifact-style PIM statistics report (Listing 3)")
 		trace      = fs.Bool("trace", false, "print the device command trace (last 64Ki entries)")
 		list       = fs.Bool("list", false, "list available benchmarks")
@@ -80,7 +81,8 @@ func run(args []string, out io.Writer) error {
 	}
 	res, err := b.Run(suite.Config{
 		Target: tgt, Ranks: *ranks, Size: *size,
-		Functional: *functional, EmitReport: *report, Trace: *trace,
+		Functional: *functional, Workers: *workers,
+		EmitReport: *report, Trace: *trace,
 	})
 	if err != nil {
 		return err

@@ -31,6 +31,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		all      = fs.Bool("all", false, "generate every table and figure")
 		out      = fs.String("out", "", "directory to write artifacts into (default: stdout)")
+		workers  = fs.Int("workers", 0, "functional engine worker pool size (0 = NumCPU, 1 = serial)")
 		table1   = fs.Bool("table1", false, "Table I: suite listing")
 		table2   = fs.Bool("table2", false, "Table II: configurations")
 		fig1     = fs.Bool("fig1", false, "Figure 1: diversity dendrogram")
@@ -56,6 +57,7 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.Workers = *workers
 
 	var emitErr error
 	emit := func(name, content string) {

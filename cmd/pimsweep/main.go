@@ -26,12 +26,14 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pimsweep", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		cols  = fs.Bool("cols", false, "sweep #columns (Figure 6a)")
-		banks = fs.Bool("banks", false, "sweep #banks (Figure 6b)")
+		cols    = fs.Bool("cols", false, "sweep #columns (Figure 6a)")
+		banks   = fs.Bool("banks", false, "sweep #banks (Figure 6b)")
+		workers = fs.Int("workers", 0, "functional engine worker pool size (0 = NumCPU, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.Workers = *workers
 	if !*cols && !*banks {
 		*cols, *banks = true, true
 	}

@@ -18,6 +18,7 @@ import (
 	"pimeval/internal/energy"
 	"pimeval/internal/fulcrum"
 	"pimeval/internal/isa"
+	"pimeval/internal/par"
 	"pimeval/internal/perf"
 	"pimeval/internal/stats"
 )
@@ -76,6 +77,10 @@ type Config struct {
 	// only the performance/energy model runs, allowing paper-scale inputs
 	// without materializing gigabytes.
 	Functional bool
+	// Workers bounds the functional engine's worker pool: 0 selects
+	// runtime.NumCPU(), 1 forces the serial reference path. Results are
+	// bit-identical for every setting (see parallel.go).
+	Workers int
 }
 
 // Sentinel errors returned by the resource manager and dispatcher.
@@ -118,6 +123,7 @@ type Device struct {
 	objs     map[ObjID]*Object
 	nextID   ObjID
 	usedBits int64
+	workers  int
 	repeat   int64
 	tracing  bool
 	trace    []TraceEntry
@@ -144,15 +150,19 @@ func New(cfg Config) (*Device, error) {
 		arch = analog.NewModel()
 	}
 	return &Device{
-		cfg:    cfg,
-		arch:   arch,
-		em:     energy.NewModel(cfg.Module),
-		st:     stats.New(),
-		objs:   make(map[ObjID]*Object),
-		nextID: 1,
-		repeat: 1,
+		cfg:     cfg,
+		arch:    arch,
+		em:      energy.NewModel(cfg.Module),
+		st:      stats.New(),
+		objs:    make(map[ObjID]*Object),
+		nextID:  1,
+		repeat:  1,
+		workers: par.Resolve(cfg.Workers),
 	}, nil
 }
+
+// Workers returns the resolved size of the functional engine's worker pool.
+func (d *Device) Workers() int { return d.workers }
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
@@ -262,9 +272,11 @@ func (d *Device) CopyHostToDevice(id ObjID, values []int64) error {
 		if int64(len(values)) != o.n {
 			return fmt.Errorf("%w: copy of %d values into object of %d", ErrShapeMismatch, len(values), o.n)
 		}
-		for i, v := range values {
-			o.data[i] = o.dt.Truncate(v)
-		}
+		d.forSpans(o, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				o.data[i] = o.dt.Truncate(values[i])
+			}
+		})
 	}
 	cost := perf.DataMovement(d.cfg.Module, o.Bytes(), false).Scale(float64(d.repeat))
 	d.record("copy.h2d", o.Bytes(), cost)

@@ -71,9 +71,11 @@ func (d *Device) ExecBinary(op isa.Op, a, b, dst ObjID) error {
 		return err
 	}
 	if d.cfg.Functional {
-		for i := range do.data {
-			do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], bo.data[i]))
-		}
+		d.forSpans(do, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], bo.data[i]))
+			}
+		})
 	}
 	d.charge(isa.Command{Op: op, Type: ao.dt, N: do.n, Inputs: 2, WritesResult: true}, do)
 	return nil
@@ -91,9 +93,11 @@ func (d *Device) ExecScalar(op isa.Op, a ObjID, scalar int64, dst ObjID) error {
 	}
 	s := ao.dt.Truncate(scalar)
 	if d.cfg.Functional {
-		for i := range do.data {
-			do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], s))
-		}
+		d.forSpans(do, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], s))
+			}
+		})
 	}
 	d.charge(isa.Command{Op: op, Type: ao.dt, N: do.n, Scalar: s, Inputs: 1, WritesResult: true}, do)
 	return nil
@@ -112,9 +116,11 @@ func (d *Device) ExecUnary(op isa.Op, a, dst ObjID) error {
 		return fmt.Errorf("%w: %v requires an 8-bit element type, got %v", ErrBadArgument, op, do.dt)
 	}
 	if d.cfg.Functional {
-		for i := range do.data {
-			do.data[i] = evalUnary(op, do.dt, ao.data[i])
-		}
+		d.forSpans(do, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				do.data[i] = evalUnary(op, do.dt, ao.data[i])
+			}
+		})
 	}
 	d.charge(isa.Command{Op: op, Type: do.dt, N: do.n, Inputs: 1, WritesResult: true}, do)
 	return nil
@@ -134,9 +140,11 @@ func (d *Device) ExecShift(op isa.Op, a ObjID, amount int, dst ObjID) error {
 		return err
 	}
 	if d.cfg.Functional {
-		for i := range do.data {
-			do.data[i] = evalShift(op, do.dt, ao.data[i], amount)
-		}
+		d.forSpans(do, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				do.data[i] = evalShift(op, do.dt, ao.data[i], amount)
+			}
+		})
 	}
 	d.charge(isa.Command{Op: op, Type: do.dt, N: do.n, Scalar: int64(amount), Inputs: 1, WritesResult: true}, do)
 	return nil
@@ -156,13 +164,15 @@ func (d *Device) ExecSelect(cond, a, b, dst ObjID) error {
 		return fmt.Errorf("%w: cond length %d vs %d", ErrShapeMismatch, co.n, do.n)
 	}
 	if d.cfg.Functional {
-		for i := range do.data {
-			if co.data[i] != 0 {
-				do.data[i] = ao.data[i]
-			} else {
-				do.data[i] = bo.data[i]
+		d.forSpans(do, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				if co.data[i] != 0 {
+					do.data[i] = ao.data[i]
+				} else {
+					do.data[i] = bo.data[i]
+				}
 			}
-		}
+		})
 	}
 	d.charge(isa.Command{Op: isa.OpSelect, Type: do.dt, N: do.n, Inputs: 3, WritesResult: true}, do)
 	return nil
@@ -176,9 +186,11 @@ func (d *Device) Broadcast(dst ObjID, val int64) error {
 	}
 	v := do.dt.Truncate(val)
 	if d.cfg.Functional {
-		for i := range do.data {
-			do.data[i] = v
-		}
+		d.forSpans(do, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				do.data[i] = v
+			}
+		})
 	}
 	d.charge(isa.Command{Op: isa.OpBroadcast, Type: do.dt, N: do.n, Scalar: v, Inputs: 0, WritesResult: true}, do)
 	return nil
@@ -193,8 +205,18 @@ func (d *Device) RedSum(a ObjID) (int64, error) {
 	}
 	var sum int64
 	if d.cfg.Functional {
-		for _, v := range ao.data {
-			sum += signedView(ao.dt, v)
+		// Per-shard partial sums merged in ascending core order. Wrapping
+		// int64 addition is associative, so the result is bit-identical to
+		// the serial accumulation for any shard decomposition.
+		parts := spansCollect(d, ao, func(lo, hi int64) int64 {
+			var s int64
+			for _, v := range ao.data[lo:hi] {
+				s += signedView(ao.dt, v)
+			}
+			return s
+		})
+		for _, p := range parts {
+			sum += p
 		}
 	}
 	d.charge(isa.Command{Op: isa.OpRedSum, Type: ao.dt, N: ao.n, Inputs: 1}, ao)
@@ -214,8 +236,25 @@ func (d *Device) RedSumSeg(a ObjID, segLen int64) ([]int64, error) {
 	var sums []int64
 	if d.cfg.Functional {
 		sums = make([]int64, ao.n/segLen)
-		for i, v := range ao.data {
-			sums[int64(i)/segLen] += signedView(ao.dt, v)
+		// Shard boundaries need not align to segments: each shard keeps
+		// partials only for the segments it overlaps, and the partials are
+		// folded in serially in ascending core order after the pool drains.
+		type part struct {
+			seg0 int64
+			vals []int64
+		}
+		parts := spansCollect(d, ao, func(lo, hi int64) part {
+			seg0 := lo / segLen
+			p := part{seg0: seg0, vals: make([]int64, (hi-1)/segLen-seg0+1)}
+			for i := lo; i < hi; i++ {
+				p.vals[i/segLen-seg0] += signedView(ao.dt, ao.data[i])
+			}
+			return p
+		})
+		for _, p := range parts {
+			for k, v := range p.vals {
+				sums[p.seg0+int64(k)] += v
+			}
 		}
 	}
 	d.charge(isa.Command{Op: isa.OpRedSumSeg, Type: ao.dt, N: ao.n, SegLen: segLen, Inputs: 1}, ao)

@@ -1,0 +1,86 @@
+package device
+
+import "pimeval/internal/par"
+
+// Parallel functional execution engine.
+//
+// The allocator assigns every object contiguous per-core element regions:
+// core c owns elements [c*elemsPerCore, min((c+1)*elemsPerCore, n)). The
+// simulated architecture executes those regions independently — thousands of
+// PIM cores with no cross-core communication inside one command — so the
+// functional engine may evaluate them concurrently without changing any
+// observable result.
+//
+// Sharding rule: a dispatch task is a contiguous run of whole core regions.
+// Tasks never split a core, so every task writes a disjoint element range of
+// the destination, and reduction partials correspond to runs of cores.
+//
+// Determinism guarantee: element-wise commands write disjoint ranges
+// (scheduling cannot reorder anything observable), reduction partials are
+// merged serially in ascending task (= core) order after all workers drain,
+// and statistics, latency, and energy are charged once per command at
+// dispatch — never per shard. The Workers=1 path executes the identical
+// single loop the engine always had and is kept as the reference
+// implementation; internal/device/paralleltest proves the two paths
+// bit-identical for every op x data type x architecture.
+
+// parallelGrain is the minimum element count worth fanning out: below this,
+// goroutine dispatch costs more than the loop itself and the engine runs
+// the serial reference path (which is bit-identical anyway).
+const parallelGrain = 4096
+
+// tasksPerWorker over-decomposes the range so the atomic-counter scheduler
+// can balance cores whose regions straddle the tail of the object.
+const tasksPerWorker = 4
+
+// span is one dispatch task: a half-open element range covering whole
+// per-core regions of the object being executed.
+type span struct{ lo, hi int64 }
+
+// spans partitions [0, o.n) into dispatch tasks aligned to o's per-core
+// regions. With one worker (or a small object) it returns the single span
+// [0, n) — the serial reference path.
+func (d *Device) spans(o *Object) []span {
+	n := o.n
+	if d.workers <= 1 || n < parallelGrain {
+		return []span{{0, n}}
+	}
+	epc := o.elemsPerCore
+	if epc <= 0 {
+		epc = n
+	}
+	cores := (n + epc - 1) / epc
+	targetTasks := int64(d.workers * tasksPerWorker)
+	coresPerTask := (cores + targetTasks - 1) / targetTasks
+	if minCores := (parallelGrain + epc - 1) / epc; coresPerTask < minCores {
+		coresPerTask = minCores
+	}
+	step := coresPerTask * epc
+	out := make([]span, 0, (n+step-1)/step)
+	for lo := int64(0); lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		out = append(out, span{lo, hi})
+	}
+	return out
+}
+
+// forSpans evaluates fn over every span of o across the worker pool. fn must
+// touch only state derivable from its own range; use spansCollect when a
+// per-span partial result needs a deterministic merge.
+func (d *Device) forSpans(o *Object, fn func(lo, hi int64)) {
+	sp := d.spans(o)
+	par.For(d.workers, len(sp), func(i int) { fn(sp[i].lo, sp[i].hi) })
+}
+
+// spansCollect evaluates fn over every span of o across the worker pool and
+// returns the per-span results in ascending span order, ready for a
+// deterministic core-order merge.
+func spansCollect[T any](d *Device, o *Object, fn func(lo, hi int64) T) []T {
+	sp := d.spans(o)
+	parts := make([]T, len(sp))
+	par.For(d.workers, len(sp), func(i int) { parts[i] = fn(sp[i].lo, sp[i].hi) })
+	return parts
+}

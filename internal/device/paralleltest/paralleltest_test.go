@@ -1,0 +1,280 @@
+// Package paralleltest is the differential test harness for the parallel
+// sharded functional execution engine: for every command x data type x
+// architecture it runs the serial reference engine (Workers=1) and the
+// parallel engine (several worker counts) on identical deterministic inputs
+// and asserts that output data, statistics, command traces, latency, and
+// energy are bit-identical. This is the correctness proof behind the
+// determinism guarantee documented in internal/device/parallel.go.
+package paralleltest
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pimeval/internal/device"
+	"pimeval/internal/dram"
+	"pimeval/internal/isa"
+)
+
+var allTargets = []device.Target{
+	device.TargetBitSerial,
+	device.TargetFulcrum,
+	device.TargetBankLevel,
+	device.TargetAnalogBitSerial,
+}
+
+var allTypes = []isa.DataType{
+	isa.Int8, isa.Int16, isa.Int32, isa.Int64,
+	isa.UInt8, isa.UInt16, isa.UInt32, isa.UInt64,
+}
+
+// workerCounts are the parallel configurations differenced against the
+// Workers=1 reference. They deliberately include counts that do not divide
+// the shard count evenly.
+var workerCounts = []int{2, 3, 8}
+
+// nElems spans many per-core regions (DDR4 x1 rank has 4096 subarray-level
+// cores) and is divisible by segLen for the segmented reduction.
+const (
+	nElems = 8192
+	segLen = 512
+)
+
+// inputs builds a deterministic operand pair seeded with the arithmetic
+// edge cases: zero divisors, MinInt/-1 pairs, extremes, and sign changes.
+func inputs(dt isa.DataType, seed int64) (a, b []int64) {
+	r := rand.New(rand.NewSource(seed))
+	a = make([]int64, nElems)
+	b = make([]int64, nElems)
+	edges := []int64{0, 1, -1, math.MinInt64, math.MaxInt64, math.MinInt8, math.MaxUint8, -128, 127}
+	for i := range a {
+		switch i % 7 {
+		case 0:
+			a[i], b[i] = edges[i%len(edges)], edges[(i/2)%len(edges)]
+		case 1:
+			a[i], b[i] = r.Int63()-r.Int63(), 0 // division by zero
+		case 2:
+			a[i], b[i] = math.MinInt64, -1 // MinInt / -1 wraparound
+		default:
+			a[i], b[i] = r.Int63()-r.Int63(), r.Int63()-r.Int63()
+		}
+		a[i], b[i] = dt.Truncate(a[i]), dt.Truncate(b[i])
+	}
+	return a, b
+}
+
+// snapshot captures every observable of one scripted run.
+type snapshot struct {
+	Outputs  map[string][]int64
+	Sums     map[string]int64
+	SegSums  map[string][]int64
+	Commands interface{}
+	OpCounts map[string]int64
+	Copies   interface{}
+	HostNS   float64
+	HostPJ   float64
+	KernelNS float64
+	KernelPJ float64
+	Trace    string
+}
+
+// runScript executes the full command script on a fresh device with the
+// given worker count and returns the complete observable state.
+func runScript(t *testing.T, tgt device.Target, dt isa.DataType, workers int) snapshot {
+	t.Helper()
+	d, err := device.New(device.Config{
+		Target: tgt, Module: dram.DDR4(1), Functional: true, Workers: workers,
+	})
+	if err != nil {
+		t.Fatalf("New(%v, workers=%d): %v", tgt, workers, err)
+	}
+	d.EnableTrace()
+
+	av, bv := inputs(dt, 42)
+	alloc := func(vals []int64) device.ObjID {
+		id, err := d.Alloc(nElems, dt)
+		if err != nil {
+			t.Fatalf("%v/%v: Alloc: %v", tgt, dt, err)
+		}
+		if vals != nil {
+			if err := d.CopyHostToDevice(id, vals); err != nil {
+				t.Fatalf("%v/%v: Copy: %v", tgt, dt, err)
+			}
+		}
+		return id
+	}
+	a, b, dst := alloc(av), alloc(bv), alloc(nil)
+	cond := alloc(nil)
+	if err := d.ExecBinary(isa.OpLt, a, b, cond); err != nil {
+		t.Fatalf("lt for select mask: %v", err)
+	}
+
+	snap := snapshot{
+		Outputs: make(map[string][]int64),
+		Sums:    make(map[string]int64),
+		SegSums: make(map[string][]int64),
+	}
+	read := func(key string, id device.ObjID) {
+		out, err := d.CopyDeviceToHost(id)
+		if err != nil {
+			t.Fatalf("%v/%v: read %s: %v", tgt, dt, key, err)
+		}
+		snap.Outputs[key] = out
+	}
+
+	binaryOps := []isa.Op{
+		isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpXnor, isa.OpMin, isa.OpMax, isa.OpLt, isa.OpGt, isa.OpEq,
+	}
+	for _, op := range binaryOps {
+		if err := d.ExecBinary(op, a, b, dst); err != nil {
+			t.Fatalf("%v/%v: %v: %v", tgt, dt, op, err)
+		}
+		read("bin."+op.String(), dst)
+		if err := d.ExecScalar(op, a, 3, dst); err != nil {
+			t.Fatalf("%v/%v: scalar %v: %v", tgt, dt, op, err)
+		}
+		read("scalar."+op.String(), dst)
+	}
+	unaryOps := []isa.Op{isa.OpNot, isa.OpAbs, isa.OpPopCount}
+	if dt.Bits() == 8 {
+		unaryOps = append(unaryOps, isa.OpSbox, isa.OpSboxInv)
+	}
+	for _, op := range unaryOps {
+		if err := d.ExecUnary(op, a, dst); err != nil {
+			t.Fatalf("%v/%v: %v: %v", tgt, dt, op, err)
+		}
+		read("un."+op.String(), dst)
+	}
+	for _, amount := range []int{0, 1, dt.Bits() - 1, dt.Bits(), dt.Bits() + 5} {
+		for _, op := range []isa.Op{isa.OpShiftL, isa.OpShiftR} {
+			if err := d.ExecShift(op, a, amount, dst); err != nil {
+				t.Fatalf("%v/%v: %v by %d: %v", tgt, dt, op, amount, err)
+			}
+			read(op.String()+string(rune('0'+amount%10)), dst)
+		}
+	}
+	if err := d.ExecSelect(cond, a, b, dst); err != nil {
+		t.Fatalf("%v/%v: select: %v", tgt, dt, err)
+	}
+	read("select", dst)
+	if err := d.Broadcast(dst, -99); err != nil {
+		t.Fatalf("%v/%v: broadcast: %v", tgt, dt, err)
+	}
+	read("broadcast", dst)
+
+	for key, id := range map[string]device.ObjID{"a": a, "b": b} {
+		sum, err := d.RedSum(id)
+		if err != nil {
+			t.Fatalf("%v/%v: redsum %s: %v", tgt, dt, key, err)
+		}
+		snap.Sums[key] = sum
+		segs, err := d.RedSumSeg(id, segLen)
+		if err != nil {
+			t.Fatalf("%v/%v: redsum.seg %s: %v", tgt, dt, key, err)
+		}
+		snap.SegSums[key] = segs
+	}
+
+	st := d.Stats()
+	snap.Commands = st.Commands()
+	snap.OpCounts = st.OpCounts()
+	snap.Copies = st.Copies()
+	snap.HostNS, snap.HostPJ = st.Host().TimeNS, st.Host().EnergyPJ
+	snap.KernelNS, snap.KernelPJ = st.Kernel().TimeNS, st.Kernel().EnergyPJ
+	snap.Trace = d.TraceString()
+	return snap
+}
+
+// bitsEqual compares floats bit-for-bit (NaN-safe, no epsilon).
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// diff asserts two snapshots are bit-identical in every observable.
+func diff(t *testing.T, label string, ref, got snapshot) {
+	t.Helper()
+	for key, want := range ref.Outputs {
+		if !reflect.DeepEqual(got.Outputs[key], want) {
+			t.Errorf("%s: output %q differs from serial reference", label, key)
+		}
+	}
+	if !reflect.DeepEqual(got.Sums, ref.Sums) {
+		t.Errorf("%s: RedSum differs: %v vs %v", label, got.Sums, ref.Sums)
+	}
+	if !reflect.DeepEqual(got.SegSums, ref.SegSums) {
+		t.Errorf("%s: RedSumSeg differs", label)
+	}
+	if !reflect.DeepEqual(got.Commands, ref.Commands) {
+		t.Errorf("%s: per-command stats differ:\n%v\nvs\n%v", label, got.Commands, ref.Commands)
+	}
+	if !reflect.DeepEqual(got.OpCounts, ref.OpCounts) {
+		t.Errorf("%s: op-category counts differ", label)
+	}
+	if !reflect.DeepEqual(got.Copies, ref.Copies) {
+		t.Errorf("%s: copy stats differ", label)
+	}
+	if !bitsEqual(got.HostNS, ref.HostNS) || !bitsEqual(got.HostPJ, ref.HostPJ) {
+		t.Errorf("%s: host cost differs", label)
+	}
+	if !bitsEqual(got.KernelNS, ref.KernelNS) || !bitsEqual(got.KernelPJ, ref.KernelPJ) {
+		t.Errorf("%s: kernel latency/energy differs: (%v,%v) vs (%v,%v)",
+			label, got.KernelNS, got.KernelPJ, ref.KernelNS, ref.KernelPJ)
+	}
+	if got.Trace != ref.Trace {
+		t.Errorf("%s: command trace differs", label)
+	}
+}
+
+// TestParallelBitIdenticalToSerial is the differential proof: for every
+// architecture and element type, the parallel engine at several worker
+// counts reproduces the serial reference bit-for-bit across data, stats,
+// trace, latency, and energy.
+func TestParallelBitIdenticalToSerial(t *testing.T) {
+	for _, tgt := range allTargets {
+		for _, dt := range allTypes {
+			tgt, dt := tgt, dt
+			t.Run(tgt.String()+"/"+dt.String(), func(t *testing.T) {
+				t.Parallel()
+				ref := runScript(t, tgt, dt, 1)
+				if len(ref.Outputs) == 0 {
+					t.Fatal("empty reference snapshot")
+				}
+				for _, w := range workerCounts {
+					got := runScript(t, tgt, dt, w)
+					diff(t, tgt.String()+"/"+dt.String()+"/workers="+string(rune('0'+w)), ref, got)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRepeatable runs the parallel engine twice with the same
+// worker count and asserts run-to-run determinism (scheduling noise must
+// not leak into any observable).
+func TestParallelRepeatable(t *testing.T) {
+	first := runScript(t, device.TargetFulcrum, isa.Int32, 8)
+	second := runScript(t, device.TargetFulcrum, isa.Int32, 8)
+	diff(t, "fulcrum/int32 repeat", first, second)
+}
+
+// TestWorkersResolve pins the knob semantics: 0 resolves to NumCPU (>= 1),
+// explicit counts are honored.
+func TestWorkersResolve(t *testing.T) {
+	d, err := device.New(device.Config{Target: device.TargetFulcrum, Module: dram.DDR4(1), Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Workers() < 1 {
+		t.Errorf("auto workers resolved to %d", d.Workers())
+	}
+	d, err = device.New(device.Config{Target: device.TargetFulcrum, Module: dram.DDR4(1), Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Workers() != 5 {
+		t.Errorf("Workers = %d, want 5", d.Workers())
+	}
+}

@@ -34,12 +34,20 @@ func targetLabel(t pim.Target) string {
 	}
 }
 
+// Workers bounds the functional execution engine's worker pool for every
+// experiment run dispatched by this package (0 = NumCPU, 1 = serial; see
+// pim.Config.Workers). The paper-scale artifacts are model-only, where the
+// knob only matters if a study is re-run with Functional inputs, but
+// cmd/pimexperiments and cmd/pimsweep thread their -workers flag here so
+// the whole pipeline honors one setting.
+var Workers int
+
 // RunSuite executes every benchmark at paper scale (model-only) on the
 // given target and rank count, returning results in registry order.
 func RunSuite(target pim.Target, ranks int) ([]suite.Result, error) {
 	var out []suite.Result
 	for _, b := range suite.All() {
-		res, err := b.Run(suite.Config{Target: target, Ranks: ranks})
+		res, err := b.Run(suite.Config{Target: target, Ranks: ranks, Workers: Workers})
 		if err != nil {
 			return nil, fmt.Errorf("%s on %v: %w", b.Info().Name, target, err)
 		}

@@ -1,0 +1,87 @@
+// Package par provides the bounded worker pool shared by the functional
+// execution engine (internal/device) and the bit-serial micro-op
+// interpreter's batch runner (internal/bitserial).
+//
+// The pool is deliberately minimal: a caller partitions its work into
+// independent tasks indexed [0, n), and For dispatches those indices across
+// at most `workers` goroutines. Determinism is the caller's contract — every
+// task must write only state owned by its index (disjoint output ranges,
+// per-task partial results), and any cross-task merge must happen after For
+// returns, in task-index order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps the public Workers knob to a concrete pool size: 0 ("auto")
+// becomes runtime.NumCPU(), negative values clamp to 1 (serial).
+func Resolve(workers int) int {
+	if workers == 0 {
+		return runtime.NumCPU()
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n), dispatching indices across at most
+// `workers` goroutines. With workers <= 1 (or n <= 1) it degenerates to the
+// plain serial loop in index order — the reference execution path.
+//
+// Indices are handed out through a shared atomic counter, so task order
+// across workers is nondeterministic; callers must keep tasks independent.
+// A panic inside fn is captured and re-raised on the calling goroutine after
+// all workers have drained.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+					// Drain remaining indices so sibling workers exit
+					// promptly instead of processing a poisoned batch.
+					next.Store(int64(n))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

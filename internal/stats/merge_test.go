@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pimeval/internal/perf"
+)
+
+// record is one replayable stats event, so the same stream can be fed to a
+// single serial collector or split across per-shard collectors.
+type record struct {
+	kind          int // 0 = cmd, 1 = copy, 2 = host
+	name          string
+	category      string
+	n             int64
+	h2d, d2h, d2d int64
+	cost          perf.Cost
+}
+
+// dyadic returns a random float that is exactly representable and whose
+// sums over a test-sized record stream never round: merge order then cannot
+// change a single bit. The engine's determinism does not depend on this —
+// shard merges happen in fixed core order — but the algebraic property is
+// only testable bitwise on round-free values.
+func dyadic(r *rand.Rand) float64 {
+	return float64(r.Intn(1<<20)) * 0.25
+}
+
+func randRecords(r *rand.Rand, n int) []record {
+	names := []string{"add.int32", "mul.int32", "redsum.int32", "copy.h2d", "shift.l.int8"}
+	cats := []string{"add", "mul", "reduction", "", "shift"}
+	recs := make([]record, n)
+	for i := range recs {
+		k := r.Intn(3)
+		rec := record{kind: k, cost: perf.Cost{TimeNS: dyadic(r), EnergyPJ: dyadic(r)}}
+		switch k {
+		case 0:
+			j := r.Intn(len(names))
+			rec.name, rec.category, rec.n = names[j], cats[j], int64(r.Intn(1000)+1)
+		case 1:
+			rec.h2d, rec.d2h, rec.d2d = int64(r.Intn(4096)), int64(r.Intn(4096)), int64(r.Intn(4096))
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+func (rec record) apply(s *Stats) {
+	switch rec.kind {
+	case 0:
+		s.RecordCmd(rec.name, rec.category, rec.n, rec.cost)
+	case 1:
+		s.RecordCopy(rec.h2d, rec.d2h, rec.d2d, rec.cost)
+	case 2:
+		s.RecordHost(rec.cost)
+	}
+}
+
+// equal compares two collectors through their exported views.
+func equal(t *testing.T, a, b *Stats) bool {
+	t.Helper()
+	return reflect.DeepEqual(a.Commands(), b.Commands()) &&
+		reflect.DeepEqual(a.OpCounts(), b.OpCounts()) &&
+		a.Copies() == b.Copies() &&
+		a.Host() == b.Host()
+}
+
+// TestMergeAnyOrderEqualsSerialAggregate is the property backing the
+// parallel engine's stats contract: splitting a record stream across shard
+// collectors and merging them in ANY permutation reproduces the serial
+// aggregate exactly.
+func TestMergeAnyOrderEqualsSerialAggregate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		recs := randRecords(r, 1+r.Intn(60))
+
+		serial := New()
+		for _, rec := range recs {
+			rec.apply(serial)
+		}
+
+		nShards := 1 + r.Intn(8)
+		shards := make([]*Stats, nShards)
+		for i := range shards {
+			shards[i] = New()
+		}
+		for i, rec := range recs {
+			rec.apply(shards[i%nShards])
+		}
+
+		merged := New()
+		for _, i := range r.Perm(nShards) {
+			merged.Merge(shards[i])
+		}
+		if !equal(t, merged, serial) {
+			t.Fatalf("trial %d: merged (%d shards) != serial aggregate\nmerged: %+v\nserial: %+v",
+				trial, nShards, merged.Commands(), serial.Commands())
+		}
+	}
+}
+
+// TestMergeAssociative checks (a merge b) merge c == a merge (b merge c) on
+// fresh accumulators.
+func TestMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		mk := func() *Stats {
+			s := New()
+			for _, rec := range randRecords(r, 1+r.Intn(20)) {
+				rec.apply(s)
+			}
+			return s
+		}
+		a, b, c := mk(), mk(), mk()
+
+		left := a.Clone()
+		left.Merge(b)
+		left.Merge(c)
+
+		bc := b.Clone()
+		bc.Merge(c)
+		right := a.Clone()
+		right.Merge(bc)
+
+		if !equal(t, left, right) {
+			t.Fatalf("trial %d: merge not associative", trial)
+		}
+	}
+}
+
+func TestMergeDoesNotModifySource(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	src := New()
+	for _, rec := range randRecords(r, 30) {
+		rec.apply(src)
+	}
+	before := src.Clone()
+	dst := New()
+	dst.Merge(src)
+	dst.RecordCmd("poison", "add", 1, perf.Cost{TimeNS: 1})
+	if !equal(t, src, before) {
+		t.Error("Merge or later writes to dst modified the source collector")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := New()
+	s.RecordCmd("add.int32", "add", 5, perf.Cost{TimeNS: 10, EnergyPJ: 20})
+	c := s.Clone()
+	if !equal(t, s, c) {
+		t.Fatal("clone differs from source")
+	}
+	c.RecordCmd("add.int32", "add", 1, perf.Cost{TimeNS: 1})
+	if equal(t, s, c) {
+		t.Error("clone shares state with source")
+	}
+	s.Reset()
+	if len(c.Commands()) == 0 {
+		t.Error("resetting source cleared the clone")
+	}
+}

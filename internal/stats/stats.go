@@ -35,8 +35,12 @@ func (c CopyStats) TotalBytes() int64 {
 	return c.HostToDeviceBytes + c.DeviceToHostBytes + c.DeviceToDeviceBytes
 }
 
-// Stats accumulates all measurements for one device instance. It is not
-// safe for concurrent use; the simulator serializes command dispatch.
+// Stats accumulates all measurements for one device instance. A collector
+// is single-writer — the simulator charges costs once per command at
+// dispatch, never from worker goroutines — and concurrent producers (shards,
+// devices) each keep their own collector and combine them with Merge, which
+// is order-insensitive on counts and exact whenever the float additions do
+// not round (see merge_test.go).
 type Stats struct {
 	cmds   map[string]*CmdStat
 	copies CopyStats
@@ -75,6 +79,39 @@ func (s *Stats) RecordCopy(h2d, d2h, d2d int64, cost perf.Cost) {
 
 // RecordHost adds a host-executed phase.
 func (s *Stats) RecordHost(cost perf.Cost) { s.host = s.host.Plus(cost) }
+
+// Merge folds o's counters into s: per-command counts and costs add
+// component-wise by command name, as do the operation-category counts, copy
+// traffic, and host cost. Each key accumulates independently, so merging a
+// set of per-shard (or per-device) collectors yields the same integer
+// counters in every merge order; costs are float sums and therefore
+// order-exact only when no addition rounds. o is not modified.
+func (s *Stats) Merge(o *Stats) {
+	for name, oc := range o.cmds {
+		cs := s.cmds[name]
+		if cs == nil {
+			cs = &CmdStat{Name: name}
+			s.cmds[name] = cs
+		}
+		cs.Count += oc.Count
+		cs.Cost = cs.Cost.Plus(oc.Cost)
+	}
+	for k, n := range o.opCount {
+		s.opCount[k] += n
+	}
+	s.copies.HostToDeviceBytes += o.copies.HostToDeviceBytes
+	s.copies.DeviceToHostBytes += o.copies.DeviceToHostBytes
+	s.copies.DeviceToDeviceBytes += o.copies.DeviceToDeviceBytes
+	s.copies.Cost = s.copies.Cost.Plus(o.copies.Cost)
+	s.host = s.host.Plus(o.host)
+}
+
+// Clone returns an independent deep copy of the collector.
+func (s *Stats) Clone() *Stats {
+	c := New()
+	c.Merge(s)
+	return c
+}
 
 // Reset clears all accumulated statistics.
 func (s *Stats) Reset() {

@@ -92,6 +92,13 @@ type Config struct {
 	// Functional enables data-carrying simulation. Leave false for
 	// paper-scale model-only runs.
 	Functional bool
+	// Workers bounds the worker pool of the functional execution engine,
+	// which shards every command across the object's per-core element
+	// regions. 0 (the default) selects runtime.NumCPU(); 1 forces the
+	// serial reference path. Outputs, statistics, latency, and energy are
+	// bit-identical for every setting — the knob trades wall-clock time
+	// only. Model-only runs ignore it.
+	Workers int
 }
 
 // module materializes the dram description for the config.
@@ -134,6 +141,7 @@ func NewDevice(cfg Config) (*Device, error) {
 		Target:     cfg.Target,
 		Module:     cfg.module(),
 		Functional: cfg.Functional,
+		Workers:    cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -146,6 +154,10 @@ func (v *Device) Target() Target { return v.cfg.Target }
 
 // Cores returns the device's PIM core count.
 func (v *Device) Cores() int { return v.d.Cores() }
+
+// Workers returns the resolved size of the functional engine's worker pool
+// (Config.Workers with 0 resolved to runtime.NumCPU()).
+func (v *Device) Workers() int { return v.d.Workers() }
 
 // Functional reports whether the device carries real data.
 func (v *Device) Functional() bool { return v.cfg.Functional }
