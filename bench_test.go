@@ -397,6 +397,72 @@ func BenchmarkParallelScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatch measures the per-command front-end overhead of the
+// dispatch path — validation, lowering, cost modeling, and sink fan-out —
+// on commands whose element count is too small for the functional loop to
+// matter. This is the regression guard for the staged pipeline: its numbers
+// are compared against the seed (pre-pipeline) dispatch path in
+// EXPERIMENTS.md and must stay within 5%.
+func BenchmarkDispatch(b *testing.B) {
+	for _, fn := range []bool{true, false} {
+		fn := fn
+		mode := "functional"
+		if !fn {
+			mode = "model-only"
+		}
+		b.Run(mode, func(b *testing.B) {
+			v, err := pim.NewDevice(pim.Config{
+				Target: pim.Fulcrum, Ranks: 1, Functional: fn, Workers: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const n = 8 // small-N: dispatch overhead dominates the element loop
+			alloc := func() pim.ObjID {
+				id, err := v.Alloc(n, pim.Int32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return id
+			}
+			a, c, dst := alloc(), alloc(), alloc()
+			if fn {
+				host := make([]int32, n)
+				if err := pim.CopyToDevice(v, a, host); err != nil {
+					b.Fatal(err)
+				}
+				if err := pim.CopyToDevice(v, c, host); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.Run("binary", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := v.Add(a, c, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("scalar", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := v.AddScalar(a, 3, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("redsum", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := v.RedSum(a); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkAblationAESSbox compares the two AES S-box realizations: the
 // bitsliced pimAesSbox command versus the explicit GF(2^8) inversion ladder
 // built from generic PIM ops (the design choice DESIGN.md calls out).

@@ -1,0 +1,113 @@
+// Package replaytest proves the command-stream replay determinism guarantee
+// end-to-end (DESIGN.md §9): a full benchmark recorded through the public
+// API, serialized, decoded, and replayed on a fresh device reproduces the
+// live run's statistics, trace, report, and stream bit-for-bit.
+package replaytest
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	_ "pimeval/benchmarks/all" // register the benchmark suite
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+// roundTrip records one benchmark run, round-trips the stream through its
+// JSON encoding, replays it, and checks every observable for bit-identity.
+func roundTrip(t *testing.T, name string, target pim.Target) {
+	t.Helper()
+	b, err := suite.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := suite.Config{
+		Target:     target,
+		Functional: true,
+		Workers:    1,
+		Trace:      true,
+		EmitReport: true,
+		Record:     true,
+	}
+	live, err := b.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !live.Verified {
+		t.Fatalf("live %s run not verified", name)
+	}
+	if live.Stream == nil || len(live.Stream.Records) == 0 {
+		t.Fatal("run recorded no stream")
+	}
+
+	// Serialize and decode: the replay must work from the wire format.
+	var buf bytes.Buffer
+	if err := live.Stream.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := pim.DecodeStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev, err := pim.Replay(decoded, pim.ReplayConfig{Workers: 1, Trace: true, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := dev.Metrics(), live.Metrics; !metricsBitIdentical(got, want) {
+		t.Errorf("metrics diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := dev.TraceString(), live.Trace; got != want {
+		t.Errorf("trace diverged:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := dev.Report(), live.Report; got != want {
+		t.Errorf("report diverged:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// Re-recording the replay must reproduce the stream itself: replay is
+	// a fixed point of record.
+	if got := dev.RecordedStream(); !reflect.DeepEqual(got, live.Stream) {
+		t.Errorf("re-recorded stream diverged (%d records vs %d)",
+			len(got.Records), len(live.Stream.Records))
+	}
+}
+
+// metricsBitIdentical compares every float64 field by its bit pattern —
+// stricter than ==, which would accept -0 vs +0 and miss NaN equality.
+func metricsBitIdentical(a, b pim.Metrics) bool {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	for i := 0; i < va.NumField(); i++ {
+		fa, fb := va.Field(i), vb.Field(i)
+		switch fa.Kind() {
+		case reflect.Float64:
+			if math.Float64bits(fa.Float()) != math.Float64bits(fb.Float()) {
+				return false
+			}
+		default:
+			if fa.Int() != fb.Int() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRoundTripVecAddBitSerial exercises the bit-serial architecture with a
+// copy-in / exec / copy-out stream.
+func TestRoundTripVecAddBitSerial(t *testing.T) {
+	roundTrip(t, "vecadd", pim.BitSerial)
+}
+
+// TestRoundTripKMeansFulcrum exercises Fulcrum with a stream containing
+// repeat scopes, host phases, and reductions.
+func TestRoundTripKMeansFulcrum(t *testing.T) {
+	roundTrip(t, "kmeans", pim.Fulcrum)
+}
+
+// TestRoundTripGemvBankLevel adds the third architecture and the d2d tiling
+// broadcast path to the replayed surface.
+func TestRoundTripGemvBankLevel(t *testing.T) {
+	roundTrip(t, "gemv", pim.BankLevel)
+}

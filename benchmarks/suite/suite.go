@@ -36,6 +36,9 @@ type Config struct {
 	// Trace captures the device command trace (most recent 64Ki entries)
 	// in Result.Trace.
 	Trace bool
+	// Record captures the run's command stream (the cmdstream IR lowered
+	// from every API call) in Result.Stream for serialization or replay.
+	Record bool
 	// Geometry overrides for sensitivity sweeps; 0 = paper defaults.
 	BanksPerRank     int
 	SubarraysPerBank int
@@ -82,6 +85,8 @@ type Result struct {
 	Report string
 	// Trace holds the rendered command trace when configured with Trace.
 	Trace string
+	// Stream holds the recorded command stream when configured with Record.
+	Stream *pim.Stream
 }
 
 // SpeedupCPU returns the paper's Figure-9 speedups over the CPU baseline:
@@ -240,6 +245,9 @@ func NewRunner(b Benchmark, cfg Config) (*Runner, error) {
 	if cfg.Trace {
 		dev.EnableTrace()
 	}
+	if cfg.Record {
+		dev.RecordStream()
+	}
 	return &Runner{Cfg: cfg, Dev: dev, Size: size}, nil
 }
 
@@ -252,9 +260,14 @@ func (r *Runner) Finish(b Benchmark, verified bool, cpu, gpu HostCost) Result {
 	if r.Cfg.Trace {
 		trace = r.Dev.TraceString()
 	}
+	var stream *pim.Stream
+	if r.Cfg.Record {
+		stream = r.Dev.RecordedStream()
+	}
 	return Result{
 		Report:          report,
 		Trace:           trace,
+		Stream:          stream,
 		Benchmark:       b.Info().Name,
 		Target:          r.Cfg.Target,
 		N:               r.Size,

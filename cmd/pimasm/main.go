@@ -5,6 +5,14 @@
 //
 //	pimasm -op add -type int32
 //	pimasm -op mul -type int16 -arch analog -counts
+//
+// It also drives the simulator's command-stream IR: -record runs the op
+// through the full device dispatch pipeline and writes the lowered command
+// stream to a file; -replay re-executes a recorded stream on a fresh device
+// and prints the artifact-style report.
+//
+//	pimasm -op mul -type int16 -target fulcrum -n 8192 -record mul.stream
+//	pimasm -replay mul.stream
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"pimeval/internal/dram"
 	"pimeval/internal/isa"
 	"pimeval/internal/par"
+	"pimeval/pim"
 )
 
 func main() {
@@ -43,6 +52,11 @@ var typesByName = map[string]isa.DataType{
 	"uint8": isa.UInt8, "uint16": isa.UInt16, "uint32": isa.UInt32, "uint64": isa.UInt64,
 }
 
+var targetsByName = map[string]pim.Target{
+	"bitserial": pim.BitSerial, "fulcrum": pim.Fulcrum,
+	"banklevel": pim.BankLevel, "analog": pim.AnalogBitSerial,
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pimasm", flag.ContinueOnError)
 	fs.SetOutput(out)
@@ -55,9 +69,16 @@ func run(args []string, out io.Writer) error {
 		limit      = fs.Int("limit", 64, "maximum micro-ops to list (0 = all)")
 		runN       = fs.Int("run", 0, "functionally interpret the program over N random elements and report throughput (bitserial only)")
 		workers    = fs.Int("workers", 0, "worker pool for -run interpreter batches (0 = NumCPU, 1 = serial)")
+		recordPath = fs.String("record", "", "run the op through the device dispatch pipeline and write the recorded command stream to this file")
+		replayPath = fs.String("replay", "", "replay a recorded command stream from this file and print the device report")
+		targetName = fs.String("target", "bitserial", "device architecture for -record: bitserial, fulcrum, banklevel, analog")
+		recordN    = fs.Int64("n", 4096, "element count for -record")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replayPath != "" {
+		return replayStream(out, *replayPath, *workers)
 	}
 	op, ok := opsByName[*opName]
 	if !ok {
@@ -66,6 +87,13 @@ func run(args []string, out io.Writer) error {
 	dt, ok := typesByName[*typeName]
 	if !ok {
 		return fmt.Errorf("unknown type %q", *typeName)
+	}
+	if *recordPath != "" {
+		target, ok := targetsByName[*targetName]
+		if !ok {
+			return fmt.Errorf("unknown target %q", *targetName)
+		}
+		return recordStream(out, *recordPath, target, op, dt, *imm, *recordN, *workers)
 	}
 
 	t := dram.DDR4(1).Timing
@@ -121,6 +149,119 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown arch %q (want bitserial or analog)", *arch)
 	}
+	return nil
+}
+
+// binaryFns maps element-wise binary ops to their pim API entry points.
+var binaryFns = map[isa.Op]func(*pim.Device, pim.ObjID, pim.ObjID, pim.ObjID) error{
+	isa.OpAdd: (*pim.Device).Add, isa.OpSub: (*pim.Device).Sub,
+	isa.OpMul: (*pim.Device).Mul, isa.OpDiv: (*pim.Device).Div,
+	isa.OpAnd: (*pim.Device).And, isa.OpOr: (*pim.Device).Or,
+	isa.OpXor: (*pim.Device).Xor, isa.OpXnor: (*pim.Device).Xnor,
+	isa.OpMin: (*pim.Device).Min, isa.OpMax: (*pim.Device).Max,
+	isa.OpLt: (*pim.Device).Lt, isa.OpGt: (*pim.Device).Gt,
+	isa.OpEq: (*pim.Device).Eq,
+}
+
+// unaryFns maps one-input ops to their pim API entry points.
+var unaryFns = map[isa.Op]func(*pim.Device, pim.ObjID, pim.ObjID) error{
+	isa.OpNot: (*pim.Device).Not, isa.OpAbs: (*pim.Device).Abs,
+	isa.OpPopCount: (*pim.Device).PopCount,
+}
+
+// recordStream runs the op through the full device API on a one-rank
+// functional device with the command-stream recorder attached, and writes
+// the captured stream to path.
+func recordStream(out io.Writer, path string, target pim.Target, op isa.Op, dt isa.DataType, imm, n int64, workers int) error {
+	dev, err := pim.NewDevice(pim.Config{
+		Target: target, Ranks: 1, Functional: true, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	dev.RecordStream()
+	rng := rand.New(rand.NewSource(1))
+	operands := make([]pim.ObjID, operandCount(op))
+	for k := range operands {
+		id, err := dev.Alloc(n, dt)
+		if err != nil {
+			return err
+		}
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = dt.Truncate(rng.Int63())
+		}
+		if op == isa.OpSelect && k == 0 {
+			for i := range vals {
+				vals[i] &= 1 // the mask operand carries 0/1 truth values
+			}
+		}
+		if err := pim.CopyToDevice(dev, id, vals); err != nil {
+			return err
+		}
+		operands[k] = id
+	}
+	dst, err := dev.Alloc(n, dt)
+	if err != nil {
+		return err
+	}
+	switch {
+	case binaryFns[op] != nil:
+		err = binaryFns[op](dev, operands[0], operands[1], dst)
+	case unaryFns[op] != nil:
+		err = unaryFns[op](dev, operands[0], dst)
+	case op == isa.OpShiftL:
+		err = dev.ShiftL(operands[0], int(imm), dst)
+	case op == isa.OpShiftR:
+		err = dev.ShiftR(operands[0], int(imm), dst)
+	case op == isa.OpSelect:
+		err = dev.Select(operands[0], operands[1], operands[2], dst)
+	case op == isa.OpBroadcast:
+		err = dev.Broadcast(dst, imm)
+	default:
+		err = fmt.Errorf("op %v has no device dispatch form", op)
+	}
+	if err != nil {
+		return err
+	}
+	if err := pim.CopyFromDevice(dev, dst, make([]int64, n)); err != nil {
+		return err
+	}
+	s := dev.RecordedStream()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded %d stream records to %s (%s, %s.%s, n=%d)\n",
+		len(s.Records), path, target, op, dt, n)
+	return nil
+}
+
+// replayStream decodes a recorded command stream, replays it on a fresh
+// device built from the stream's header, and prints the device report.
+func replayStream(out io.Writer, path string, workers int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := pim.DecodeStream(f)
+	if err != nil {
+		return err
+	}
+	dev, err := pim.Replay(s, pim.ReplayConfig{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replayed %d stream records on %s\n", len(s.Records), dev.Target())
+	fmt.Fprintln(out, dev.Report())
 	return nil
 }
 

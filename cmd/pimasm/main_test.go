@@ -77,3 +77,41 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/stream.json"
+	var out strings.Builder
+	err := run([]string{"-op", "mul", "-type", "int16", "-target", "fulcrum",
+		"-n", "512", "-workers", "1", "-record", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recorded") || !strings.Contains(out.String(), "mul.int16") {
+		t.Errorf("record output: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-workers", "1", "-replay", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"replayed", "PIM_DEVICE_FULCRUM", "mul.int16"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("replay output missing %q:\n%s", want, s[:min(400, len(s))])
+		}
+	}
+}
+
+func TestRecordReplayErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-record", "/x", "-target", "warp"}, &out); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := run([]string{"-replay", "/nonexistent/stream.json"}, &out); err == nil {
+		t.Error("missing replay file accepted")
+	}
+	path := t.TempDir() + "/bad.json"
+	if err := run([]string{"-op", "div", "-type", "uint8", "-target", "analog",
+		"-n", "64", "-record", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+}

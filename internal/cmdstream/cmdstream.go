@@ -1,0 +1,149 @@
+// Package cmdstream defines the typed command-stream IR that sits between
+// the public PIM API and the device backend: one self-contained record per
+// device operation (allocations, frees, copies, exec commands, host phases,
+// and repeat scopes), a JSON stream encoding, and a replayer that re-executes
+// a recorded stream against a fresh device.
+//
+// The IR is the stable command-level contract the simulator dispatches
+// through (SIMDRAM's command stream and PrIM's portable benchmark contract
+// are the architectural precedents): every API call lowers to exactly one
+// record, the staged pipeline in internal/device executes records, and a
+// recorded stream replayed on a device built from the stream's header
+// reproduces the live run's data, statistics, trace, latency, and energy
+// bit-for-bit (the replay determinism guarantee, DESIGN.md §9).
+package cmdstream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pimeval/internal/dram"
+)
+
+// ObjID identifies a PIM data object in stream records. Object IDs are
+// assigned deterministically (a sequential counter starting at 1), so a
+// replayed stream resolves to the same IDs it recorded; the replayer checks
+// this invariant on every allocation.
+type ObjID int64
+
+// Kind discriminates the record variants of the IR.
+type Kind string
+
+// The record kinds: one per device operation class.
+const (
+	KindAlloc        Kind = "alloc"          // allocate a PIM object (Obj = resulting id)
+	KindFree         Kind = "free"           // release a PIM object
+	KindCopyH2D      Kind = "copy.h2d"       // host-to-device copy (Data = payload, nil in model-only)
+	KindCopyD2H      Kind = "copy.d2h"       // device-to-host copy
+	KindCopyD2D      Kind = "copy.d2d"       // device-to-device copy / tiling broadcast
+	KindCopyD2DRange Kind = "copy.d2d.range" // ranged device-to-device gather
+	KindExec         Kind = "exec"           // PIM command dispatch (Form selects the shape)
+	KindHost         Kind = "host"           // host-executed phase charged to the device
+	KindRepeatBegin  Kind = "repeat.begin"   // open a WithRepeat scope (Repeat = factor)
+	KindRepeatEnd    Kind = "repeat.end"     // close the innermost repeat scope
+)
+
+// Form discriminates the dispatch shapes of KindExec records.
+type Form string
+
+// The exec forms, mirroring the device dispatch entry points.
+const (
+	FormBinary    Form = "binary"     // dst = a op b
+	FormScalar    Form = "scalar"     // dst = a op imm
+	FormUnary     Form = "unary"      // dst = op a
+	FormShift     Form = "shift"      // dst = a shifted by Amount
+	FormSelect    Form = "select"     // dst = cond ? a : b
+	FormBroadcast Form = "broadcast"  // dst = imm everywhere
+	FormRedSum    Form = "redsum"     // full reduction (Result)
+	FormRedSumSeg Form = "redsum.seg" // segmented reduction (Results)
+)
+
+// Record is one self-contained IR record. Only the fields relevant to the
+// record's Kind (and Form) are populated; the rest stay at their zero value
+// and are omitted from the JSON encoding. Object references are raw int64
+// IDs — deterministic allocation makes them stable across replays.
+type Record struct {
+	Seq  int64 `json:"seq,omitempty"`
+	Kind Kind  `json:"kind"`
+
+	// Alloc / copies: object identity and shape.
+	Obj  int64  `json:"obj,omitempty"`  // alloc result, free target, h2d/d2h object
+	Type string `json:"type,omitempty"` // element type name (alloc, exec)
+	N    int64  `json:"n,omitempty"`    // alloc/exec element count, ranged-copy length
+
+	// Exec operands.
+	Form   Form   `json:"form,omitempty"`
+	Op     string `json:"op,omitempty"` // command mnemonic (isa.Op.String)
+	A      int64  `json:"a,omitempty"`
+	B      int64  `json:"b,omitempty"`
+	Cond   int64  `json:"cond,omitempty"`
+	Dst    int64  `json:"dst,omitempty"`
+	Scalar int64  `json:"scalar,omitempty"` // immediate operand / broadcast value
+	Amount int    `json:"amount,omitempty"` // shift distance
+	SegLen int64  `json:"seglen,omitempty"` // segment length (redsum.seg)
+
+	// Device-to-device copies.
+	Src    int64 `json:"src,omitempty"`
+	SrcOff int64 `json:"srcoff,omitempty"`
+	DstOff int64 `json:"dstoff,omitempty"`
+
+	// Host-to-device payload (functional recordings only).
+	Data []int64 `json:"data,omitempty"`
+
+	// Host-phase cost as issued (pre-repeat-scaling).
+	TimeNS   float64 `json:"time_ns,omitempty"`
+	EnergyPJ float64 `json:"energy_pj,omitempty"`
+
+	// Repeat scope factor (repeat.begin).
+	Repeat int64 `json:"repeat,omitempty"`
+
+	// Reduction results captured at record time; replays of functional
+	// streams verify them (the replay determinism guarantee).
+	Result  int64   `json:"result,omitempty"`
+	Results []int64 `json:"results,omitempty"`
+}
+
+// Version is the stream schema version written into headers.
+const Version = 1
+
+// Header identifies the device a stream was recorded on, carrying enough to
+// rebuild an equivalent device for replay.
+type Header struct {
+	Version    int         `json:"version"`
+	Target     string      `json:"target"`    // architecture name (device.Target.String)
+	TargetID   int         `json:"target_id"` // architecture enum value
+	Module     dram.Module `json:"module"`
+	Functional bool        `json:"functional"`
+}
+
+// Stream is a recorded command stream: the device header plus the ordered
+// records of every operation dispatched while recording was enabled.
+type Stream struct {
+	Header  Header   `json:"header"`
+	Records []Record `json:"records"`
+}
+
+// Encode writes the stream as JSON. Float fields round-trip exactly
+// (encoding/json emits shortest-form float64), so a decoded stream replays
+// to bit-identical statistics.
+func (s *Stream) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// Decode reads a JSON-encoded stream and validates its header.
+func Decode(r io.Reader) (*Stream, error) {
+	var s Stream
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("cmdstream: decode: %w", err)
+	}
+	if s.Header.Version != Version {
+		return nil, fmt.Errorf("cmdstream: unsupported stream version %d (want %d)", s.Header.Version, Version)
+	}
+	if err := s.Header.Module.Validate(); err != nil {
+		return nil, fmt.Errorf("cmdstream: stream header: %w", err)
+	}
+	return &s, nil
+}

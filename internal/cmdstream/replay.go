@@ -1,0 +1,163 @@
+package cmdstream
+
+import (
+	"fmt"
+
+	"pimeval/internal/isa"
+	"pimeval/internal/perf"
+)
+
+// Executor is the device surface a stream replays against. *device.Device
+// satisfies it directly; the interface lives here so the IR layer has no
+// dependency on the simulator core.
+type Executor interface {
+	Alloc(n int64, dt isa.DataType) (ObjID, error)
+	Free(id ObjID) error
+	CopyHostToDevice(id ObjID, values []int64) error
+	CopyDeviceToHost(id ObjID) ([]int64, error)
+	CopyDeviceToDevice(src, dst ObjID) error
+	CopyDeviceToDeviceRange(src ObjID, srcOff int64, dst ObjID, dstOff, n int64) error
+	ExecBinary(op isa.Op, a, b, dst ObjID) error
+	ExecScalar(op isa.Op, a ObjID, scalar int64, dst ObjID) error
+	ExecUnary(op isa.Op, a, dst ObjID) error
+	ExecShift(op isa.Op, a ObjID, amount int, dst ObjID) error
+	ExecSelect(cond, a, b, dst ObjID) error
+	Broadcast(dst ObjID, val int64) error
+	RedSum(a ObjID) (int64, error)
+	RedSumSeg(a ObjID, segLen int64) ([]int64, error)
+	RecordHost(cost perf.Cost)
+	WithRepeat(n int64, fn func() error) error
+}
+
+// Replay re-executes every record of the stream against x, in order. When
+// the stream was recorded functionally, reduction results are verified
+// against the recorded values — a replay that diverges from the live run
+// fails loudly instead of producing silently different numbers.
+func Replay(x Executor, s *Stream) error {
+	return replay(x, s.Records, s.Header.Functional)
+}
+
+// replay walks one record sequence. Repeat scopes delegate their body back
+// through x.WithRepeat so the executor applies the same charging semantics
+// the live run did.
+func replay(x Executor, recs []Record, verify bool) error {
+	for i := 0; i < len(recs); i++ {
+		rec := &recs[i]
+		switch rec.Kind {
+		case KindRepeatBegin:
+			end := -1
+			for j := i + 1; j < len(recs); j++ {
+				if recs[j].Kind == KindRepeatBegin {
+					return fmt.Errorf("cmdstream: seq %d: nested repeat scope", recs[j].Seq)
+				}
+				if recs[j].Kind == KindRepeatEnd {
+					end = j
+					break
+				}
+			}
+			if end < 0 {
+				return fmt.Errorf("cmdstream: seq %d: unterminated repeat scope", rec.Seq)
+			}
+			inner := recs[i+1 : end]
+			if err := x.WithRepeat(rec.Repeat, func() error {
+				return replay(x, inner, verify)
+			}); err != nil {
+				return err
+			}
+			i = end
+		case KindRepeatEnd:
+			return fmt.Errorf("cmdstream: seq %d: repeat.end without matching begin", rec.Seq)
+		default:
+			if err := replayOne(x, rec, verify); err != nil {
+				return fmt.Errorf("cmdstream: seq %d (%s): %w", rec.Seq, rec.Kind, err)
+			}
+		}
+	}
+	return nil
+}
+
+// replayOne executes a single non-structural record.
+func replayOne(x Executor, rec *Record, verify bool) error {
+	switch rec.Kind {
+	case KindAlloc:
+		dt, ok := isa.TypeByName(rec.Type)
+		if !ok {
+			return fmt.Errorf("unknown data type %q", rec.Type)
+		}
+		id, err := x.Alloc(rec.N, dt)
+		if err != nil {
+			return err
+		}
+		if int64(id) != rec.Obj {
+			return fmt.Errorf("allocation returned id %d, stream recorded %d (device state diverged)", id, rec.Obj)
+		}
+		return nil
+	case KindFree:
+		return x.Free(ObjID(rec.Obj))
+	case KindCopyH2D:
+		return x.CopyHostToDevice(ObjID(rec.Obj), rec.Data)
+	case KindCopyD2H:
+		_, err := x.CopyDeviceToHost(ObjID(rec.Obj))
+		return err
+	case KindCopyD2D:
+		return x.CopyDeviceToDevice(ObjID(rec.Src), ObjID(rec.Dst))
+	case KindCopyD2DRange:
+		return x.CopyDeviceToDeviceRange(ObjID(rec.Src), rec.SrcOff, ObjID(rec.Dst), rec.DstOff, rec.N)
+	case KindHost:
+		x.RecordHost(perf.Cost{TimeNS: rec.TimeNS, EnergyPJ: rec.EnergyPJ})
+		return nil
+	case KindExec:
+		return replayExec(x, rec, verify)
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+}
+
+// replayExec dispatches an exec record through the form-specific entry point.
+func replayExec(x Executor, rec *Record, verify bool) error {
+	op, ok := isa.OpByName(rec.Op)
+	if !ok {
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+	switch rec.Form {
+	case FormBinary:
+		return x.ExecBinary(op, ObjID(rec.A), ObjID(rec.B), ObjID(rec.Dst))
+	case FormScalar:
+		return x.ExecScalar(op, ObjID(rec.A), rec.Scalar, ObjID(rec.Dst))
+	case FormUnary:
+		return x.ExecUnary(op, ObjID(rec.A), ObjID(rec.Dst))
+	case FormShift:
+		return x.ExecShift(op, ObjID(rec.A), rec.Amount, ObjID(rec.Dst))
+	case FormSelect:
+		return x.ExecSelect(ObjID(rec.Cond), ObjID(rec.A), ObjID(rec.B), ObjID(rec.Dst))
+	case FormBroadcast:
+		return x.Broadcast(ObjID(rec.Dst), rec.Scalar)
+	case FormRedSum:
+		sum, err := x.RedSum(ObjID(rec.A))
+		if err != nil {
+			return err
+		}
+		if verify && sum != rec.Result {
+			return fmt.Errorf("redsum replayed to %d, stream recorded %d", sum, rec.Result)
+		}
+		return nil
+	case FormRedSumSeg:
+		sums, err := x.RedSumSeg(ObjID(rec.A), rec.SegLen)
+		if err != nil {
+			return err
+		}
+		if verify {
+			if len(sums) != len(rec.Results) {
+				return fmt.Errorf("redsum.seg replayed %d segments, stream recorded %d", len(sums), len(rec.Results))
+			}
+			for i, s := range sums {
+				if s != rec.Results[i] {
+					return fmt.Errorf("redsum.seg segment %d replayed to %d, stream recorded %d", i, s, rec.Results[i])
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown exec form %q", rec.Form)
+	}
+}

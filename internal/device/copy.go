@@ -1,0 +1,161 @@
+package device
+
+import (
+	"fmt"
+
+	"pimeval/internal/cmdstream"
+	"pimeval/internal/perf"
+)
+
+// CopyHostToDevice loads values into the object (the functional payload is
+// required to match the object's length). In model-only mode only the
+// transfer is charged.
+func (d *Device) CopyHostToDevice(id ObjID, values []int64) error {
+	o, err := d.res.lookup(id)
+	if err != nil {
+		return err
+	}
+	if d.cfg.Functional {
+		if int64(len(values)) != o.n {
+			return fmt.Errorf("%w: copy of %d values into object of %d", ErrShapeMismatch, len(values), o.n)
+		}
+		d.forSpans(o, func(lo, hi int64) {
+			for i := lo; i < hi; i++ {
+				o.data[i] = o.dt.Truncate(values[i])
+			}
+		})
+	}
+	ev := d.begin(ClassCopy)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{Kind: cmdstream.KindCopyH2D, Obj: int64(id)}
+		if d.cfg.Functional {
+			// Functional recordings carry the payload so a replay
+			// reconstructs the same device data; the copy detaches the
+			// record from the caller's slice.
+			ev.Record.Data = append([]int64(nil), values...)
+		}
+	}
+	cost := perf.DataMovement(d.cfg.Module, o.Bytes(), false).Scale(float64(d.pipe.repeat))
+	d.finishCopy(ev, "copy.h2d", o.Bytes(), cost, o.Bytes()*d.pipe.repeat, 0, 0)
+	return nil
+}
+
+// CopyDeviceToHost copies the object's values out. In model-only mode it
+// returns nil data after charging the transfer.
+func (d *Device) CopyDeviceToHost(id ObjID) ([]int64, error) {
+	o, err := d.res.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	ev := d.begin(ClassCopy)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{Kind: cmdstream.KindCopyD2H, Obj: int64(id)}
+	}
+	cost := perf.DataMovement(d.cfg.Module, o.Bytes(), true).Scale(float64(d.pipe.repeat))
+	d.finishCopy(ev, "copy.d2h", o.Bytes(), cost, 0, o.Bytes()*d.pipe.repeat, 0)
+	if !d.cfg.Functional {
+		return nil, nil
+	}
+	out := make([]int64, o.n)
+	copy(out, o.data)
+	return out, nil
+}
+
+// CopyDeviceToDevice copies src into dst. If dst is larger, src is tiled
+// (replicated) to fill it — the mechanism GEMV-style kernels use to
+// broadcast a vector across matrix rows.
+func (d *Device) CopyDeviceToDevice(src, dst ObjID) error {
+	s, err := d.res.lookup(src)
+	if err != nil {
+		return err
+	}
+	t, err := d.res.lookup(dst)
+	if err != nil {
+		return err
+	}
+	if s.dt != t.dt {
+		return fmt.Errorf("%w: d2d between %v and %v", ErrShapeMismatch, s.dt, t.dt)
+	}
+	if t.n%s.n != 0 {
+		return fmt.Errorf("%w: dst length %d not a multiple of src length %d", ErrShapeMismatch, t.n, s.n)
+	}
+	if d.cfg.Functional {
+		for i := int64(0); i < t.n; i += s.n {
+			copy(t.data[i:i+s.n], s.data)
+		}
+	}
+	var cost perf.Cost
+	var volume int64
+	if t.n > s.n {
+		// Replicating a small operand across a large object is a
+		// broadcast: the controller transmits the source once over the
+		// shared bus and every core writes its local rows in parallel.
+		g := d.cfg.Module.Geometry
+		rowsPerCore := float64(t.elemsPerCore*int64(t.dt.Bits())+int64(g.ColsPerRow)-1) /
+			float64(g.ColsPerRow)
+		cost = perf.DataMovement(d.cfg.Module, s.Bytes(), false)
+		cost.TimeNS += rowsPerCore * d.cfg.Module.Timing.RowWriteNS
+		cost.EnergyPJ += rowsPerCore * d.em.RowWritePJ() * float64(t.activeCores)
+		volume = s.Bytes()
+	} else {
+		// A same-size move travels over the module's internal buses at
+		// rank bandwidth.
+		cost = perf.DataMovement(d.cfg.Module, t.Bytes(), false)
+		volume = t.Bytes()
+	}
+	cost = cost.Scale(float64(d.pipe.repeat))
+	ev := d.begin(ClassCopy)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{Kind: cmdstream.KindCopyD2D, Src: int64(src), Dst: int64(dst)}
+	}
+	d.finishCopy(ev, "copy.d2d", volume, cost, 0, 0, volume*d.pipe.repeat)
+	return nil
+}
+
+// CopyDeviceToDeviceRange copies n elements from src starting at srcOff
+// into dst starting at dstOff — the gather primitive graph kernels use to
+// assemble row batches from a resident adjacency matrix.
+func (d *Device) CopyDeviceToDeviceRange(src ObjID, srcOff int64, dst ObjID, dstOff, n int64) error {
+	s, err := d.res.lookup(src)
+	if err != nil {
+		return err
+	}
+	t, err := d.res.lookup(dst)
+	if err != nil {
+		return err
+	}
+	if s.dt != t.dt {
+		return fmt.Errorf("%w: ranged d2d between %v and %v", ErrShapeMismatch, s.dt, t.dt)
+	}
+	if n <= 0 || srcOff < 0 || dstOff < 0 || srcOff+n > s.n || dstOff+n > t.n {
+		return fmt.Errorf("%w: ranged d2d [%d,%d)->[%d,%d) outside objects of %d/%d",
+			ErrBadArgument, srcOff, srcOff+n, dstOff, dstOff+n, s.n, t.n)
+	}
+	if d.cfg.Functional {
+		copy(t.data[dstOff:dstOff+n], s.data[srcOff:srcOff+n])
+	}
+	bytes := n * int64(t.dt.Bytes())
+	cost := perf.DataMovement(d.cfg.Module, bytes, false).Scale(float64(d.pipe.repeat))
+	ev := d.begin(ClassCopy)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindCopyD2DRange,
+			Src:  int64(src), SrcOff: srcOff, Dst: int64(dst), DstOff: dstOff, N: n,
+		}
+	}
+	d.finishCopy(ev, "copy.d2d", bytes, cost, 0, 0, bytes*d.pipe.repeat)
+	return nil
+}
+
+// RecordHost charges a host-executed phase to the device's statistics.
+func (d *Device) RecordHost(cost perf.Cost) {
+	ev := d.begin(ClassHost)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindHost, TimeNS: cost.TimeNS, EnergyPJ: cost.EnergyPJ,
+		}
+	}
+	ev.Reps = d.pipe.repeat
+	ev.Cost = cost.Scale(float64(d.pipe.repeat))
+	d.pipe.emit(ev)
+}

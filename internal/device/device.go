@@ -1,10 +1,18 @@
-// Package device implements the PIMeval simulator core: PIM device creation,
-// the resource manager for PIM data objects, command dispatch with
-// functional word-level execution, and performance/energy accounting through
-// the per-architecture cost models.
+// Package device implements the PIMeval simulator core behind the public
+// pim package. It is organized as layers connected by the command-stream IR
+// of internal/cmdstream:
 //
-// The public programming surface lives in package pim; this package is the
-// engine behind it.
+//   - resource.go — the resource manager: PIM object table, capacity
+//     accounting, and the per-core span layout of every object.
+//   - dispatch.go — the staged dispatch pipeline every operation flows
+//     through: validate → lower to a cmdstream record → functional backend →
+//     cost model → fan-out to sinks.
+//   - sink.go — the pluggable sinks fed by the pipeline: statistics, the
+//     command trace, and the stream recorder behind record/replay.
+//   - exec.go — the exec-command entry points and the word-level functional
+//     semantics (the sharded engine of parallel.go runs the element loops).
+//   - copy.go — data-movement entry points (host/device copies, host phases).
+//   - replay.go — rebuilding a device from a recorded stream's header.
 package device
 
 import (
@@ -14,6 +22,7 @@ import (
 	"pimeval/internal/analog"
 	"pimeval/internal/banklevel"
 	"pimeval/internal/bitserial"
+	"pimeval/internal/cmdstream"
 	"pimeval/internal/dram"
 	"pimeval/internal/energy"
 	"pimeval/internal/fulcrum"
@@ -41,7 +50,7 @@ var targetNames = [...]string{"bitserial", "fulcrum", "banklevel", "analog"}
 
 // String returns the short target name.
 func (t Target) String() string {
-	if int(t) < len(targetNames) {
+	if t >= 0 && int(t) < len(targetNames) {
 		return targetNames[t]
 	}
 	return fmt.Sprintf("target(%d)", int(t))
@@ -92,42 +101,19 @@ var (
 )
 
 // ObjID identifies an allocated PIM data object. The zero value is invalid.
-type ObjID int64
+// It aliases the command-stream IR's object identifier, so *Device satisfies
+// cmdstream.Executor directly.
+type ObjID = cmdstream.ObjID
 
-// Object is one allocated PIM data object: a 1-D array of fixed-width
-// elements distributed across PIM cores.
-type Object struct {
-	id           ObjID
-	dt           isa.DataType
-	n            int64
-	data         []int64 // canonical truncated values; nil in model-only mode
-	elemsPerCore int64
-	activeCores  int
-}
-
-// Len returns the element count.
-func (o *Object) Len() int64 { return o.n }
-
-// Type returns the element type.
-func (o *Object) Type() isa.DataType { return o.dt }
-
-// Bytes returns the object's data size in bytes.
-func (o *Object) Bytes() int64 { return o.n * int64(o.dt.Bytes()) }
-
-// Device is one simulated PIM device instance.
+// Device is one simulated PIM device instance: a resource manager plus the
+// staged dispatch pipeline, wired to the architecture's cost model.
 type Device struct {
-	cfg      Config
-	arch     ArchModel
-	em       energy.Model
-	st       *stats.Stats
-	objs     map[ObjID]*Object
-	nextID   ObjID
-	usedBits int64
-	workers  int
-	repeat   int64
-	tracing  bool
-	trace    []TraceEntry
-	traceSeq int64
+	cfg     Config
+	arch    ArchModel
+	em      energy.Model
+	res     resourceManager
+	pipe    pipeline
+	workers int
 }
 
 // New creates a PIM device for the configuration.
@@ -149,16 +135,15 @@ func New(cfg Config) (*Device, error) {
 	case TargetAnalogBitSerial:
 		arch = analog.NewModel()
 	}
-	return &Device{
+	d := &Device{
 		cfg:     cfg,
 		arch:    arch,
 		em:      energy.NewModel(cfg.Module),
-		st:      stats.New(),
-		objs:    make(map[ObjID]*Object),
-		nextID:  1,
-		repeat:  1,
 		workers: par.Resolve(cfg.Workers),
-	}, nil
+	}
+	d.res.init(arch, cfg.Module.Geometry, cfg.Functional)
+	d.pipe.init(stats.New())
+	return d, nil
 }
 
 // Workers returns the resolved size of the functional engine's worker pool.
@@ -171,7 +156,7 @@ func (d *Device) Config() Config { return d.cfg }
 func (d *Device) Arch() ArchModel { return d.arch }
 
 // Stats returns the device's statistics collector.
-func (d *Device) Stats() *stats.Stats { return d.st }
+func (d *Device) Stats() *stats.Stats { return d.pipe.stats.st }
 
 // Cores returns the device's PIM core count.
 func (d *Device) Cores() int { return d.arch.Cores(d.cfg.Module.Geometry) }
@@ -179,44 +164,18 @@ func (d *Device) Cores() int { return d.arch.Cores(d.cfg.Module.Geometry) }
 // Alloc allocates a PIM object of n elements of type dt, spread across all
 // PIM cores for maximum parallelism (the paper's PIM_ALLOC_AUTO policy).
 func (d *Device) Alloc(n int64, dt isa.DataType) (ObjID, error) {
-	if n <= 0 {
-		return 0, fmt.Errorf("%w: element count %d", ErrBadArgument, n)
+	obj, err := d.res.alloc(n, dt)
+	if err != nil {
+		return 0, err
 	}
-	if !dt.Valid() {
-		return 0, fmt.Errorf("%w: data type %d", ErrBadArgument, int(dt))
-	}
-	g := d.cfg.Module.Geometry
-	cores := int64(d.arch.Cores(g))
-	elemsPerCore := (n + cores - 1) / cores
-	capPerCore := d.arch.ElemCapacityPerCore(g, dt.Bits())
-	if elemsPerCore > capPerCore {
-		return 0, fmt.Errorf("%w: need %d elems/core, capacity %d", ErrOutOfMemory, elemsPerCore, capPerCore)
-	}
-	bits := n * int64(dt.Bits())
-	if d.usedBits+bits > d.cfg.Module.Geometry.CapacityBits() {
-		return 0, fmt.Errorf("%w: %d bits requested, %d free", ErrOutOfMemory,
-			bits, d.cfg.Module.Geometry.CapacityBits()-d.usedBits)
-	}
-	obj := &Object{
-		id:           d.nextID,
-		dt:           dt,
-		n:            n,
-		elemsPerCore: elemsPerCore,
-		activeCores:  int((n + elemsPerCore - 1) / elemsPerCore),
-	}
-	if d.cfg.Functional {
-		obj.data = make([]int64, n)
-	}
-	d.objs[obj.id] = obj
-	d.nextID++
-	d.usedBits += bits
+	d.lowerAlloc(obj)
 	return obj.id, nil
 }
 
 // AllocAssociated allocates an object with the same shape and core mapping
 // as ref (the paper's pimAllocAssociated), optionally with a different type.
 func (d *Device) AllocAssociated(ref ObjID, dt isa.DataType) (ObjID, error) {
-	r, err := d.obj(ref)
+	r, err := d.res.lookup(ref)
 	if err != nil {
 		return 0, err
 	}
@@ -225,26 +184,18 @@ func (d *Device) AllocAssociated(ref ObjID, dt isa.DataType) (ObjID, error) {
 
 // Free releases a PIM object.
 func (d *Device) Free(id ObjID) error {
-	o, err := d.obj(id)
-	if err != nil {
+	if err := d.res.free(id); err != nil {
 		return err
 	}
-	d.usedBits -= o.n * int64(o.dt.Bits())
-	delete(d.objs, id)
+	d.lowerFree(id)
 	return nil
 }
 
-// obj resolves an object ID.
-func (d *Device) obj(id ObjID) (*Object, error) {
-	o := d.objs[id]
-	if o == nil {
-		return nil, fmt.Errorf("%w: id %d", ErrBadObject, int64(id))
-	}
-	return o, nil
-}
-
 // Object returns the object for inspection (tests, benchmarks).
-func (d *Device) Object(id ObjID) (*Object, error) { return d.obj(id) }
+func (d *Device) Object(id ObjID) (*Object, error) { return d.res.lookup(id) }
+
+// obj is the dispatcher's shorthand for resource-manager lookups.
+func (d *Device) obj(id ObjID) (*Object, error) { return d.res.lookup(id) }
 
 // WithRepeat runs fn with every command and host record inside it charged n
 // times (loop collapsing for paper-scale iteration counts: the body executes
@@ -253,147 +204,14 @@ func (d *Device) WithRepeat(n int64, fn func() error) error {
 	if n <= 0 {
 		return fmt.Errorf("%w: repeat %d", ErrBadArgument, n)
 	}
-	if d.repeat != 1 {
+	if d.pipe.repeat != 1 {
 		return fmt.Errorf("%w: WithRepeat may not nest", ErrBadArgument)
 	}
-	d.repeat = n
-	defer func() { d.repeat = 1 }()
+	d.pipe.repeat = n
+	d.lowerRepeatBegin(n)
+	defer func() {
+		d.pipe.repeat = 1
+		d.lowerRepeatEnd()
+	}()
 	return fn()
-}
-
-// CopyHostToDevice copies values into the object. In model-only mode values
-// may be nil; in functional mode len(values) must equal the object length.
-func (d *Device) CopyHostToDevice(id ObjID, values []int64) error {
-	o, err := d.obj(id)
-	if err != nil {
-		return err
-	}
-	if d.cfg.Functional {
-		if int64(len(values)) != o.n {
-			return fmt.Errorf("%w: copy of %d values into object of %d", ErrShapeMismatch, len(values), o.n)
-		}
-		d.forSpans(o, func(lo, hi int64) {
-			for i := lo; i < hi; i++ {
-				o.data[i] = o.dt.Truncate(values[i])
-			}
-		})
-	}
-	cost := perf.DataMovement(d.cfg.Module, o.Bytes(), false).Scale(float64(d.repeat))
-	d.record("copy.h2d", o.Bytes(), cost)
-	d.st.RecordCopy(o.Bytes()*d.repeat, 0, 0, cost)
-	return nil
-}
-
-// CopyDeviceToHost copies the object's values out. In model-only mode it
-// returns nil data after charging the transfer.
-func (d *Device) CopyDeviceToHost(id ObjID) ([]int64, error) {
-	o, err := d.obj(id)
-	if err != nil {
-		return nil, err
-	}
-	cost := perf.DataMovement(d.cfg.Module, o.Bytes(), true).Scale(float64(d.repeat))
-	d.record("copy.d2h", o.Bytes(), cost)
-	d.st.RecordCopy(0, o.Bytes()*d.repeat, 0, cost)
-	if !d.cfg.Functional {
-		return nil, nil
-	}
-	out := make([]int64, o.n)
-	copy(out, o.data)
-	return out, nil
-}
-
-// CopyDeviceToDevice copies src into dst. If dst is larger, src is tiled
-// (replicated) to fill it — the mechanism GEMV-style kernels use to
-// broadcast a vector across matrix rows.
-func (d *Device) CopyDeviceToDevice(src, dst ObjID) error {
-	s, err := d.obj(src)
-	if err != nil {
-		return err
-	}
-	t, err := d.obj(dst)
-	if err != nil {
-		return err
-	}
-	if s.dt != t.dt {
-		return fmt.Errorf("%w: d2d between %v and %v", ErrShapeMismatch, s.dt, t.dt)
-	}
-	if t.n%s.n != 0 {
-		return fmt.Errorf("%w: dst length %d not a multiple of src length %d", ErrShapeMismatch, t.n, s.n)
-	}
-	if d.cfg.Functional {
-		for i := int64(0); i < t.n; i += s.n {
-			copy(t.data[i:i+s.n], s.data)
-		}
-	}
-	var cost perf.Cost
-	var volume int64
-	if t.n > s.n {
-		// Replicating a small operand across a large object is a
-		// broadcast: the controller transmits the source once over the
-		// shared bus and every core writes its local rows in parallel.
-		em := energy.NewModel(d.cfg.Module)
-		g := d.cfg.Module.Geometry
-		rowsPerCore := float64(t.elemsPerCore*int64(t.dt.Bits())+int64(g.ColsPerRow)-1) /
-			float64(g.ColsPerRow)
-		cost = perf.DataMovement(d.cfg.Module, s.Bytes(), false)
-		cost.TimeNS += rowsPerCore * d.cfg.Module.Timing.RowWriteNS
-		cost.EnergyPJ += rowsPerCore * em.RowWritePJ() * float64(t.activeCores)
-		volume = s.Bytes()
-	} else {
-		// A same-size move travels over the module's internal buses at
-		// rank bandwidth.
-		cost = perf.DataMovement(d.cfg.Module, t.Bytes(), false)
-		volume = t.Bytes()
-	}
-	cost = cost.Scale(float64(d.repeat))
-	d.st.RecordCopy(0, 0, volume*d.repeat, cost)
-	return nil
-}
-
-// CopyDeviceToDeviceRange copies n elements from src starting at srcOff
-// into dst starting at dstOff — the gather primitive graph kernels use to
-// assemble row batches from a resident adjacency matrix.
-func (d *Device) CopyDeviceToDeviceRange(src ObjID, srcOff int64, dst ObjID, dstOff, n int64) error {
-	s, err := d.obj(src)
-	if err != nil {
-		return err
-	}
-	t, err := d.obj(dst)
-	if err != nil {
-		return err
-	}
-	if s.dt != t.dt {
-		return fmt.Errorf("%w: ranged d2d between %v and %v", ErrShapeMismatch, s.dt, t.dt)
-	}
-	if n <= 0 || srcOff < 0 || dstOff < 0 || srcOff+n > s.n || dstOff+n > t.n {
-		return fmt.Errorf("%w: ranged d2d [%d,%d)->[%d,%d) outside objects of %d/%d",
-			ErrBadArgument, srcOff, srcOff+n, dstOff, dstOff+n, s.n, t.n)
-	}
-	if d.cfg.Functional {
-		copy(t.data[dstOff:dstOff+n], s.data[srcOff:srcOff+n])
-	}
-	bytes := n * int64(t.dt.Bytes())
-	cost := perf.DataMovement(d.cfg.Module, bytes, false).Scale(float64(d.repeat))
-	d.st.RecordCopy(0, 0, bytes*d.repeat, cost)
-	return nil
-}
-
-// RecordHost charges a host-executed phase to the device's statistics.
-func (d *Device) RecordHost(cost perf.Cost) {
-	d.st.RecordHost(cost.Scale(float64(d.repeat)))
-}
-
-// charge records the command's modeled cost against the stats.
-func (d *Device) charge(cmd isa.Command, shape *Object) {
-	cost := d.arch.CmdCost(cmd, shape.elemsPerCore, shape.activeCores, d.cfg.Module, d.em)
-	d.record(cmd.Name(), cmd.N, cost)
-	// Background energy: the per-subarray active/precharge standby delta
-	// multiplied by the module's total subarray count and the command
-	// duration (paper Section V-D iii: "multiply this power by the total
-	// number of subarrays"). Slow architectures therefore pay background
-	// power for longer — a first-order effect for bank-level PIM.
-	total := d.cfg.Module.Geometry.TotalSubarrays()
-	cost.EnergyPJ += d.em.BackgroundEnergyPJ(total, cost.TimeNS)
-	cost = cost.Scale(float64(d.repeat))
-	d.st.RecordCmd(cmd.Name(), cmd.Op.Category(), d.repeat, cost)
 }

@@ -440,3 +440,130 @@ func TestCoresPerTarget(t *testing.T) {
 		}
 	}
 }
+
+func TestTargetStringBounds(t *testing.T) {
+	// Negative and past-the-end values must format, not panic (String is
+	// called from error paths that see arbitrary ints).
+	for _, tgt := range []Target{-1, -99, Target(len(targetNames)), 99} {
+		if got := tgt.String(); !strings.Contains(got, "target(") {
+			t.Errorf("Target(%d).String() = %q", int(tgt), got)
+		}
+		if tgt.Valid() {
+			t.Errorf("Target(%d) reports valid", int(tgt))
+		}
+	}
+	for i, want := range targetNames {
+		if got := Target(i).String(); got != want {
+			t.Errorf("Target(%d).String() = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestCopyDeviceToDeviceRangeErrors(t *testing.T) {
+	d := newDev(t, TargetFulcrum)
+	src, _ := d.Alloc(8, isa.Int32)
+	dst, _ := d.Alloc(8, isa.Int32)
+	_ = d.CopyHostToDevice(src, make([]int64, 8))
+	_ = d.CopyHostToDevice(dst, make([]int64, 8))
+
+	cases := map[string]struct {
+		srcOff, dstOff, n int64
+	}{
+		"zero-length":      {0, 0, 0},
+		"negative-length":  {0, 0, -1},
+		"negative-src-off": {-1, 0, 4},
+		"negative-dst-off": {0, -1, 4},
+		"src-overrun":      {6, 0, 4},
+		"dst-overrun":      {0, 6, 4},
+	}
+	for name, c := range cases {
+		err := d.CopyDeviceToDeviceRange(src, c.srcOff, dst, c.dstOff, c.n)
+		if !errors.Is(err, ErrBadArgument) {
+			t.Errorf("%s: err = %v, want ErrBadArgument", name, err)
+		}
+	}
+
+	other, _ := d.Alloc(8, isa.Int16)
+	if err := d.CopyDeviceToDeviceRange(src, 0, other, 0, 4); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("type mismatch: err = %v, want ErrShapeMismatch", err)
+	}
+	if err := d.CopyDeviceToDeviceRange(src, 0, ObjID(999), 0, 4); !errors.Is(err, ErrBadObject) {
+		t.Errorf("unknown dst: err = %v, want ErrBadObject", err)
+	}
+
+	// A valid ranged copy still works and moves the right elements.
+	_ = d.CopyHostToDevice(src, []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err := d.CopyDeviceToDeviceRange(src, 2, dst, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := d.CopyDeviceToHost(dst)
+	if out[5] != 3 || out[6] != 4 || out[7] != 5 {
+		t.Errorf("ranged copy out = %v", out)
+	}
+}
+
+func TestTraceRecordsDeviceToDeviceCopies(t *testing.T) {
+	d := newDev(t, TargetFulcrum)
+	src, _ := d.Alloc(4, isa.Int32)
+	dst, _ := d.Alloc(8, isa.Int32)
+	_ = d.CopyHostToDevice(src, []int64{1, 2, 3, 4})
+	_ = d.CopyHostToDevice(dst, make([]int64, 8))
+	d.EnableTrace()
+	if err := d.CopyDeviceToDevice(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyDeviceToDeviceRange(src, 0, dst, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace has %d entries, want 2:\n%s", len(tr), d.TraceString())
+	}
+	// Tiling broadcast charges the source volume; the ranged copy charges
+	// the moved bytes.
+	if tr[0].Name != "copy.d2d" || tr[0].N != 4*4 {
+		t.Errorf("d2d entry = %+v", tr[0])
+	}
+	if tr[1].Name != "copy.d2d" || tr[1].N != 2*4 {
+		t.Errorf("ranged d2d entry = %+v", tr[1])
+	}
+	for _, e := range tr {
+		if e.Cost.TimeNS <= 0 || e.Cost.EnergyPJ <= 0 {
+			t.Errorf("d2d entry missing cost: %+v", e)
+		}
+	}
+	// The d2d traffic must agree with the statistics' copy accounting.
+	if c := d.Stats().Copies(); c.DeviceToDeviceBytes != 4*4+2*4 {
+		t.Errorf("d2d bytes = %d, want %d", c.DeviceToDeviceBytes, 4*4+2*4)
+	}
+}
+
+func TestWithRepeatNestingLeavesStreamBalanced(t *testing.T) {
+	d := newDev(t, TargetFulcrum)
+	d.StartRecording()
+	a, _ := d.Alloc(4, isa.Int32)
+	_ = d.CopyHostToDevice(a, make([]int64, 4))
+	err := d.WithRepeat(3, func() error {
+		return d.WithRepeat(2, func() error { return nil })
+	})
+	if !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("nested WithRepeat: %v", err)
+	}
+	// The rejected inner scope must not unbalance the recorded stream.
+	var begins, ends int
+	for _, r := range d.RecordedStream().Records {
+		switch r.Kind {
+		case "repeat.begin":
+			begins++
+		case "repeat.end":
+			ends++
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Errorf("stream has %d begins / %d ends, want 1/1", begins, ends)
+	}
+	// And the device must accept a fresh scope afterwards.
+	if err := d.WithRepeat(2, func() error { return nil }); err != nil {
+		t.Errorf("scope after rejected nesting: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"pimeval/internal/cmdstream"
 	"pimeval/internal/isa"
 )
 
@@ -70,6 +71,14 @@ func (d *Device) ExecBinary(op isa.Op, a, b, dst ObjID) error {
 	if err != nil {
 		return err
 	}
+	ev := d.begin(ClassExec)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindExec, Form: cmdstream.FormBinary,
+			Op: op.String(), Type: ao.dt.String(), N: do.n,
+			A: int64(a), B: int64(b), Dst: int64(dst),
+		}
+	}
 	if d.cfg.Functional {
 		d.forSpans(do, func(lo, hi int64) {
 			for i := lo; i < hi; i++ {
@@ -77,7 +86,7 @@ func (d *Device) ExecBinary(op isa.Op, a, b, dst ObjID) error {
 			}
 		})
 	}
-	d.charge(isa.Command{Op: op, Type: ao.dt, N: do.n, Inputs: 2, WritesResult: true}, do)
+	d.finishExec(ev, isa.Command{Op: op, Type: ao.dt, N: do.n, Inputs: 2, WritesResult: true}, do)
 	return nil
 }
 
@@ -92,6 +101,14 @@ func (d *Device) ExecScalar(op isa.Op, a ObjID, scalar int64, dst ObjID) error {
 		return err
 	}
 	s := ao.dt.Truncate(scalar)
+	ev := d.begin(ClassExec)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindExec, Form: cmdstream.FormScalar,
+			Op: op.String(), Type: ao.dt.String(), N: do.n,
+			A: int64(a), Dst: int64(dst), Scalar: scalar,
+		}
+	}
 	if d.cfg.Functional {
 		d.forSpans(do, func(lo, hi int64) {
 			for i := lo; i < hi; i++ {
@@ -99,7 +116,7 @@ func (d *Device) ExecScalar(op isa.Op, a ObjID, scalar int64, dst ObjID) error {
 			}
 		})
 	}
-	d.charge(isa.Command{Op: op, Type: ao.dt, N: do.n, Scalar: s, Inputs: 1, WritesResult: true}, do)
+	d.finishExec(ev, isa.Command{Op: op, Type: ao.dt, N: do.n, Scalar: s, Inputs: 1, WritesResult: true}, do)
 	return nil
 }
 
@@ -115,6 +132,14 @@ func (d *Device) ExecUnary(op isa.Op, a, dst ObjID) error {
 	if (op == isa.OpSbox || op == isa.OpSboxInv) && do.dt.Bits() != 8 {
 		return fmt.Errorf("%w: %v requires an 8-bit element type, got %v", ErrBadArgument, op, do.dt)
 	}
+	ev := d.begin(ClassExec)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindExec, Form: cmdstream.FormUnary,
+			Op: op.String(), Type: do.dt.String(), N: do.n,
+			A: int64(a), Dst: int64(dst),
+		}
+	}
 	if d.cfg.Functional {
 		d.forSpans(do, func(lo, hi int64) {
 			for i := lo; i < hi; i++ {
@@ -122,7 +147,7 @@ func (d *Device) ExecUnary(op isa.Op, a, dst ObjID) error {
 			}
 		})
 	}
-	d.charge(isa.Command{Op: op, Type: do.dt, N: do.n, Inputs: 1, WritesResult: true}, do)
+	d.finishExec(ev, isa.Command{Op: op, Type: do.dt, N: do.n, Inputs: 1, WritesResult: true}, do)
 	return nil
 }
 
@@ -139,6 +164,14 @@ func (d *Device) ExecShift(op isa.Op, a ObjID, amount int, dst ObjID) error {
 	if err != nil {
 		return err
 	}
+	ev := d.begin(ClassExec)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindExec, Form: cmdstream.FormShift,
+			Op: op.String(), Type: do.dt.String(), N: do.n,
+			A: int64(a), Dst: int64(dst), Amount: amount,
+		}
+	}
 	if d.cfg.Functional {
 		d.forSpans(do, func(lo, hi int64) {
 			for i := lo; i < hi; i++ {
@@ -146,7 +179,7 @@ func (d *Device) ExecShift(op isa.Op, a ObjID, amount int, dst ObjID) error {
 			}
 		})
 	}
-	d.charge(isa.Command{Op: op, Type: do.dt, N: do.n, Scalar: int64(amount), Inputs: 1, WritesResult: true}, do)
+	d.finishExec(ev, isa.Command{Op: op, Type: do.dt, N: do.n, Scalar: int64(amount), Inputs: 1, WritesResult: true}, do)
 	return nil
 }
 
@@ -163,6 +196,14 @@ func (d *Device) ExecSelect(cond, a, b, dst ObjID) error {
 	if co.n != do.n {
 		return fmt.Errorf("%w: cond length %d vs %d", ErrShapeMismatch, co.n, do.n)
 	}
+	ev := d.begin(ClassExec)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindExec, Form: cmdstream.FormSelect,
+			Op: isa.OpSelect.String(), Type: do.dt.String(), N: do.n,
+			Cond: int64(cond), A: int64(a), B: int64(b), Dst: int64(dst),
+		}
+	}
 	if d.cfg.Functional {
 		d.forSpans(do, func(lo, hi int64) {
 			for i := lo; i < hi; i++ {
@@ -174,7 +215,7 @@ func (d *Device) ExecSelect(cond, a, b, dst ObjID) error {
 			}
 		})
 	}
-	d.charge(isa.Command{Op: isa.OpSelect, Type: do.dt, N: do.n, Inputs: 3, WritesResult: true}, do)
+	d.finishExec(ev, isa.Command{Op: isa.OpSelect, Type: do.dt, N: do.n, Inputs: 3, WritesResult: true}, do)
 	return nil
 }
 
@@ -185,6 +226,14 @@ func (d *Device) Broadcast(dst ObjID, val int64) error {
 		return err
 	}
 	v := do.dt.Truncate(val)
+	ev := d.begin(ClassExec)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindExec, Form: cmdstream.FormBroadcast,
+			Op: isa.OpBroadcast.String(), Type: do.dt.String(), N: do.n,
+			Dst: int64(dst), Scalar: val,
+		}
+	}
 	if d.cfg.Functional {
 		d.forSpans(do, func(lo, hi int64) {
 			for i := lo; i < hi; i++ {
@@ -192,7 +241,7 @@ func (d *Device) Broadcast(dst ObjID, val int64) error {
 			}
 		})
 	}
-	d.charge(isa.Command{Op: isa.OpBroadcast, Type: do.dt, N: do.n, Scalar: v, Inputs: 0, WritesResult: true}, do)
+	d.finishExec(ev, isa.Command{Op: isa.OpBroadcast, Type: do.dt, N: do.n, Scalar: v, Inputs: 0, WritesResult: true}, do)
 	return nil
 }
 
@@ -219,7 +268,15 @@ func (d *Device) RedSum(a ObjID) (int64, error) {
 			sum += p
 		}
 	}
-	d.charge(isa.Command{Op: isa.OpRedSum, Type: ao.dt, N: ao.n, Inputs: 1}, ao)
+	ev := d.begin(ClassExec)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindExec, Form: cmdstream.FormRedSum,
+			Op: isa.OpRedSum.String(), Type: ao.dt.String(), N: ao.n,
+			A: int64(a), Result: sum,
+		}
+	}
+	d.finishExec(ev, isa.Command{Op: isa.OpRedSum, Type: ao.dt, N: ao.n, Inputs: 1}, ao)
 	return sum, nil
 }
 
@@ -257,7 +314,17 @@ func (d *Device) RedSumSeg(a ObjID, segLen int64) ([]int64, error) {
 			}
 		}
 	}
-	d.charge(isa.Command{Op: isa.OpRedSumSeg, Type: ao.dt, N: ao.n, SegLen: segLen, Inputs: 1}, ao)
+	ev := d.begin(ClassExec)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindExec, Form: cmdstream.FormRedSumSeg,
+			Op: isa.OpRedSumSeg.String(), Type: ao.dt.String(), N: ao.n,
+			A: int64(a), SegLen: segLen,
+			// Detach the results from the slice handed to the caller.
+			Results: append([]int64(nil), sums...),
+		}
+	}
+	d.finishExec(ev, isa.Command{Op: isa.OpRedSumSeg, Type: ao.dt, N: ao.n, SegLen: segLen, Inputs: 1}, ao)
 	return sums, nil
 }
 

@@ -33,45 +33,15 @@ const parallelGrain = 4096
 // can balance cores whose regions straddle the tail of the object.
 const tasksPerWorker = 4
 
-// span is one dispatch task: a half-open element range covering whole
-// per-core regions of the object being executed.
-type span struct{ lo, hi int64 }
-
-// spans partitions [0, o.n) into dispatch tasks aligned to o's per-core
-// regions. With one worker (or a small object) it returns the single span
-// [0, n) — the serial reference path.
-func (d *Device) spans(o *Object) []span {
-	n := o.n
-	if d.workers <= 1 || n < parallelGrain {
-		return []span{{0, n}}
-	}
-	epc := o.elemsPerCore
-	if epc <= 0 {
-		epc = n
-	}
-	cores := (n + epc - 1) / epc
-	targetTasks := int64(d.workers * tasksPerWorker)
-	coresPerTask := (cores + targetTasks - 1) / targetTasks
-	if minCores := (parallelGrain + epc - 1) / epc; coresPerTask < minCores {
-		coresPerTask = minCores
-	}
-	step := coresPerTask * epc
-	out := make([]span, 0, (n+step-1)/step)
-	for lo := int64(0); lo < n; lo += step {
-		hi := lo + step
-		if hi > n {
-			hi = n
-		}
-		out = append(out, span{lo, hi})
-	}
-	return out
-}
+// The span type and the layout-aligned partitioning live with the resource
+// manager (resource.go): the split is a property of how objects are laid out
+// across cores.
 
 // forSpans evaluates fn over every span of o across the worker pool. fn must
 // touch only state derivable from its own range; use spansCollect when a
 // per-span partial result needs a deterministic merge.
 func (d *Device) forSpans(o *Object, fn func(lo, hi int64)) {
-	sp := d.spans(o)
+	sp := d.res.spans(o, d.workers)
 	par.For(d.workers, len(sp), func(i int) { fn(sp[i].lo, sp[i].hi) })
 }
 
@@ -79,7 +49,7 @@ func (d *Device) forSpans(o *Object, fn func(lo, hi int64)) {
 // returns the per-span results in ascending span order, ready for a
 // deterministic core-order merge.
 func spansCollect[T any](d *Device, o *Object, fn func(lo, hi int64) T) []T {
-	sp := d.spans(o)
+	sp := d.res.spans(o, d.workers)
 	parts := make([]T, len(sp))
 	par.For(d.workers, len(sp), func(i int) { parts[i] = fn(sp[i].lo, sp[i].hi) })
 	return parts

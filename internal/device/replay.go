@@ -1,0 +1,30 @@
+package device
+
+import (
+	"fmt"
+
+	"pimeval/internal/cmdstream"
+)
+
+// NewFromStream builds a fresh device matching a recorded stream's header,
+// without executing any records — the caller may enable tracing or recording
+// on the new device before replaying. The header's target name must agree
+// with its enum value, guarding against streams from a build with a
+// different target numbering.
+func NewFromStream(s *cmdstream.Stream, workers int) (*Device, error) {
+	t := Target(s.Header.TargetID)
+	if !t.Valid() || t.String() != s.Header.Target {
+		return nil, fmt.Errorf("%w: stream target %q (id %d)", ErrBadArgument,
+			s.Header.Target, s.Header.TargetID)
+	}
+	return New(Config{
+		Target:     t,
+		Module:     s.Header.Module,
+		Functional: s.Header.Functional,
+		Workers:    workers,
+	})
+}
+
+// Replay re-executes a recorded stream against the device. *Device satisfies
+// cmdstream.Executor, so this is a thin wrapper kept for discoverability.
+func (d *Device) Replay(s *cmdstream.Stream) error { return cmdstream.Replay(d, s) }

@@ -1,0 +1,143 @@
+package device
+
+import (
+	"fmt"
+
+	"pimeval/internal/dram"
+	"pimeval/internal/isa"
+)
+
+// Object is one allocated PIM data object: a 1-D array of fixed-width
+// elements distributed across PIM cores.
+type Object struct {
+	id           ObjID
+	dt           isa.DataType
+	n            int64
+	data         []int64 // canonical truncated values; nil in model-only mode
+	elemsPerCore int64
+	activeCores  int
+}
+
+// Len returns the element count.
+func (o *Object) Len() int64 { return o.n }
+
+// Type returns the element type.
+func (o *Object) Type() isa.DataType { return o.dt }
+
+// Bytes returns the object's data size in bytes.
+func (o *Object) Bytes() int64 { return o.n * int64(o.dt.Bytes()) }
+
+// resourceManager is the device's resource manager: it owns the PIM object
+// table, capacity accounting, and the per-core span layout of every object.
+// It is one of the two units the simulator core splits into (the other is
+// the dispatch pipeline) and knows nothing about costs or sinks.
+type resourceManager struct {
+	arch       ArchModel
+	geo        dram.Geometry
+	functional bool
+	objs       map[ObjID]*Object
+	nextID     ObjID
+	usedBits   int64
+}
+
+// init prepares an empty object table.
+func (rm *resourceManager) init(arch ArchModel, geo dram.Geometry, functional bool) {
+	rm.arch = arch
+	rm.geo = geo
+	rm.functional = functional
+	rm.objs = make(map[ObjID]*Object)
+	rm.nextID = 1
+}
+
+// alloc validates and performs one allocation: n elements of type dt spread
+// across all PIM cores. Object IDs are assigned from a sequential counter,
+// which makes allocation deterministic — the property command-stream replay
+// relies on to resolve recorded object references.
+func (rm *resourceManager) alloc(n int64, dt isa.DataType) (*Object, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: element count %d", ErrBadArgument, n)
+	}
+	if !dt.Valid() {
+		return nil, fmt.Errorf("%w: data type %d", ErrBadArgument, int(dt))
+	}
+	cores := int64(rm.arch.Cores(rm.geo))
+	elemsPerCore := (n + cores - 1) / cores
+	capPerCore := rm.arch.ElemCapacityPerCore(rm.geo, dt.Bits())
+	if elemsPerCore > capPerCore {
+		return nil, fmt.Errorf("%w: need %d elems/core, capacity %d", ErrOutOfMemory, elemsPerCore, capPerCore)
+	}
+	bits := n * int64(dt.Bits())
+	if rm.usedBits+bits > rm.geo.CapacityBits() {
+		return nil, fmt.Errorf("%w: %d bits requested, %d free", ErrOutOfMemory,
+			bits, rm.geo.CapacityBits()-rm.usedBits)
+	}
+	obj := &Object{
+		id:           rm.nextID,
+		dt:           dt,
+		n:            n,
+		elemsPerCore: elemsPerCore,
+		activeCores:  int((n + elemsPerCore - 1) / elemsPerCore),
+	}
+	if rm.functional {
+		obj.data = make([]int64, n)
+	}
+	rm.objs[obj.id] = obj
+	rm.nextID++
+	rm.usedBits += bits
+	return obj, nil
+}
+
+// free releases an object and returns its capacity.
+func (rm *resourceManager) free(id ObjID) error {
+	o, err := rm.lookup(id)
+	if err != nil {
+		return err
+	}
+	rm.usedBits -= o.n * int64(o.dt.Bits())
+	delete(rm.objs, id)
+	return nil
+}
+
+// lookup resolves an object ID.
+func (rm *resourceManager) lookup(id ObjID) (*Object, error) {
+	o := rm.objs[id]
+	if o == nil {
+		return nil, fmt.Errorf("%w: id %d", ErrBadObject, int64(id))
+	}
+	return o, nil
+}
+
+// span is one dispatch task of the functional engine: a half-open element
+// range covering whole per-core regions of the object being executed.
+type span struct{ lo, hi int64 }
+
+// spans partitions [0, o.n) into dispatch tasks aligned to o's per-core
+// regions — the span layout is a property of how the resource manager laid
+// the object out across cores. With one worker (or a small object) it
+// returns the single span [0, n): the serial reference path.
+func (rm *resourceManager) spans(o *Object, workers int) []span {
+	n := o.n
+	if workers <= 1 || n < parallelGrain {
+		return []span{{0, n}}
+	}
+	epc := o.elemsPerCore
+	if epc <= 0 {
+		epc = n
+	}
+	cores := (n + epc - 1) / epc
+	targetTasks := int64(workers * tasksPerWorker)
+	coresPerTask := (cores + targetTasks - 1) / targetTasks
+	if minCores := (parallelGrain + epc - 1) / epc; coresPerTask < minCores {
+		coresPerTask = minCores
+	}
+	step := coresPerTask * epc
+	out := make([]span, 0, (n+step-1)/step)
+	for lo := int64(0); lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		out = append(out, span{lo, hi})
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package device
+
+import (
+	"pimeval/internal/cmdstream"
+	"pimeval/internal/perf"
+	"pimeval/internal/stats"
+)
+
+// EventClass tells a sink what kind of operation an event describes.
+type EventClass int
+
+// The event classes emitted by the dispatch pipeline.
+const (
+	// ClassStructural events (alloc, free, repeat scopes) carry no cost;
+	// only record-consuming sinks care about them.
+	ClassStructural EventClass = iota
+	// ClassExec events are PIM command dispatches.
+	ClassExec
+	// ClassCopy events are data movements (host<->device, device<->device).
+	ClassCopy
+	// ClassHost events are host-executed phases charged to the device.
+	ClassHost
+)
+
+// Event is what the dispatch pipeline fans out to sinks after an operation
+// clears validation, lowering, functional execution, and the cost model. The
+// pipeline reuses one event buffer across dispatches (device dispatch is
+// single-threaded), so sinks must copy anything they retain.
+type Event struct {
+	// Record is the operation's command-stream IR record. Its payload
+	// fields are only materialized when a record-consuming sink (the
+	// stream recorder or a plugged-in sink) is attached; the built-in
+	// stats and trace sinks never read it.
+	Record cmdstream.Record
+	Class  EventClass
+
+	// Name is the trace mnemonic ("add.int32", "copy.h2d"); empty for
+	// events that never trace (host phases, structural events).
+	Name string
+	// N is the traced quantity: elements processed or bytes moved.
+	N int64
+	// TraceCost is the cost shown in trace entries. For exec commands this
+	// is the raw per-dispatch cost (no background energy, no repeat
+	// scaling); for copies it is the charged (scaled) cost — both exactly
+	// as the pre-pipeline simulator reported them.
+	TraceCost perf.Cost
+	// Reps is the WithRepeat factor in effect at dispatch.
+	Reps int64
+
+	// Cost is the fully charged cost recorded into statistics: background
+	// energy added (exec commands) and scaled by Reps.
+	Cost perf.Cost
+	// Category is the Figure-8 operation-category label (exec events).
+	Category string
+
+	// Copy traffic attribution, already scaled by Reps (copy events).
+	H2D, D2H, D2D int64
+}
+
+// Sink consumes dispatch events. The built-in statistics, trace, and stream
+// recorder sinks implement it, and additional sinks can be attached with
+// AddSink to observe the command stream without touching the dispatcher.
+type Sink interface {
+	Emit(ev *Event)
+}
+
+// AddSink attaches an additional sink to the dispatch pipeline's fan-out
+// stage. Sinks are invoked in attachment order after the built-in stats,
+// trace, and recorder sinks, on every event (including structural ones).
+// The *Event is only valid during the call; copy what you keep.
+func (d *Device) AddSink(s Sink) { d.pipe.extra = append(d.pipe.extra, s) }
+
+// statsSink feeds the device's statistics collector: command costs, copy
+// traffic, and host-phase costs, exactly as charged by the cost stage.
+type statsSink struct {
+	st *stats.Stats
+}
+
+// Emit routes the event's charged cost into the statistics collector.
+func (s *statsSink) Emit(ev *Event) {
+	switch ev.Class {
+	case ClassExec:
+		s.st.RecordCmd(ev.Name, ev.Category, ev.Reps, ev.Cost)
+	case ClassCopy:
+		s.st.RecordCopy(ev.H2D, ev.D2H, ev.D2D, ev.Cost)
+	case ClassHost:
+		s.st.RecordHost(ev.Cost)
+	}
+}
+
+// recorderSink captures the lowered IR records of every dispatched
+// operation, producing the stream behind record/replay.
+type recorderSink struct {
+	recs []cmdstream.Record
+	seq  int64
+}
+
+// Emit appends the event's record with the next stream sequence number.
+func (r *recorderSink) Emit(ev *Event) {
+	rec := ev.Record
+	r.seq++
+	rec.Seq = r.seq
+	r.recs = append(r.recs, rec)
+}
+
+// StartRecording attaches the stream recorder sink: every subsequently
+// dispatched operation is lowered into a command-stream record. Recording a
+// functional run captures host-to-device payloads and reduction results, so
+// the stream replays to bit-identical data and statistics.
+func (d *Device) StartRecording() {
+	if d.pipe.recorder == nil {
+		d.pipe.recorder = &recorderSink{}
+	}
+}
+
+// Recording reports whether the stream recorder is attached.
+func (d *Device) Recording() bool { return d.pipe.recorder != nil }
+
+// RecordedStream returns a snapshot of the captured command stream with a
+// header describing this device, or nil if recording was never started.
+func (d *Device) RecordedStream() *cmdstream.Stream {
+	rec := d.pipe.recorder
+	if rec == nil {
+		return nil
+	}
+	return &cmdstream.Stream{
+		Header: cmdstream.Header{
+			Version:    cmdstream.Version,
+			Target:     d.cfg.Target.String(),
+			TargetID:   int(d.cfg.Target),
+			Module:     d.cfg.Module,
+			Functional: d.cfg.Functional,
+		},
+		Records: append([]cmdstream.Record(nil), rec.recs...),
+	}
+}

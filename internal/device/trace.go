@@ -30,39 +30,48 @@ func (e TraceEntry) String() string {
 // thousands of commands keep only the most recent window.
 const traceLimit = 1 << 16
 
+// traceSink is the pipeline sink behind the command trace: it renders exec
+// and copy events into trace entries while enabled, keeping the most recent
+// traceLimit entries. Sequence numbers advance only while tracing is on.
+type traceSink struct {
+	tracing bool
+	seq     int64
+	entries []TraceEntry
+}
+
+// Emit appends a trace entry for traceable (named) events while enabled.
+func (t *traceSink) Emit(ev *Event) {
+	if !t.tracing || ev.Name == "" {
+		return
+	}
+	t.seq++
+	if len(t.entries) >= traceLimit {
+		copy(t.entries, t.entries[1:])
+		t.entries = t.entries[:len(t.entries)-1]
+	}
+	t.entries = append(t.entries, TraceEntry{
+		Seq: t.seq, Name: ev.Name, N: ev.N, Reps: ev.Reps, Cost: ev.TraceCost,
+	})
+}
+
 // EnableTrace starts recording dispatched commands and copies. The trace
 // retains the most recent 64Ki entries.
-func (d *Device) EnableTrace() { d.tracing = true }
+func (d *Device) EnableTrace() { d.pipe.trace.tracing = true }
 
 // DisableTrace stops recording (the collected trace is kept).
-func (d *Device) DisableTrace() { d.tracing = false }
+func (d *Device) DisableTrace() { d.pipe.trace.tracing = false }
 
 // Trace returns the recorded entries in dispatch order.
 func (d *Device) Trace() []TraceEntry {
-	return append([]TraceEntry(nil), d.trace...)
+	return append([]TraceEntry(nil), d.pipe.trace.entries...)
 }
 
 // TraceString renders the whole trace.
 func (d *Device) TraceString() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%6s  %-16s %-15s %10s %10s\n", "seq", "command", "elements", "time", "energy")
-	for _, e := range d.trace {
+	for _, e := range d.pipe.trace.entries {
 		fmt.Fprintln(&b, e.String())
 	}
 	return b.String()
-}
-
-// record appends a trace entry when tracing is enabled.
-func (d *Device) record(name string, n int64, cost perf.Cost) {
-	if !d.tracing {
-		return
-	}
-	d.traceSeq++
-	if len(d.trace) >= traceLimit {
-		copy(d.trace, d.trace[1:])
-		d.trace = d.trace[:len(d.trace)-1]
-	}
-	d.trace = append(d.trace, TraceEntry{
-		Seq: d.traceSeq, Name: name, N: n, Reps: d.repeat, Cost: cost,
-	})
 }

@@ -82,6 +82,22 @@ func (o Op) String() string {
 // Valid reports whether o is a defined command.
 func (o Op) Valid() bool { return o >= 0 && o < numOps }
 
+// opsByName is the reverse of opNames, built once for mnemonic decoding.
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = Op(op)
+	}
+	return m
+}()
+
+// OpByName returns the command with the given mnemonic (the String form),
+// used to decode serialized command streams.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
 // Category maps a command to the operation-category label used in the
 // Figure 8 operation-mix analysis. Shifts collapse to "shift", comparisons
 // keep their own labels, and structural copies return "" (excluded from the
@@ -149,6 +165,22 @@ func (t DataType) String() string {
 
 // Valid reports whether t is a defined data type.
 func (t DataType) Valid() bool { return t >= 0 && t < numTypes }
+
+// typesByName is the reverse of typeInfo's names, for stream decoding.
+var typesByName = func() map[string]DataType {
+	m := make(map[string]DataType, len(typeInfo))
+	for dt, info := range typeInfo {
+		m[info.name] = DataType(dt)
+	}
+	return m
+}()
+
+// TypeByName returns the data type with the given name (the String form),
+// used to decode serialized command streams.
+func TypeByName(name string) (DataType, bool) {
+	dt, ok := typesByName[name]
+	return dt, ok
+}
 
 // Bits returns the element width in bits.
 func (t DataType) Bits() int { return typeInfo[t].bits }

@@ -129,10 +129,11 @@ func (c Config) module() dram.Module {
 	return m
 }
 
-// Device is a simulated PIM device.
+// Device is a simulated PIM device. All configuration-derived accessors read
+// from the underlying device's config, so a device reconstructed from a
+// recorded command stream (Replay) reports identically to the live original.
 type Device struct {
-	d   *device.Device
-	cfg Config
+	d *device.Device
 }
 
 // NewDevice creates a PIM device for the configuration.
@@ -146,11 +147,11 @@ func NewDevice(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Device{d: d, cfg: cfg}, nil
+	return &Device{d: d}, nil
 }
 
 // Target returns the device's architecture.
-func (v *Device) Target() Target { return v.cfg.Target }
+func (v *Device) Target() Target { return v.d.Config().Target }
 
 // Cores returns the device's PIM core count.
 func (v *Device) Cores() int { return v.d.Cores() }
@@ -160,7 +161,7 @@ func (v *Device) Cores() int { return v.d.Cores() }
 func (v *Device) Workers() int { return v.d.Workers() }
 
 // Functional reports whether the device carries real data.
-func (v *Device) Functional() bool { return v.cfg.Functional }
+func (v *Device) Functional() bool { return v.d.Config().Functional }
 
 // Alloc allocates a PIM object of n elements (the paper's pimAlloc with
 // PIM_ALLOC_AUTO).
@@ -321,7 +322,7 @@ func (v *Device) ResetStats() { v.d.Stats().Reset() }
 
 // Report renders the artifact-style statistics report (Listing 3).
 func (v *Device) Report() string {
-	mod := v.cfg.module()
+	mod := v.d.Config().Module
 	g := mod.Geometry
 	header := fmt.Sprintf(
 		"PIM Params:\n"+

@@ -1,0 +1,67 @@
+package pim
+
+// This file is the public surface over the internal/cmdstream IR: every API
+// call a program issues lowers onto the command stream; a recorded stream
+// can be serialized, decoded, and replayed against a fresh device built from
+// the stream's header, reproducing the original run's data, statistics,
+// trace, latency, and energy bit-for-bit (DESIGN.md §9).
+
+import (
+	"io"
+
+	"pimeval/internal/cmdstream"
+	"pimeval/internal/device"
+)
+
+// Stream is a recorded command stream: a device header plus one IR record
+// per operation dispatched while recording was enabled. Serialize with
+// (*Stream).Encode and read back with DecodeStream.
+type Stream = cmdstream.Stream
+
+// RecordStream starts capturing the device's command stream. Operations
+// issued before this call are not part of the stream, so start recording
+// before the first allocation to capture a self-contained, replayable run.
+// On a functional device the stream carries host-to-device payloads and
+// reduction results, making replays fully verifiable.
+func (v *Device) RecordStream() { v.d.StartRecording() }
+
+// RecordedStream returns a snapshot of the captured command stream, or nil
+// if RecordStream was never called.
+func (v *Device) RecordedStream() *Stream { return v.d.RecordedStream() }
+
+// DecodeStream reads a JSON-encoded command stream (see Stream.Encode) and
+// validates its header.
+func DecodeStream(r io.Reader) (*Stream, error) { return cmdstream.Decode(r) }
+
+// ReplayConfig controls the device a stream is replayed onto. The
+// architecture, geometry, and functional mode always come from the stream's
+// header; the knobs here only affect observation.
+type ReplayConfig struct {
+	// Workers bounds the functional engine's worker pool (as Config.Workers).
+	Workers int
+	// Trace enables the command trace before replay begins.
+	Trace bool
+	// Record re-records the replayed stream (for round-trip verification).
+	Record bool
+}
+
+// Replay builds a fresh device from the stream's header and re-executes
+// every record against it. For streams recorded on a functional device,
+// reduction results are verified against the recorded values during replay.
+// The returned device holds the replayed run's state and statistics.
+func Replay(s *Stream, rc ReplayConfig) (*Device, error) {
+	d, err := device.NewFromStream(s, rc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if rc.Trace {
+		d.EnableTrace()
+	}
+	if rc.Record {
+		d.StartRecording()
+	}
+	if err := d.Replay(s); err != nil {
+		return nil, err
+	}
+	return &Device{d: d}, nil
+}

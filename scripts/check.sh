@@ -1,0 +1,23 @@
+#!/bin/sh
+# Static-analysis gate: the checks CI runs before the test steps.
+#
+#   scripts/check.sh
+#
+# Runs go vet over the whole module, then staticcheck when the binary is
+# available (CI installs it; offline development environments may not have
+# it, so its absence is a warning rather than a failure).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "==> staticcheck ./..."
+    staticcheck ./...
+else
+    echo "==> staticcheck not installed; skipping (CI runs it)"
+fi
+
+echo "OK"
