@@ -99,7 +99,7 @@ func run(args []string, out io.Writer) error {
 	t := dram.DDR4(1).Timing
 	switch *arch {
 	case "bitserial":
-		p, err := bitserial.Build(op, dt, *imm)
+		p, err := bitserial.BuildCached(op, dt, *imm)
 		if err != nil {
 			return err
 		}

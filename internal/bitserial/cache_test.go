@@ -1,0 +1,153 @@
+package bitserial
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"pimeval/internal/isa"
+)
+
+// TestBuildCachedMatchesBuild checks the memoized path returns programs
+// equal to a fresh compilation for every (op, dt, imm) shape the device
+// dispatches, and that repeated lookups share one program instance.
+func TestBuildCachedMatchesBuild(t *testing.T) {
+	ops := []isa.Op{
+		isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpXnor, isa.OpNot, isa.OpMin, isa.OpMax, isa.OpLt,
+		isa.OpGt, isa.OpEq, isa.OpAbs, isa.OpPopCount, isa.OpSelect,
+	}
+	types := []isa.DataType{isa.Int8, isa.Int32, isa.UInt16, isa.UInt64}
+	for _, op := range ops {
+		for _, dt := range types {
+			cached, err := BuildCached(op, dt, 0)
+			if err != nil {
+				t.Fatalf("BuildCached(%v, %v): %v", op, dt, err)
+			}
+			fresh, err := Build(op, dt, 0)
+			if err != nil {
+				t.Fatalf("Build(%v, %v): %v", op, dt, err)
+			}
+			if !reflect.DeepEqual(cached, fresh) {
+				t.Errorf("BuildCached(%v, %v) differs from Build", op, dt)
+			}
+			again, err := BuildCached(op, dt, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != cached {
+				t.Errorf("BuildCached(%v, %v) did not memoize (distinct pointers)", op, dt)
+			}
+		}
+	}
+}
+
+// TestBuildCachedImmediates pins the keying rule: shift and broadcast
+// programs depend on the immediate, every other op ignores it.
+func TestBuildCachedImmediates(t *testing.T) {
+	s1, _ := BuildCached(isa.OpShiftL, isa.Int32, 1)
+	s2, _ := BuildCached(isa.OpShiftL, isa.Int32, 7)
+	if s1 == s2 {
+		t.Error("shift programs with different amounts shared one cache entry")
+	}
+	b1, _ := BuildCached(isa.OpBroadcast, isa.Int32, 5)
+	b2, _ := BuildCached(isa.OpBroadcast, isa.Int32, 6)
+	if b1 == b2 {
+		t.Error("broadcast programs with different values shared one cache entry")
+	}
+	a1, _ := BuildCached(isa.OpAdd, isa.Int32, 5)
+	a2, _ := BuildCached(isa.OpAdd, isa.Int32, 6)
+	if a1 != a2 {
+		t.Error("add programs with different (ignored) immediates did not share")
+	}
+}
+
+// TestBuildCachedErrors checks unsupported ops memoize their error and keep
+// returning it.
+func TestBuildCachedErrors(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		if _, err := BuildCached(isa.OpRedSum, isa.Int32, 0); err == nil {
+			t.Fatal("BuildCached(redsum) succeeded; reductions have no microprogram")
+		}
+	}
+}
+
+// BenchmarkBuildCached contrasts a memoized lookup against a fresh
+// compilation — the per-call cost BuildCached removes from EvalElements
+// callers, the cost model, and the fuzz targets.
+func BenchmarkBuildCached(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildCached(isa.OpMul, isa.Int32, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(isa.OpMul, isa.Int32, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestBuildCachedConcurrent hammers the cache from many goroutines over a
+// mixed key set — the -race CI job turns any unsynchronized access into a
+// failure — and verifies every goroutine observes programs identical to the
+// serial compilation.
+func TestBuildCachedConcurrent(t *testing.T) {
+	type shape struct {
+		op  isa.Op
+		dt  isa.DataType
+		imm int64
+	}
+	shapes := []shape{
+		{isa.OpAdd, isa.Int32, 0}, {isa.OpMul, isa.Int8, 0},
+		{isa.OpDiv, isa.UInt16, 0}, {isa.OpShiftR, isa.Int64, 3},
+		{isa.OpShiftR, isa.Int64, 9}, {isa.OpBroadcast, isa.UInt8, 0x5A},
+		{isa.OpPopCount, isa.UInt32, 0}, {isa.OpRedSum, isa.Int32, 0}, // error entry
+	}
+	want := make([]*Program, len(shapes))
+	for i, s := range shapes {
+		want[i], _ = Build(s.op, s.dt, s.imm)
+	}
+	const goroutines = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s := shapes[(g+i)%len(shapes)]
+				p, err := BuildCached(s.op, s.dt, s.imm)
+				ref := want[(g+i)%len(shapes)]
+				if ref == nil {
+					if err == nil {
+						errs <- "expected error for op without microprogram"
+						return
+					}
+					continue
+				}
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !reflect.DeepEqual(p, ref) {
+					errs <- "cached program differs from serial compilation"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

@@ -54,7 +54,10 @@ func (m *Model) ElemCapacityPerCore(g dram.Geometry, bits int) int64 {
 // ActiveSubarraysPerCore returns the subarrays kept open by one active core.
 func (m *Model) ActiveSubarraysPerCore() int { return 1 }
 
-// counts returns the cached micro-op composition for the op.
+// counts returns the cached micro-op composition for the op. The per-model
+// map memoizes the Counts tally (which walks every micro-op); program
+// compilation itself goes through the process-wide BuildCached, shared with
+// EvalElements cross-checks and the tools.
 func (m *Model) counts(op isa.Op, dt isa.DataType, imm int64) (Counts, bool) {
 	// Shift immediates change the program length; other immediates do not.
 	key := progKey{op: op, dt: dt}
@@ -66,7 +69,7 @@ func (m *Model) counts(op isa.Op, dt isa.DataType, imm int64) (Counts, bool) {
 	if c, ok := m.progs[key]; ok {
 		return c, true
 	}
-	p, err := Build(op, dt, imm)
+	p, err := BuildCached(op, dt, imm)
 	if err != nil {
 		return Counts{}, false
 	}

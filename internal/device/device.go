@@ -90,6 +90,12 @@ type Config struct {
 	// runtime.NumCPU(), 1 forces the serial reference path. Results are
 	// bit-identical for every setting (see parallel.go).
 	Workers int
+	// ReferenceEval bypasses the specialized element kernels of
+	// internal/kernels and runs the golden per-element evaluators instead
+	// (evalBinary/evalUnary/evalShift). Outputs are bit-identical either
+	// way — the knob exists for differential testing and before/after
+	// benchmarking of the kernel path, and costs wall-clock time only.
+	ReferenceEval bool
 }
 
 // Sentinel errors returned by the resource manager and dispatcher.

@@ -6,6 +6,7 @@ import (
 
 	"pimeval/internal/cmdstream"
 	"pimeval/internal/isa"
+	"pimeval/internal/kernels"
 )
 
 // binaryOps is the set of element-wise two-input commands.
@@ -22,41 +23,10 @@ var unaryOps = map[isa.Op]bool{
 	isa.OpSbox: true, isa.OpSboxInv: true,
 }
 
-// aesSbox and aesSboxInv are the functional semantics of OpSbox/OpSboxInv,
-// generated from GF(2^8) math rather than a hard-coded table.
-var aesSbox, aesSboxInv = func() ([256]byte, [256]byte) {
-	mul := func(a, b byte) byte {
-		var p byte
-		for i := 0; i < 8; i++ {
-			if b&1 != 0 {
-				p ^= a
-			}
-			hi := a & 0x80
-			a <<= 1
-			if hi != 0 {
-				a ^= 0x1b
-			}
-			b >>= 1
-		}
-		return p
-	}
-	var fwd, inv [256]byte
-	for i := 0; i < 256; i++ {
-		// inverse via x^254
-		x := byte(i)
-		sq := mul(x, x)
-		p := sq
-		for j := 0; j < 6; j++ {
-			sq = mul(sq, sq)
-			p = mul(p, sq)
-		}
-		rot := func(v byte, k uint) byte { return v<<k | v>>(8-k) }
-		s := p ^ rot(p, 1) ^ rot(p, 2) ^ rot(p, 3) ^ rot(p, 4) ^ 0x63
-		fwd[i] = s
-		inv[s] = byte(i)
-	}
-	return fwd, inv
-}()
+// aesSbox and aesSboxInv are the functional semantics of OpSbox/OpSboxInv.
+// The tables are generated from GF(2^8) math in internal/kernels and shared
+// with the specialized lookup kernels.
+var aesSbox, aesSboxInv = kernels.AESSbox, kernels.AESSboxInv
 
 // compareOps produce 0/1 masks; their destination may use a narrower type
 // than the operands (a one-byte bitmap is the common case).
@@ -80,11 +50,20 @@ func (d *Device) ExecBinary(op isa.Op, a, b, dst ObjID) error {
 		}
 	}
 	if d.cfg.Functional {
-		d.forSpans(do, func(lo, hi int64) {
-			for i := lo; i < hi; i++ {
-				do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], bo.data[i]))
-			}
-		})
+		// Resolve-once dispatch contract: the (op, type) pair picks one
+		// specialized kernel per command, and the sharded engine runs that
+		// tight loop over every span. The per-element reference evaluator
+		// below is the golden semantics the kernels are differentially
+		// tested against (ReferenceEval forces it).
+		if k := kernels.Binary(op, ao.dt); k != nil && !d.cfg.ReferenceEval {
+			d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, bo.data, lo, hi) })
+		} else {
+			d.forSpans(do, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], bo.data[i]))
+				}
+			})
+		}
 	}
 	d.finishExec(ev, isa.Command{Op: op, Type: ao.dt, N: do.n, Inputs: 2, WritesResult: true}, do)
 	return nil
@@ -110,11 +89,15 @@ func (d *Device) ExecScalar(op isa.Op, a ObjID, scalar int64, dst ObjID) error {
 		}
 	}
 	if d.cfg.Functional {
-		d.forSpans(do, func(lo, hi int64) {
-			for i := lo; i < hi; i++ {
-				do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], s))
-			}
-		})
+		if k := kernels.Scalar(op, ao.dt); k != nil && !d.cfg.ReferenceEval {
+			d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, s, lo, hi) })
+		} else {
+			d.forSpans(do, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], s))
+				}
+			})
+		}
 	}
 	d.finishExec(ev, isa.Command{Op: op, Type: ao.dt, N: do.n, Scalar: s, Inputs: 1, WritesResult: true}, do)
 	return nil
@@ -141,11 +124,15 @@ func (d *Device) ExecUnary(op isa.Op, a, dst ObjID) error {
 		}
 	}
 	if d.cfg.Functional {
-		d.forSpans(do, func(lo, hi int64) {
-			for i := lo; i < hi; i++ {
-				do.data[i] = evalUnary(op, do.dt, ao.data[i])
-			}
-		})
+		if k := kernels.Unary(op, do.dt); k != nil && !d.cfg.ReferenceEval {
+			d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, lo, hi) })
+		} else {
+			d.forSpans(do, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					do.data[i] = evalUnary(op, do.dt, ao.data[i])
+				}
+			})
+		}
 	}
 	d.finishExec(ev, isa.Command{Op: op, Type: do.dt, N: do.n, Inputs: 1, WritesResult: true}, do)
 	return nil
@@ -173,11 +160,15 @@ func (d *Device) ExecShift(op isa.Op, a ObjID, amount int, dst ObjID) error {
 		}
 	}
 	if d.cfg.Functional {
-		d.forSpans(do, func(lo, hi int64) {
-			for i := lo; i < hi; i++ {
-				do.data[i] = evalShift(op, do.dt, ao.data[i], amount)
-			}
-		})
+		if k := kernels.Shift(op, do.dt); k != nil && !d.cfg.ReferenceEval {
+			d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, amount, lo, hi) })
+		} else {
+			d.forSpans(do, func(lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					do.data[i] = evalShift(op, do.dt, ao.data[i], amount)
+				}
+			})
+		}
 	}
 	d.finishExec(ev, isa.Command{Op: op, Type: do.dt, N: do.n, Scalar: int64(amount), Inputs: 1, WritesResult: true}, do)
 	return nil
@@ -205,15 +196,9 @@ func (d *Device) ExecSelect(cond, a, b, dst ObjID) error {
 		}
 	}
 	if d.cfg.Functional {
-		d.forSpans(do, func(lo, hi int64) {
-			for i := lo; i < hi; i++ {
-				if co.data[i] != 0 {
-					do.data[i] = ao.data[i]
-				} else {
-					do.data[i] = bo.data[i]
-				}
-			}
-		})
+		// Type-independent on canonical carriers; the kernel is the
+		// reference semantics, so no ReferenceEval branch exists.
+		d.forSpans(do, func(lo, hi int64) { kernels.Select(do.data, co.data, ao.data, bo.data, lo, hi) })
 	}
 	d.finishExec(ev, isa.Command{Op: isa.OpSelect, Type: do.dt, N: do.n, Inputs: 3, WritesResult: true}, do)
 	return nil
@@ -235,11 +220,7 @@ func (d *Device) Broadcast(dst ObjID, val int64) error {
 		}
 	}
 	if d.cfg.Functional {
-		d.forSpans(do, func(lo, hi int64) {
-			for i := lo; i < hi; i++ {
-				do.data[i] = v
-			}
-		})
+		d.forSpans(do, func(lo, hi int64) { kernels.Fill(do.data, v, lo, hi) })
 	}
 	d.finishExec(ev, isa.Command{Op: isa.OpBroadcast, Type: do.dt, N: do.n, Scalar: v, Inputs: 0, WritesResult: true}, do)
 	return nil
@@ -256,13 +237,12 @@ func (d *Device) RedSum(a ObjID) (int64, error) {
 	if d.cfg.Functional {
 		// Per-shard partial sums merged in ascending core order. Wrapping
 		// int64 addition is associative, so the result is bit-identical to
-		// the serial accumulation for any shard decomposition.
+		// the serial accumulation for any shard decomposition. Canonical
+		// carriers sum directly (see kernels.Sum): sign-extension gives the
+		// host view for signed types, and a uint64's raw-bit carrier wraps
+		// identically to uint64 addition modulo 2^64.
 		parts := spansCollect(d, ao, func(lo, hi int64) int64 {
-			var s int64
-			for _, v := range ao.data[lo:hi] {
-				s += signedView(ao.dt, v)
-			}
-			return s
+			return kernels.Sum(ao.data, lo, hi)
 		})
 		for _, p := range parts {
 			sum += p
@@ -303,9 +283,7 @@ func (d *Device) RedSumSeg(a ObjID, segLen int64) ([]int64, error) {
 		parts := spansCollect(d, ao, func(lo, hi int64) part {
 			seg0 := lo / segLen
 			p := part{seg0: seg0, vals: make([]int64, (hi-1)/segLen-seg0+1)}
-			for i := lo; i < hi; i++ {
-				p.vals[i/segLen-seg0] += signedView(ao.dt, ao.data[i])
-			}
+			kernels.SumSeg(ao.data, lo, hi, segLen, seg0, p.vals)
 			return p
 		})
 		for _, p := range parts {
@@ -375,16 +353,12 @@ func (d *Device) triple(a, b, dst ObjID, dstTypeFree bool) (*Object, *Object, *O
 	return ao, bo, do, nil
 }
 
-// signedView returns the value as the host sees it: sign-extended for
-// signed types, zero-extended (non-negative) for unsigned types. Stored
-// canonical values are already truncated, so unsigned types only need the
-// reinterpretation of the top bit for 64-bit carriers.
-func signedView(dt isa.DataType, v int64) int64 {
-	if dt.Signed() || dt.Bits() < 64 {
-		return v
-	}
-	return v // uint64 carried as raw bits; summation wraps identically
-}
+// Reductions accumulate canonical carriers directly — there is no separate
+// "signed view" to take. The invariant the old signedView helper guarded:
+// stored values are already truncated (sign-extended for signed types,
+// zero-extended for unsigned sub-64-bit types), so every carrier equals its
+// host-visible value; uint64 elements carry raw bits, and wrapping int64
+// addition of raw bits is bit-identical to uint64 addition modulo 2^64.
 
 // evalBinary computes one element of a binary op with the type's wraparound
 // and signedness semantics. Inputs must be canonical (truncated).

@@ -24,11 +24,14 @@ var fuzzTypes = []isa.DataType{
 }
 
 // crossCheck runs one (op, dtype) pair through both the scalar evaluator and
-// the compiled microprogram and fails on any mismatch.
+// the compiled microprogram and fails on any mismatch. Compilation goes
+// through the memoized BuildCached — the fuzz loop would otherwise recompile
+// the same microprograms on every input, and sharing the cache with the cost
+// model also exercises it from the fuzzer's goroutines.
 func crossCheck(t *testing.T, op isa.Op, dt isa.DataType, imm int64, want func(a, b int64) int64, a, b int64) {
 	t.Helper()
 	a, b = dt.Truncate(a), dt.Truncate(b)
-	p, err := bitserial.Build(op, dt, imm)
+	p, err := bitserial.BuildCached(op, dt, imm)
 	if err != nil {
 		t.Fatalf("Build(%v, %v): %v", op, dt, err)
 	}

@@ -1,0 +1,259 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pimeval/internal/dram"
+	"pimeval/internal/isa"
+	"pimeval/internal/kernels"
+)
+
+// Differential proof for the specialized element kernels: every (op, form,
+// element type) kernel must be bit-identical to the golden per-element
+// evaluators (evalBinary/evalUnary/evalShift) on vectors built from the
+// arithmetic edge values — INT_MIN/-1, division by zero, shift amounts at
+// and past the width, unsigned wraparound — plus seeded random operands.
+
+// edgeValues are the treacherous operand values, truncated per type when
+// vectors are built.
+var edgeValues = []int64{
+	0, 1, -1, 2, 3, -2,
+	math.MinInt64, math.MaxInt64,
+	math.MinInt32, math.MaxInt32, math.MinInt16, math.MaxInt16,
+	math.MinInt8, math.MaxInt8,
+	math.MaxUint8, math.MaxUint16, math.MaxUint32,
+	0x5555_5555_5555_5555, -0x5555_5555_5555_5556, // alternating bit patterns
+	1 << 31, 1 << 62,
+}
+
+// edgeVectors builds operand vectors for dt covering the full cross product
+// of edge values (a gets each value repeated, b cycles) plus random tails.
+func edgeVectors(dt isa.DataType, seed int64) (a, b []int64) {
+	ne := len(edgeValues)
+	n := ne*ne + 256
+	a = make([]int64, n)
+	b = make([]int64, n)
+	for i := 0; i < ne*ne; i++ {
+		a[i] = dt.Truncate(edgeValues[i/ne])
+		b[i] = dt.Truncate(edgeValues[i%ne])
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := ne * ne; i < n; i++ {
+		a[i] = dt.Truncate(r.Int63() - r.Int63())
+		b[i] = dt.Truncate(r.Int63() - r.Int63())
+	}
+	return a, b
+}
+
+var kernelTestTypes = []isa.DataType{
+	isa.Int8, isa.Int16, isa.Int32, isa.Int64,
+	isa.UInt8, isa.UInt16, isa.UInt32, isa.UInt64,
+}
+
+// TestKernelsBinaryMatchReference sweeps every element-wise binary kernel
+// (and its scalar-broadcast twin) against evalBinary.
+func TestKernelsBinaryMatchReference(t *testing.T) {
+	ops := []isa.Op{
+		isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpXnor, isa.OpMin, isa.OpMax, isa.OpLt, isa.OpGt, isa.OpEq,
+	}
+	for _, dt := range kernelTestTypes {
+		a, b := edgeVectors(dt, 7)
+		n := int64(len(a))
+		got := make([]int64, n)
+		for _, op := range ops {
+			k := kernels.Binary(op, dt)
+			if k == nil {
+				t.Fatalf("no kernel for %v.%v", op, dt)
+			}
+			k(got, a, b, 0, n)
+			for i := int64(0); i < n; i++ {
+				want := dt.Truncate(evalBinary(op, dt, a[i], b[i]))
+				if got[i] != want {
+					t.Fatalf("%v.%v kernel(a=%d, b=%d) = %d, reference %d",
+						op, dt, a[i], b[i], got[i], want)
+				}
+			}
+			sk := kernels.Scalar(op, dt)
+			for _, s := range []int64{0, 1, -1, 3, math.MinInt64, math.MaxInt64, 255} {
+				s := dt.Truncate(s)
+				sk(got, a, s, 0, n)
+				for i := int64(0); i < n; i++ {
+					want := dt.Truncate(evalBinary(op, dt, a[i], s))
+					if got[i] != want {
+						t.Fatalf("%v.%v scalar kernel(a=%d, s=%d) = %d, reference %d",
+							op, dt, a[i], s, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelsUnaryMatchReference sweeps not/abs/popcount (and sbox at 8-bit
+// widths) against evalUnary.
+func TestKernelsUnaryMatchReference(t *testing.T) {
+	for _, dt := range kernelTestTypes {
+		a, _ := edgeVectors(dt, 11)
+		n := int64(len(a))
+		got := make([]int64, n)
+		ops := []isa.Op{isa.OpNot, isa.OpAbs, isa.OpPopCount}
+		if dt.Bits() == 8 {
+			ops = append(ops, isa.OpSbox, isa.OpSboxInv)
+		}
+		for _, op := range ops {
+			k := kernels.Unary(op, dt)
+			if k == nil {
+				t.Fatalf("no kernel for %v.%v", op, dt)
+			}
+			k(got, a, 0, n)
+			for i := int64(0); i < n; i++ {
+				want := evalUnary(op, dt, a[i])
+				if got[i] != want {
+					t.Fatalf("%v.%v kernel(%d) = %d, reference %d", op, dt, a[i], got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelsShiftMatchReference sweeps both shifts at amounts below, at,
+// and past the element width against evalShift.
+func TestKernelsShiftMatchReference(t *testing.T) {
+	for _, dt := range kernelTestTypes {
+		a, _ := edgeVectors(dt, 13)
+		n := int64(len(a))
+		got := make([]int64, n)
+		amounts := []int{0, 1, dt.Bits() / 2, dt.Bits() - 1, dt.Bits(), dt.Bits() + 1, 127}
+		for _, op := range []isa.Op{isa.OpShiftL, isa.OpShiftR} {
+			k := kernels.Shift(op, dt)
+			if k == nil {
+				t.Fatalf("no kernel for %v.%v", op, dt)
+			}
+			for _, amount := range amounts {
+				k(got, a, amount, 0, n)
+				for i := int64(0); i < n; i++ {
+					want := evalShift(op, dt, a[i], amount)
+					if got[i] != want {
+						t.Fatalf("%v.%v kernel(%d, amount=%d) = %d, reference %d",
+							op, dt, a[i], amount, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelsSumMatchReference checks the reduction kernels against direct
+// serial accumulation of the canonical carriers.
+func TestKernelsSumMatchReference(t *testing.T) {
+	for _, dt := range kernelTestTypes {
+		a, _ := edgeVectors(dt, 17)
+		var want int64
+		for _, v := range a {
+			want += v
+		}
+		if got := kernels.Sum(a, 0, int64(len(a))); got != want {
+			t.Errorf("%v: Sum = %d, reference %d", dt, got, want)
+		}
+	}
+}
+
+// TestReferenceEvalBitIdentical runs a full mixed command script through the
+// public API twice — specialized kernels vs ReferenceEval — and requires
+// identical output data and reduction results.
+func TestReferenceEvalBitIdentical(t *testing.T) {
+	run := func(ref bool) ([][]int64, int64) {
+		d, err := New(Config{
+			Target: TargetFulcrum, Module: dram.DDR4(1),
+			Functional: true, ReferenceEval: ref,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := edgeVectors(isa.Int32, 23)
+		n := int64(len(a))
+		alloc := func(vals []int64) ObjID {
+			id, err := d.Alloc(n, isa.Int32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vals != nil {
+				if err := d.CopyHostToDevice(id, vals[:n]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return id
+		}
+		ao, bo, dst := alloc(a), alloc(b), alloc(nil)
+		var outs [][]int64
+		for _, op := range []isa.Op{isa.OpAdd, isa.OpMul, isa.OpDiv, isa.OpLt} {
+			if err := d.ExecBinary(op, ao, bo, dst); err != nil {
+				t.Fatal(err)
+			}
+			out, err := d.CopyDeviceToHost(dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, out)
+		}
+		if err := d.ExecShift(isa.OpShiftR, ao, 3, dst); err != nil {
+			t.Fatal(err)
+		}
+		out, err := d.CopyDeviceToHost(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+		sum, err := d.RedSum(ao)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs, sum
+	}
+	kOuts, kSum := run(false)
+	rOuts, rSum := run(true)
+	if kSum != rSum {
+		t.Errorf("RedSum: kernels %d vs reference %d", kSum, rSum)
+	}
+	for i := range kOuts {
+		for j := range kOuts[i] {
+			if kOuts[i][j] != rOuts[i][j] {
+				t.Fatalf("output %d element %d: kernels %d vs reference %d",
+					i, j, kOuts[i][j], rOuts[i][j])
+			}
+		}
+	}
+}
+
+// FuzzKernelBinary cross-checks the specialized binary kernels against
+// evalBinary for arbitrary operand pairs over every op and element type —
+// the kernel-path twin of FuzzEvalBinary.
+func FuzzKernelBinary(f *testing.F) {
+	seedPairs(f)
+	ops := []isa.Op{
+		isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpXnor, isa.OpMin, isa.OpMax, isa.OpLt, isa.OpGt, isa.OpEq,
+	}
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		var got [1]int64
+		for _, dt := range fuzzTypes {
+			ta, tb := dt.Truncate(a), dt.Truncate(b)
+			for _, op := range ops {
+				kernels.Binary(op, dt)(got[:], []int64{ta}, []int64{tb}, 0, 1)
+				want := dt.Truncate(evalBinary(op, dt, ta, tb))
+				if got[0] != want {
+					t.Errorf("%v.%v kernel(a=%d, b=%d) = %d, reference %d",
+						op, dt, ta, tb, got[0], want)
+				}
+				kernels.Scalar(op, dt)(got[:], []int64{ta}, tb, 0, 1)
+				if got[0] != want {
+					t.Errorf("%v.%v scalar kernel(a=%d, s=%d) = %d, reference %d",
+						op, dt, ta, tb, got[0], want)
+				}
+			}
+		}
+	})
+}

@@ -8,9 +8,11 @@
 package paralleltest
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"pimeval/internal/device"
@@ -81,11 +83,14 @@ type snapshot struct {
 }
 
 // runScript executes the full command script on a fresh device with the
-// given worker count and returns the complete observable state.
-func runScript(t *testing.T, tgt device.Target, dt isa.DataType, workers int) snapshot {
+// given worker count and returns the complete observable state. refEval
+// selects the golden per-element evaluators instead of the specialized
+// kernels (see device.Config.ReferenceEval).
+func runScript(t *testing.T, tgt device.Target, dt isa.DataType, workers int, refEval bool) snapshot {
 	t.Helper()
 	d, err := device.New(device.Config{
 		Target: tgt, Module: dram.DDR4(1), Functional: true, Workers: workers,
+		ReferenceEval: refEval,
 	})
 	if err != nil {
 		t.Fatalf("New(%v, workers=%d): %v", tgt, workers, err)
@@ -238,12 +243,12 @@ func TestParallelBitIdenticalToSerial(t *testing.T) {
 			tgt, dt := tgt, dt
 			t.Run(tgt.String()+"/"+dt.String(), func(t *testing.T) {
 				t.Parallel()
-				ref := runScript(t, tgt, dt, 1)
+				ref := runScript(t, tgt, dt, 1, false)
 				if len(ref.Outputs) == 0 {
 					t.Fatal("empty reference snapshot")
 				}
 				for _, w := range workerCounts {
-					got := runScript(t, tgt, dt, w)
+					got := runScript(t, tgt, dt, w, false)
 					diff(t, tgt.String()+"/"+dt.String()+"/workers="+string(rune('0'+w)), ref, got)
 				}
 			})
@@ -255,9 +260,33 @@ func TestParallelBitIdenticalToSerial(t *testing.T) {
 // worker count and asserts run-to-run determinism (scheduling noise must
 // not leak into any observable).
 func TestParallelRepeatable(t *testing.T) {
-	first := runScript(t, device.TargetFulcrum, isa.Int32, 8)
-	second := runScript(t, device.TargetFulcrum, isa.Int32, 8)
+	first := runScript(t, device.TargetFulcrum, isa.Int32, 8, false)
+	second := runScript(t, device.TargetFulcrum, isa.Int32, 8, false)
 	diff(t, "fulcrum/int32 repeat", first, second)
+}
+
+// TestKernelsBitIdenticalToReferenceEval is the differential proof for the
+// specialized element kernels at the whole-device level: for every
+// architecture and element type, the kernel path must reproduce the golden
+// per-element evaluators (ReferenceEval) bit-for-bit across data, stats,
+// trace, latency, and energy — serially and at the full worker pool.
+func TestKernelsBitIdenticalToReferenceEval(t *testing.T) {
+	for _, tgt := range allTargets {
+		for _, dt := range allTypes {
+			tgt, dt := tgt, dt
+			t.Run(tgt.String()+"/"+dt.String(), func(t *testing.T) {
+				t.Parallel()
+				ref := runScript(t, tgt, dt, 1, true)
+				if len(ref.Outputs) == 0 {
+					t.Fatal("empty reference snapshot")
+				}
+				for _, w := range []int{1, runtime.NumCPU()} {
+					got := runScript(t, tgt, dt, w, false)
+					diff(t, fmt.Sprintf("%v/%v/kernels/workers=%d", tgt, dt, w), ref, got)
+				}
+			})
+		}
+	}
 }
 
 // TestWorkersResolve pins the knob semantics: 0 resolves to NumCPU (>= 1),

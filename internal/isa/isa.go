@@ -71,6 +71,10 @@ var opNames = [...]string{
 	OpCopyD2D:   "copy.d2d",
 }
 
+// NumOps is the number of defined commands, for dense per-op tables
+// (e.g. the kernel registry of internal/kernels).
+const NumOps = int(numOps)
+
 // String returns the mnemonic used in command statistics reports.
 func (o Op) String() string {
 	if o < 0 || int(o) >= len(opNames) {
@@ -154,6 +158,9 @@ var typeInfo = [...]struct {
 	UInt32: {"uint32", 32, false},
 	UInt64: {"uint64", 64, false},
 }
+
+// NumTypes is the number of defined element types, for dense per-type tables.
+const NumTypes = int(numTypes)
 
 // String returns the lowercase type name used in command stats (e.g. "int32").
 func (t DataType) String() string {

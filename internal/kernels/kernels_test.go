@@ -1,0 +1,118 @@
+package kernels
+
+import (
+	"testing"
+
+	"pimeval/internal/isa"
+)
+
+var allTypes = []isa.DataType{
+	isa.Int8, isa.Int16, isa.Int32, isa.Int64,
+	isa.UInt8, isa.UInt16, isa.UInt32, isa.UInt64,
+}
+
+// TestRegistryComplete pins the dispatch contract: every op the device
+// dispatches functionally resolves to a non-nil kernel for every element
+// type, so the resolve-once path never falls back to the reference loop.
+func TestRegistryComplete(t *testing.T) {
+	binary := []isa.Op{
+		isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpXnor, isa.OpMin, isa.OpMax, isa.OpLt, isa.OpGt, isa.OpEq,
+	}
+	unary := []isa.Op{isa.OpNot, isa.OpAbs, isa.OpPopCount}
+	for _, dt := range allTypes {
+		for _, op := range binary {
+			if Binary(op, dt) == nil {
+				t.Errorf("Binary(%v, %v) = nil", op, dt)
+			}
+			if Scalar(op, dt) == nil {
+				t.Errorf("Scalar(%v, %v) = nil", op, dt)
+			}
+		}
+		for _, op := range unary {
+			if Unary(op, dt) == nil {
+				t.Errorf("Unary(%v, %v) = nil", op, dt)
+			}
+		}
+		for _, op := range []isa.Op{isa.OpShiftL, isa.OpShiftR} {
+			if Shift(op, dt) == nil {
+				t.Errorf("Shift(%v, %v) = nil", op, dt)
+			}
+		}
+		wantSbox := dt.Bits() == 8
+		for _, op := range []isa.Op{isa.OpSbox, isa.OpSboxInv} {
+			if got := Unary(op, dt) != nil; got != wantSbox {
+				t.Errorf("Unary(%v, %v) registered = %v, want %v", op, dt, got, wantSbox)
+			}
+		}
+	}
+}
+
+// TestRegistryRejectsInvalid pins nil returns for out-of-range lookups and
+// for ops outside each form.
+func TestRegistryRejectsInvalid(t *testing.T) {
+	if Binary(isa.Op(-1), isa.Int32) != nil || Binary(isa.OpAdd, isa.DataType(99)) != nil {
+		t.Error("out-of-range lookup returned a kernel")
+	}
+	if Binary(isa.OpNot, isa.Int32) != nil {
+		t.Error("unary op resolved as a binary kernel")
+	}
+	if Unary(isa.OpAdd, isa.Int32) != nil {
+		t.Error("binary op resolved as a unary kernel")
+	}
+	if Shift(isa.OpAdd, isa.Int32) != nil {
+		t.Error("binary op resolved as a shift kernel")
+	}
+}
+
+// TestCanonicalContract spot-checks that kernels keep outputs canonical:
+// truncated to the width, sign-extended for signed types, zero-extended for
+// unsigned types (uint64 carries raw bits).
+func TestCanonicalContract(t *testing.T) {
+	canonical := func(dt isa.DataType, v int64) bool { return dt.Truncate(v) == v }
+	cases := []struct {
+		dt   isa.DataType
+		a, b int64
+	}{
+		{isa.Int8, 127, 1},           // wrap to -128
+		{isa.UInt8, 255, 1},          // wrap to 0
+		{isa.Int32, -1 << 31, -1},    // MinInt32 * -1
+		{isa.UInt64, -1, -1},         // raw-bit carrier
+		{isa.Int16, 0x7FFF, 0x7FFF},  // mul overflow
+		{isa.UInt32, 0xFFFF_FFFF, 2}, // high-bit products
+	}
+	ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpXnor, isa.OpNot}
+	for _, c := range cases {
+		for _, op := range ops {
+			var out [1]int64
+			if op == isa.OpNot {
+				Unary(op, c.dt)(out[:], []int64{c.a}, 0, 1)
+			} else {
+				Binary(op, c.dt)(out[:], []int64{c.a}, []int64{c.b}, 0, 1)
+			}
+			if !canonical(c.dt, out[0]) {
+				t.Errorf("%v.%v(%d, %d) = %d: not canonical", op, c.dt, c.a, c.b, out[0])
+			}
+		}
+	}
+}
+
+// TestSumSegSpansMidSegment checks the partial-segment accumulation used
+// when shard boundaries cut segments.
+func TestSumSegSpansMidSegment(t *testing.T) {
+	a := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	// Whole-range reference: segments of 4 -> {10, 26}.
+	whole := make([]int64, 2)
+	SumSeg(a, 0, 8, 4, 0, whole)
+	if whole[0] != 10 || whole[1] != 26 {
+		t.Fatalf("SumSeg whole = %v", whole)
+	}
+	// Split at 6 (mid-segment): partials must merge to the same totals.
+	p1 := make([]int64, 2) // span [0,6) overlaps segments 0..1
+	SumSeg(a, 0, 6, 4, 0, p1)
+	p2 := make([]int64, 1) // span [6,8) overlaps segment 1 only
+	SumSeg(a, 6, 8, 4, 1, p2)
+	if p1[0] != 10 || p1[1]+p2[0] != 26 {
+		t.Errorf("mid-segment partials: %v + %v", p1, p2)
+	}
+}

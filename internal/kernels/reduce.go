@@ -1,0 +1,50 @@
+package kernels
+
+// Structural and reduction kernels. These are type-independent — the
+// canonical int64 carrier already encodes each element's host-visible value,
+// and wrapping int64 accumulation is exact for every element type — so one
+// body serves all 8 types and no registry indirection is needed.
+
+// Select computes dst[i] = cond[i] != 0 ? a[i] : b[i] for i in [lo, hi).
+func Select(dst, cond, a, b []int64, lo, hi int64) {
+	for i := lo; i < hi; i++ {
+		if cond[i] != 0 {
+			dst[i] = a[i]
+		} else {
+			dst[i] = b[i]
+		}
+	}
+}
+
+// Fill broadcasts the (pre-truncated) value v into dst[lo:hi].
+func Fill(dst []int64, v int64, lo, hi int64) {
+	for i := lo; i < hi; i++ {
+		dst[i] = v
+	}
+}
+
+// Sum accumulates a[lo:hi] into one wrapping int64 partial sum.
+//
+// Canonical carriers make the host-view summation direct: signed values are
+// sign-extended and sub-64-bit unsigned values zero-extended, so each carrier
+// equals its host value; uint64 elements carry raw bits whose int64
+// reinterpretation wraps identically to uint64 addition modulo 2^64. Wrapping
+// int64 addition is associative, so per-span partials merged in ascending
+// span order reproduce the serial accumulation bit-for-bit.
+func Sum(a []int64, lo, hi int64) int64 {
+	var s int64
+	for _, v := range a[lo:hi] {
+		s += v
+	}
+	return s
+}
+
+// SumSeg accumulates a[lo:hi] into per-segment partials for fixed-length
+// segments of segLen elements: vals[k] accumulates segment seg0+k, where
+// seg0 is the first segment the span overlaps (the caller's sharding may cut
+// spans mid-segment; partials merge in span order, see Sum).
+func SumSeg(a []int64, lo, hi, segLen, seg0 int64, vals []int64) {
+	for i := lo; i < hi; i++ {
+		vals[i/segLen-seg0] += a[i]
+	}
+}

@@ -1,0 +1,108 @@
+package kernels
+
+import "math/bits"
+
+// Unary and shift kernels.
+
+func notK[T lane](dst, a []int64, lo, hi int64) {
+	for i := lo; i < hi; i++ {
+		dst[i] = int64(^T(a[i]))
+	}
+}
+
+// absSK negates negative values; -MinInt wraps back to MinInt, matching the
+// reference's truncated negation.
+func absSK[T signedLane](dst, a []int64, lo, hi int64) {
+	for i := lo; i < hi; i++ {
+		x := T(a[i])
+		if x < 0 {
+			x = -x
+		}
+		dst[i] = int64(x)
+	}
+}
+
+// copyK is abs for unsigned types: the identity.
+func copyK(dst, a []int64, lo, hi int64) {
+	copy(dst[lo:hi], a[lo:hi])
+}
+
+// popcountK counts set bits within the element width; the width mask is
+// hoisted into the closure (it only matters for signed negative carriers,
+// whose sign extension would otherwise inflate the count).
+func popcountK(width int) UnaryKernel {
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = uint64(1)<<uint(width) - 1
+	}
+	return func(dst, a []int64, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			dst[i] = int64(bits.OnesCount64(uint64(a[i]) & mask))
+		}
+	}
+}
+
+// sboxK is the table-lookup kernel for the AES S-box commands, registered
+// for the 8-bit element types only; T re-extends the substituted byte into
+// the type's canonical carrier.
+func sboxK[T lane](tab *[256]byte) UnaryKernel {
+	return func(dst, a []int64, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			dst[i] = int64(T(tab[byte(a[i])]))
+		}
+	}
+}
+
+// shlK/shrK rely on Go's shift semantics, which match the hardware's for
+// every amount: shifts at or past the element width produce zero, except
+// arithmetic right shifts of negative values, which saturate to all ones.
+// Right shifts are arithmetic for signed T and logical for unsigned T.
+func shlK[T lane](dst, a []int64, amount int, lo, hi int64) {
+	for i := lo; i < hi; i++ {
+		dst[i] = int64(T(a[i]) << uint(amount))
+	}
+}
+
+func shrK[T lane](dst, a []int64, amount int, lo, hi int64) {
+	for i := lo; i < hi; i++ {
+		dst[i] = int64(T(a[i]) >> uint(amount))
+	}
+}
+
+// AESSbox and AESSboxInv are the functional semantics of the sbox commands,
+// generated from GF(2^8) math rather than hard-coded tables. They are the
+// single source of truth for both the kernels and the reference evaluator
+// in internal/device.
+var AESSbox, AESSboxInv = func() ([256]byte, [256]byte) {
+	mul := func(a, b byte) byte {
+		var p byte
+		for i := 0; i < 8; i++ {
+			if b&1 != 0 {
+				p ^= a
+			}
+			hi := a & 0x80
+			a <<= 1
+			if hi != 0 {
+				a ^= 0x1b
+			}
+			b >>= 1
+		}
+		return p
+	}
+	var fwd, inv [256]byte
+	for i := 0; i < 256; i++ {
+		// inverse via x^254
+		x := byte(i)
+		sq := mul(x, x)
+		p := sq
+		for j := 0; j < 6; j++ {
+			sq = mul(sq, sq)
+			p = mul(p, sq)
+		}
+		rot := func(v byte, k uint) byte { return v<<k | v>>(8-k) }
+		s := p ^ rot(p, 1) ^ rot(p, 2) ^ rot(p, 3) ^ rot(p, 4) ^ 0x63
+		fwd[i] = s
+		inv[s] = byte(i)
+	}
+	return fwd, inv
+}()

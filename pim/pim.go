@@ -99,6 +99,11 @@ type Config struct {
 	// bit-identical for every setting — the knob trades wall-clock time
 	// only. Model-only runs ignore it.
 	Workers int
+	// ReferenceEval runs the functional engine on the golden per-element
+	// evaluators instead of the specialized element kernels. Results are
+	// bit-identical either way; the knob exists for differential testing
+	// and kernel before/after benchmarking, and trades wall-clock time only.
+	ReferenceEval bool
 }
 
 // module materializes the dram description for the config.
@@ -139,10 +144,11 @@ type Device struct {
 // NewDevice creates a PIM device for the configuration.
 func NewDevice(cfg Config) (*Device, error) {
 	d, err := device.New(device.Config{
-		Target:     cfg.Target,
-		Module:     cfg.module(),
-		Functional: cfg.Functional,
-		Workers:    cfg.Workers,
+		Target:        cfg.Target,
+		Module:        cfg.module(),
+		Functional:    cfg.Functional,
+		Workers:       cfg.Workers,
+		ReferenceEval: cfg.ReferenceEval,
 	})
 	if err != nil {
 		return nil, err

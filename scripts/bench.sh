@@ -1,0 +1,26 @@
+#!/bin/sh
+# Kernel benchmark runner: measures the specialized element kernels against
+# the golden per-element interpreter and archives the raw results.
+#
+#   scripts/bench.sh [output.json]
+#
+# Runs BenchmarkExecKernels (micro kernel-vs-reference loops plus the
+# device-level vecadd at each worker count) and BenchmarkBuildCached (compile
+# cache hit vs fresh compilation) with `go test -json`, writing the stream to
+# BENCH_kernels.json by default. The output is JSONL in test2json format: one
+# JSON object per line with Action/Package/Test/Output fields; benchmark
+# measurements appear in the Output field of "output" actions. Summarized
+# numbers live in EXPERIMENTS.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_kernels.json}"
+
+echo "==> go test -bench ExecKernels|BuildCached -> $out"
+go test -run='^$' -bench='^(BenchmarkExecKernels|BenchmarkBuildCached)$' \
+    -benchtime=1s -count=1 -json \
+    ./internal/device/ ./internal/bitserial/ >"$out"
+
+echo "==> wrote $out"
+grep -o '"Output":"Benchmark[^"]*ns/op[^"]*' "$out" | sed 's/"Output":"//; s/\\t/\t/g; s/\\n$//' || true
