@@ -1,0 +1,67 @@
+package replaytest
+
+import (
+	"testing"
+	"time"
+
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+// TestRunResilientEndToEnd drives a real registered benchmark through the
+// resilient path: a permanently failed core under ECC degrades
+// deterministically (every attempt hits the same uncorrectable words), and
+// the partial result still carries the retry count and a final verdict.
+func TestRunResilientEndToEnd(t *testing.T) {
+	b, err := suite.ByName("vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := suite.Config{
+		Target: pim.Fulcrum, Functional: true, Workers: 2, Size: 4096,
+		// Scoping the fault region to the first four cores guarantees the
+		// failed core lands inside the object's active span regardless of
+		// the device's total core count.
+		Faults:       &pim.FaultConfig{Seed: 5, FailedCores: 1, ECC: true, NumCores: 4},
+		Retries:      1,
+		RetryBackoff: time.Microsecond,
+	}
+	res := suite.RunResilient(b, cfg)
+	if !res.Degraded {
+		t.Fatalf("failed core under ECC must degrade: %+v", res)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (uncorrectable is transient)", res.Attempts)
+	}
+	if res.Err == "" {
+		t.Error("degraded result missing Err")
+	}
+}
+
+// TestRunResilientECCRecovers pins the happy path under faults: with ECC on
+// and a low transient rate, the suite's vecadd verifies against the golden
+// reference because every injected single-bit flip is corrected in place.
+func TestRunResilientECCRecovers(t *testing.T) {
+	b, err := suite.ByName("vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := suite.Config{
+		Target: pim.Fulcrum, Functional: true, Workers: 2, Size: 4096,
+		Faults:  &pim.FaultConfig{Seed: 11, TransientBitRate: 1e-5, ECC: true},
+		Retries: 2,
+	}
+	res := suite.RunResilient(b, cfg)
+	if res.Degraded {
+		t.Fatalf("degraded under ECC-corrected faults: %s", res.Err)
+	}
+	if !res.Verified {
+		t.Error("ECC-protected run failed verification")
+	}
+	if res.Faults.Corrected == 0 {
+		t.Error("no corrections recorded; fault rate too low for this test to bite")
+	}
+	if res.Faults.Detected != 0 || res.Faults.Silent != 0 {
+		t.Errorf("unexpected uncorrected faults: %+v (pick a different seed)", res.Faults)
+	}
+}

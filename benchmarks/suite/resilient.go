@@ -1,0 +1,104 @@
+package suite
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pimeval/pim"
+)
+
+// Graceful degradation for resilience studies: RunResilient isolates one
+// benchmark run (panics become errors, timeouts cancel the device), applies
+// a bounded retry-with-backoff policy to transient fault verdicts, and
+// reports partial results instead of aborting the whole suite.
+
+// RunResilient executes b under cfg with per-benchmark isolation and the
+// config's retry policy. Transient verdicts — an uncorrectable ECC error
+// (pim.ErrUncorrectable) or a golden-reference divergence under fault
+// injection — are retried up to cfg.Retries times with exponential backoff;
+// each retry perturbs the fault seed by one, modeling a remapped device
+// (re-running the identical seed would reproduce the identical faults).
+// Permanent failures (bad configuration, timeout, panic) are not retried.
+// The returned Result always carries Attempts; when every attempt failed it
+// is a partial result with Degraded set and Err holding the final verdict.
+func RunResilient(b Benchmark, cfg Config) Result {
+	name := b.Info().Name
+	var last Result
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		acfg := cfg
+		if attempt > 0 && acfg.Faults != nil {
+			f := *acfg.Faults
+			f.Seed += int64(attempt)
+			acfg.Faults = &f
+		}
+		res, err := runIsolated(b, acfg)
+		res.Benchmark = name
+		res.Attempts = attempt + 1
+		if err == nil && cfg.Functional && cfg.Faults.Enabled() && !res.Verified && !res.VerifiedSkipped {
+			// Silent corruption escaped ECC (or no ECC was configured) and
+			// the output diverged from the golden reference — a transient
+			// verdict worth a retry, like the uncorrectable case.
+			err = fmt.Errorf("%s: output diverged from golden reference under fault injection", name)
+		}
+		if err == nil {
+			return res
+		}
+		last, lastErr = res, err
+		if attempt >= cfg.Retries || !transient(err) {
+			break
+		}
+		if cfg.RetryBackoff > 0 {
+			time.Sleep(cfg.RetryBackoff << uint(attempt))
+		}
+	}
+	last.Benchmark = name
+	last.Target = cfg.Target
+	last.Degraded = true
+	last.Err = lastErr.Error()
+	return last
+}
+
+// transient reports whether a failure is worth retrying: uncorrectable
+// memory errors and divergence can resolve on a re-run with a perturbed
+// fault seed, while configuration errors, timeouts, and panics cannot.
+func transient(err error) bool {
+	if errors.Is(err, pim.ErrUncorrectable) {
+		return true
+	}
+	if errors.Is(err, pim.ErrCanceled) || errors.Is(err, pim.ErrPanic) ||
+		errors.Is(err, pim.ErrBadArgument) || errors.Is(err, pim.ErrOutOfMemory) {
+		return false
+	}
+	// Divergence errors (built in RunResilient) and other fault-era
+	// verdicts default to retryable.
+	return true
+}
+
+// runIsolated runs b.Run with a panic boundary so one broken benchmark
+// cannot take down a suite sweep.
+func runIsolated(b Benchmark, cfg Config) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: benchmark %s: %v", pim.ErrPanic, b.Info().Name, r)
+		}
+	}()
+	return b.Run(cfg)
+}
+
+// RunSuiteResilient runs every registered Table I benchmark under cfg with
+// RunResilient, never aborting early: failed benchmarks contribute degraded
+// partial results. The second return counts degraded entries.
+func RunSuiteResilient(cfg Config) ([]Result, int) {
+	var out []Result
+	degraded := 0
+	for _, b := range All() {
+		r := RunResilient(b, cfg)
+		if r.Degraded {
+			degraded++
+		}
+		out = append(out, r)
+	}
+	return out, degraded
+}

@@ -1,0 +1,134 @@
+package suite
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pimeval/pim"
+)
+
+// fakeBenchmark is a scriptable benchmark for exercising the retry policy
+// without real device runs: each call pops the next outcome.
+type fakeBenchmark struct {
+	name     string
+	outcomes []error // nil = clean verified run; non-nil = that error
+	calls    int
+	seeds    []int64 // fault seed observed on each attempt
+}
+
+func (f *fakeBenchmark) Info() Info                        { return Info{Name: f.name} }
+func (f *fakeBenchmark) DefaultSize(functional bool) int64 { return 8 }
+
+func (f *fakeBenchmark) Run(cfg Config) (Result, error) {
+	i := f.calls
+	f.calls++
+	if cfg.Faults != nil {
+		f.seeds = append(f.seeds, cfg.Faults.Seed)
+	}
+	if i < len(f.outcomes) && f.outcomes[i] != nil {
+		if errors.Is(f.outcomes[i], pim.ErrPanic) {
+			panic("scripted panic")
+		}
+		return Result{Benchmark: f.name}, f.outcomes[i]
+	}
+	return Result{Benchmark: f.name, Verified: true}, nil
+}
+
+func faultedCfg(retries int) Config {
+	return Config{
+		Target: pim.Fulcrum, Functional: true,
+		Faults:  &pim.FaultConfig{Seed: 100, TransientBitRate: 1e-6},
+		Retries: retries,
+	}
+}
+
+// TestRunResilientRetriesTransient pins the retry policy: an uncorrectable
+// verdict is transient, each retry perturbs the fault seed by one, and a
+// later clean run clears the degraded state.
+func TestRunResilientRetriesTransient(t *testing.T) {
+	b := &fakeBenchmark{name: "fake", outcomes: []error{pim.ErrUncorrectable, pim.ErrUncorrectable, nil}}
+	res := RunResilient(b, faultedCfg(3))
+	if res.Degraded {
+		t.Fatalf("degraded after recoverable retries: %+v", res)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", res.Attempts)
+	}
+	if want := []int64{100, 101, 102}; len(b.seeds) != 3 || b.seeds[0] != want[0] || b.seeds[1] != want[1] || b.seeds[2] != want[2] {
+		t.Errorf("fault seeds per attempt = %v, want %v", b.seeds, want)
+	}
+}
+
+// TestRunResilientExhaustsBudget pins the degraded partial result: when every
+// attempt fails transiently, the run stops after Retries+1 attempts with
+// Degraded set and the final verdict in Err.
+func TestRunResilientExhaustsBudget(t *testing.T) {
+	b := &fakeBenchmark{name: "fake", outcomes: []error{
+		pim.ErrUncorrectable, pim.ErrUncorrectable, pim.ErrUncorrectable, pim.ErrUncorrectable,
+	}}
+	res := RunResilient(b, faultedCfg(2))
+	if !res.Degraded {
+		t.Fatal("want degraded result after exhausted retries")
+	}
+	if res.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3 (1 + 2 retries)", res.Attempts)
+	}
+	if !strings.Contains(res.Err, "uncorrectable") {
+		t.Errorf("Err = %q, want the uncorrectable verdict", res.Err)
+	}
+}
+
+// TestRunResilientPermanentFailsFast pins that permanent verdicts (bad
+// configuration, cancellation, panics) do not burn the retry budget.
+func TestRunResilientPermanentFailsFast(t *testing.T) {
+	for _, perm := range []error{pim.ErrBadArgument, pim.ErrCanceled, pim.ErrOutOfMemory} {
+		b := &fakeBenchmark{name: "fake", outcomes: []error{perm, nil}}
+		res := RunResilient(b, faultedCfg(5))
+		if !res.Degraded || res.Attempts != 1 {
+			t.Errorf("%v: Degraded=%v Attempts=%d, want degraded on first attempt", perm, res.Degraded, res.Attempts)
+		}
+	}
+}
+
+// TestRunResilientIsolatesPanics pins the panic boundary: a panicking
+// benchmark yields a degraded result wrapping ErrPanic instead of crashing
+// the suite, and panics are permanent (no retries).
+func TestRunResilientIsolatesPanics(t *testing.T) {
+	b := &fakeBenchmark{name: "fake", outcomes: []error{pim.ErrPanic}}
+	res := RunResilient(b, faultedCfg(5))
+	if !res.Degraded || res.Attempts != 1 {
+		t.Fatalf("Degraded=%v Attempts=%d, want degraded first attempt", res.Degraded, res.Attempts)
+	}
+	if !strings.Contains(res.Err, "scripted panic") {
+		t.Errorf("Err = %q, want the panic value", res.Err)
+	}
+}
+
+// TestRunResilientDivergenceRetries pins the silent-corruption policy: a
+// clean-but-unverified functional run under fault injection is a transient
+// verdict and gets retried.
+func TestRunResilientDivergenceRetries(t *testing.T) {
+	calls := 0
+	wrapped := benchmarkFunc{info: Info{Name: "fake"}, run: func(cfg Config) (Result, error) {
+		calls++
+		if calls == 1 {
+			return Result{Benchmark: "fake"}, nil // completed but diverged
+		}
+		return Result{Benchmark: "fake", Verified: true}, nil
+	}}
+	res := RunResilient(wrapped, faultedCfg(2))
+	if res.Degraded || res.Attempts != 2 {
+		t.Errorf("Degraded=%v Attempts=%d, want clean second attempt", res.Degraded, res.Attempts)
+	}
+}
+
+// benchmarkFunc adapts a closure into a Benchmark for test scripting.
+type benchmarkFunc struct {
+	info Info
+	run  func(cfg Config) (Result, error)
+}
+
+func (b benchmarkFunc) Info() Info                        { return b.info }
+func (b benchmarkFunc) DefaultSize(functional bool) int64 { return 8 }
+func (b benchmarkFunc) Run(cfg Config) (Result, error)    { return b.run(cfg) }

@@ -6,8 +6,10 @@
 package suite
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"pimeval/internal/hostmodel"
 	"pimeval/pim"
@@ -44,6 +46,19 @@ type Config struct {
 	SubarraysPerBank int
 	RowsPerSubarray  int
 	ColsPerRow       int
+	// Faults enables the seed-driven fault-injection stage (and optional
+	// SEC-DED ECC model) on the run's device; nil runs fault-free.
+	Faults *pim.FaultConfig
+	// Retries bounds how many times RunResilient re-runs a benchmark after
+	// a transient fault verdict (uncorrectable ECC error or golden-reference
+	// divergence). 0 means no retries.
+	Retries int
+	// RetryBackoff is the sleep before the first retry; each further retry
+	// doubles it. 0 retries immediately.
+	RetryBackoff time.Duration
+	// Timeout bounds one benchmark attempt's wall-clock time via a
+	// context deadline on the device; 0 means no deadline.
+	Timeout time.Duration
 }
 
 // DeviceConfig materializes the pim.Config for this run.
@@ -58,6 +73,7 @@ func (c Config) DeviceConfig() pim.Config {
 		SubarraysPerBank: c.SubarraysPerBank,
 		RowsPerSubarray:  c.RowsPerSubarray,
 		ColsPerRow:       c.ColsPerRow,
+		Faults:           c.Faults,
 	}
 }
 
@@ -87,6 +103,19 @@ type Result struct {
 	Trace string
 	// Stream holds the recorded command stream when configured with Record.
 	Stream *pim.Stream
+	// Faults are the device's accumulated fault-injection and ECC counters
+	// (zero for fault-free runs).
+	Faults pim.FaultStats
+	// Attempts is how many times RunResilient executed the benchmark
+	// (1 for a clean first run; 0 when Run was called directly).
+	Attempts int
+	// Degraded marks a partial result: the benchmark completed (or was
+	// abandoned) with an unresolved fault — an uncorrectable error,
+	// divergence from the golden reference, a timeout, or a panic — after
+	// exhausting its retry budget. Err carries the final verdict.
+	Degraded bool
+	// Err is the final error message of a degraded run ("" otherwise).
+	Err string
 }
 
 // SpeedupCPU returns the paper's Figure-9 speedups over the CPU baseline:
@@ -230,6 +259,8 @@ type Runner struct {
 	Cfg  Config
 	Dev  *pim.Device
 	Size int64
+	// cancel releases the Timeout context; Finish calls it.
+	cancel context.CancelFunc
 }
 
 // NewRunner creates the device and resolves the input size for a run.
@@ -248,11 +279,21 @@ func NewRunner(b Benchmark, cfg Config) (*Runner, error) {
 	if cfg.Record {
 		dev.RecordStream()
 	}
-	return &Runner{Cfg: cfg, Dev: dev, Size: size}, nil
+	r := &Runner{Cfg: cfg, Dev: dev, Size: size}
+	if cfg.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+		dev.SetContext(ctx)
+		r.cancel = cancel
+	}
+	return r, nil
 }
 
 // Finish assembles the Result from the device's statistics.
 func (r *Runner) Finish(b Benchmark, verified bool, cpu, gpu HostCost) Result {
+	if r.cancel != nil {
+		r.cancel()
+		r.cancel = nil
+	}
 	report, trace := "", ""
 	if r.Cfg.EmitReport {
 		report = r.Dev.Report()
@@ -273,6 +314,7 @@ func (r *Runner) Finish(b Benchmark, verified bool, cpu, gpu HostCost) Result {
 		N:               r.Size,
 		Metrics:         r.Dev.Metrics(),
 		OpMix:           r.Dev.OpMix(),
+		Faults:          r.Dev.FaultStats(),
 		CPU:             cpu,
 		GPU:             gpu,
 		Verified:        verified && r.Cfg.Functional,

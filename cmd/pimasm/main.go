@@ -13,6 +13,10 @@
 //
 //	pimasm -op mul -type int16 -target fulcrum -n 8192 -record mul.stream
 //	pimasm -replay mul.stream
+//
+// A -record run can carry the fault-injection stage (-faults, -fault-seed,
+// -ecc): the fault configuration is serialized in the stream header, so a
+// later -replay reproduces the exact same injected faults bit for bit.
 package main
 
 import (
@@ -73,9 +77,16 @@ func run(args []string, out io.Writer) error {
 		replayPath = fs.String("replay", "", "replay a recorded command stream from this file and print the device report")
 		targetName = fs.String("target", "bitserial", "device architecture for -record: bitserial, fulcrum, banklevel, analog")
 		recordN    = fs.Int64("n", 4096, "element count for -record")
+		faultRate  = fs.Float64("faults", 0, "transient bit-flip probability per written bit for -record (serialized into the stream header)")
+		faultSeed  = fs.Int64("fault-seed", 1, "seed driving every fault decision (fixed seed = reproducible faults)")
+		ecc        = fs.Bool("ecc", false, "enable the SEC-DED (72,64) ECC model for -record")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var fcfg *pim.FaultConfig
+	if *faultRate > 0 || *ecc {
+		fcfg = &pim.FaultConfig{Seed: *faultSeed, TransientBitRate: *faultRate, ECC: *ecc}
 	}
 	if *replayPath != "" {
 		return replayStream(out, *replayPath, *workers)
@@ -93,7 +104,7 @@ func run(args []string, out io.Writer) error {
 		if !ok {
 			return fmt.Errorf("unknown target %q", *targetName)
 		}
-		return recordStream(out, *recordPath, target, op, dt, *imm, *recordN, *workers)
+		return recordStream(out, *recordPath, target, op, dt, *imm, *recordN, *workers, fcfg)
 	}
 
 	t := dram.DDR4(1).Timing
@@ -172,9 +183,10 @@ var unaryFns = map[isa.Op]func(*pim.Device, pim.ObjID, pim.ObjID) error{
 // recordStream runs the op through the full device API on a one-rank
 // functional device with the command-stream recorder attached, and writes
 // the captured stream to path.
-func recordStream(out io.Writer, path string, target pim.Target, op isa.Op, dt isa.DataType, imm, n int64, workers int) error {
+func recordStream(out io.Writer, path string, target pim.Target, op isa.Op, dt isa.DataType, imm, n int64, workers int, faults *pim.FaultConfig) error {
 	dev, err := pim.NewDevice(pim.Config{
 		Target: target, Ranks: 1, Functional: true, Workers: workers,
+		Faults: faults,
 	})
 	if err != nil {
 		return err
@@ -261,6 +273,10 @@ func replayStream(out io.Writer, path string, workers int) error {
 		return err
 	}
 	fmt.Fprintf(out, "replayed %d stream records on %s\n", len(s.Records), dev.Target())
+	if fc := dev.FaultStats(); fc.Any() {
+		fmt.Fprintf(out, "reproduced faults: %d transient flips, %d stuck-at, %d failed-core words (%d corrected, %d detected, %d silent)\n",
+			fc.TransientFlips, fc.StuckFaults, fc.FailedWords, fc.Corrected, fc.Detected, fc.Silent)
+	}
 	fmt.Fprintln(out, dev.Report())
 	return nil
 }

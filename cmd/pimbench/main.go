@@ -4,7 +4,15 @@
 //
 //	pimbench -app vecadd -target fulcrum -ranks 32
 //	pimbench -app gemv -target bitserial -functional
+//	pimbench -app all -functional -faults 1e-6 -ecc -retries 2
 //	pimbench -list
+//
+// The -faults family enables the deterministic fault-injection stage for
+// resilience studies: a per-bit transient flip rate, stuck-at bits, failed
+// cores, and an optional SEC-DED ECC model, all driven by -fault-seed.
+// With -app all the whole suite runs under a graceful-degradation policy:
+// each benchmark is isolated, transient fault verdicts retry with backoff,
+// and failures yield partial results instead of aborting the sweep.
 package main
 
 import (
@@ -53,9 +61,26 @@ func run(args []string, out io.Writer) error {
 		report     = fs.Bool("report", false, "print the artifact-style PIM statistics report (Listing 3)")
 		trace      = fs.Bool("trace", false, "print the device command trace (last 64Ki entries)")
 		list       = fs.Bool("list", false, "list available benchmarks")
+
+		faultRate   = fs.Float64("faults", 0, "transient bit-flip probability per written bit (enables fault injection)")
+		faultSeed   = fs.Int64("fault-seed", 1, "seed driving every fault decision (fixed seed = reproducible faults)")
+		ecc         = fs.Bool("ecc", false, "enable the SEC-DED (72,64) ECC model (corrects singles, detects doubles)")
+		stuck       = fs.Int("stuck", 0, "number of persistent stuck-at bit faults")
+		failedCores = fs.Int("failed-cores", 0, "number of failed PIM cores (subarrays/banks)")
+		retries     = fs.Int("retries", 2, "retry budget per benchmark for transient fault verdicts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var fcfg *pim.FaultConfig
+	if *faultRate > 0 || *ecc || *stuck > 0 || *failedCores > 0 {
+		fcfg = &pim.FaultConfig{
+			Seed:             *faultSeed,
+			TransientBitRate: *faultRate,
+			StuckBits:        *stuck,
+			FailedCores:      *failedCores,
+			ECC:              *ecc,
+		}
 	}
 
 	if *list {
@@ -75,17 +100,29 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cfg := suite.Config{
+		Target: tgt, Ranks: *ranks, Size: *size,
+		Functional: *functional, Workers: *workers,
+		EmitReport: *report, Trace: *trace,
+		Faults: fcfg, Retries: *retries,
+	}
+	if *app == "all" {
+		return runAll(out, cfg)
+	}
 	b, err := suite.ByName(*app)
 	if err != nil {
 		return err
 	}
-	res, err := b.Run(suite.Config{
-		Target: tgt, Ranks: *ranks, Size: *size,
-		Functional: *functional, Workers: *workers,
-		EmitReport: *report, Trace: *trace,
-	})
-	if err != nil {
-		return err
+	var res suite.Result
+	if fcfg != nil {
+		// Resilient path: isolation, bounded retries on transient fault
+		// verdicts, and a partial result instead of a hard failure.
+		res = suite.RunResilient(b, cfg)
+	} else {
+		res, err = b.Run(cfg)
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "Running %s on PIM (%v, %d ranks), input size %d\n\n", *app, tgt, *ranks, res.N)
@@ -109,13 +146,68 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "Speedup vs CPU     : %.3f (kernel+DM)  %.3f (kernel)\n", wdm, ko)
 	fmt.Fprintf(out, "Speedup vs GPU     : %.3f\n", res.SpeedupGPU())
 	fmt.Fprintf(out, "Energy reduction   : %.3f vs CPU, %.3f vs GPU\n", res.EnergyReductionCPU(), res.EnergyReductionGPU())
+	if fcfg != nil {
+		printFaults(out, res)
+	}
 	switch {
+	case res.Degraded:
+		fmt.Fprintf(out, "Outcome            : PARTIAL RESULT after %d attempt(s): %s\n", res.Attempts, res.Err)
 	case res.VerifiedSkipped:
 		fmt.Fprintln(out, "Verification       : skipped (model-only run; use -functional)")
 	case res.Verified:
-		fmt.Fprintln(out, "Verification       : PASSED against host reference")
+		fmt.Fprintf(out, "Verification       : PASSED against host reference%s\n", attemptNote(res))
 	default:
 		return fmt.Errorf("%s: verification FAILED", *app)
 	}
+	return nil
+}
+
+// attemptNote annotates a verification verdict with the retry count when the
+// resilient path needed more than one attempt.
+func attemptNote(res suite.Result) string {
+	if res.Attempts > 1 {
+		return fmt.Sprintf(" (attempt %d)", res.Attempts)
+	}
+	return ""
+}
+
+// printFaults renders the run's fault-injection and ECC counters.
+func printFaults(out io.Writer, res suite.Result) {
+	f := res.Faults
+	fmt.Fprintf(out, "Fault injection    : %d transient flips, %d stuck-at, %d failed-core words\n",
+		f.TransientFlips, f.StuckFaults, f.FailedWords)
+	fmt.Fprintf(out, "ECC outcome        : %d corrected, %d detected uncorrectable, %d silent\n",
+		f.Corrected, f.Detected, f.Silent)
+}
+
+// runAll executes the whole Table I suite under the graceful-degradation
+// policy and prints a partial-result summary: every benchmark reports, and
+// degraded entries are flagged instead of aborting the sweep.
+func runAll(out io.Writer, cfg suite.Config) error {
+	results, degraded := suite.RunSuiteResilient(cfg)
+	fmt.Fprintf(out, "%-14s %12s %9s %8s %10s %10s %s\n",
+		"Benchmark", "Total(ms)", "Verified", "Attempts", "Flips", "Corrected", "Status")
+	for _, r := range results {
+		verified := "-"
+		if !r.VerifiedSkipped {
+			if r.Verified {
+				verified = "yes"
+			} else {
+				verified = "NO"
+			}
+		}
+		status := "ok"
+		if r.Degraded {
+			status = "DEGRADED: " + r.Err
+		}
+		fmt.Fprintf(out, "%-14s %12.3f %9s %8d %10d %10d %s\n",
+			r.Benchmark, r.Metrics.TotalMS(), verified, r.Attempts,
+			r.Faults.TransientFlips, r.Faults.Corrected, status)
+	}
+	fmt.Fprintf(out, "\n%d/%d benchmarks completed cleanly", len(results)-degraded, len(results))
+	if degraded > 0 {
+		fmt.Fprintf(out, "; %d degraded (partial results above)", degraded)
+	}
+	fmt.Fprintln(out)
 	return nil
 }

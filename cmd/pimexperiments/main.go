@@ -32,6 +32,10 @@ func run(args []string, stdout io.Writer) error {
 		all      = fs.Bool("all", false, "generate every table and figure")
 		out      = fs.String("out", "", "directory to write artifacts into (default: stdout)")
 		workers  = fs.Int("workers", 0, "functional engine worker pool size (0 = NumCPU, 1 = serial)")
+		faults   = fs.Float64("faults", 0, "transient bit-flip probability per written bit (enables fault injection)")
+		fseed    = fs.Int64("fault-seed", 1, "seed driving every fault decision (fixed seed = reproducible faults)")
+		ecc      = fs.Bool("ecc", false, "enable the SEC-DED (72,64) ECC model")
+		retries  = fs.Int("retries", 2, "retry budget per benchmark for transient fault verdicts")
 		table1   = fs.Bool("table1", false, "Table I: suite listing")
 		table2   = fs.Bool("table2", false, "Table II: configurations")
 		fig1     = fs.Bool("fig1", false, "Figure 1: diversity dendrogram")
@@ -58,6 +62,14 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	experiments.Workers = *workers
+	if *faults > 0 || *ecc {
+		experiments.Faults = &pim.FaultConfig{
+			Seed:             *fseed,
+			TransientBitRate: *faults,
+			ECC:              *ecc,
+		}
+		experiments.Retries = *retries
+	}
 
 	var emitErr error
 	emit := func(name, content string) {

@@ -4,6 +4,12 @@
 //
 //	pimsweep -cols
 //	pimsweep -banks
+//	pimsweep -cols -faults 1e-7 -fault-seed 7 -ecc
+//
+// The -faults family threads the deterministic fault-injection stage (and
+// the optional SEC-DED ECC model with its latency/energy overhead) through
+// every sweep point, so sensitivity curves can be reproduced under injected
+// faults with a fixed seed.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"os"
 
 	"pimeval/internal/experiments"
+	"pimeval/pim"
 )
 
 func main() {
@@ -29,11 +36,22 @@ func run(args []string, out io.Writer) error {
 		cols    = fs.Bool("cols", false, "sweep #columns (Figure 6a)")
 		banks   = fs.Bool("banks", false, "sweep #banks (Figure 6b)")
 		workers = fs.Int("workers", 0, "functional engine worker pool size (0 = NumCPU, 1 = serial)")
+
+		faultRate = fs.Float64("faults", 0, "transient bit-flip probability per written bit (enables fault injection)")
+		faultSeed = fs.Int64("fault-seed", 1, "seed driving every fault decision (fixed seed = reproducible faults)")
+		ecc       = fs.Bool("ecc", false, "enable the SEC-DED (72,64) ECC model")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	experiments.Workers = *workers
+	if *faultRate > 0 || *ecc {
+		experiments.Faults = &pim.FaultConfig{
+			Seed:             *faultSeed,
+			TransientBitRate: *faultRate,
+			ECC:              *ecc,
+		}
+	}
 	if !*cols && !*banks {
 		*cols, *banks = true, true
 	}

@@ -19,6 +19,7 @@ import (
 	"io"
 
 	"pimeval/internal/dram"
+	"pimeval/internal/fault"
 )
 
 // ObjID identifies a PIM data object in stream records. Object IDs are
@@ -115,6 +116,11 @@ type Header struct {
 	TargetID   int         `json:"target_id"` // architecture enum value
 	Module     dram.Module `json:"module"`
 	Functional bool        `json:"functional"`
+	// Faults carries the fault-injection configuration active during
+	// recording. Injection is keyed by (seed, write sequence), so a replay
+	// built from this header reproduces the recorded run's injected data
+	// and fault counters bit-for-bit.
+	Faults *fault.Config `json:"faults,omitempty"`
 }
 
 // Stream is a recorded command stream: the device header plus the ordered
@@ -143,6 +149,9 @@ func Decode(r io.Reader) (*Stream, error) {
 		return nil, fmt.Errorf("cmdstream: unsupported stream version %d (want %d)", s.Header.Version, Version)
 	}
 	if err := s.Header.Module.Validate(); err != nil {
+		return nil, fmt.Errorf("cmdstream: stream header: %w", err)
+	}
+	if err := s.Header.Faults.Validate(); err != nil {
 		return nil, fmt.Errorf("cmdstream: stream header: %w", err)
 	}
 	return &s, nil

@@ -10,7 +10,13 @@ import (
 // CopyHostToDevice loads values into the object (the functional payload is
 // required to match the object's length). In model-only mode only the
 // transfer is charged.
-func (d *Device) CopyHostToDevice(id ObjID, values []int64) error {
+func (d *Device) CopyHostToDevice(id ObjID, values []int64) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
 	o, err := d.res.lookup(id)
 	if err != nil {
 		return err
@@ -19,11 +25,14 @@ func (d *Device) CopyHostToDevice(id ObjID, values []int64) error {
 		if int64(len(values)) != o.n {
 			return fmt.Errorf("%w: copy of %d values into object of %d", ErrShapeMismatch, len(values), o.n)
 		}
-		d.forSpans(o, func(lo, hi int64) {
+		err = d.forSpans(o, func(lo, hi int64) {
 			for i := lo; i < hi; i++ {
 				o.data[i] = o.dt.Truncate(values[i])
 			}
 		})
+		if err != nil {
+			return err
+		}
 	}
 	ev := d.begin(ClassCopy)
 	if d.pipe.wantRecord() {
@@ -31,18 +40,27 @@ func (d *Device) CopyHostToDevice(id ObjID, values []int64) error {
 		if d.cfg.Functional {
 			// Functional recordings carry the payload so a replay
 			// reconstructs the same device data; the copy detaches the
-			// record from the caller's slice.
+			// record from the caller's slice. The payload is captured
+			// pre-injection: replays re-run the fault stage at the same
+			// sequence number and corrupt it identically.
 			ev.Record.Data = append([]int64(nil), values...)
 		}
 	}
+	ferr := d.injectWrite(o, 0, o.n)
 	cost := perf.DataMovement(d.cfg.Module, o.Bytes(), false).Scale(float64(d.pipe.repeat))
 	d.finishCopy(ev, "copy.h2d", o.Bytes(), cost, o.Bytes()*d.pipe.repeat, 0, 0)
-	return nil
+	return ferr
 }
 
 // CopyDeviceToHost copies the object's values out. In model-only mode it
 // returns nil data after charging the transfer.
-func (d *Device) CopyDeviceToHost(id ObjID) ([]int64, error) {
+func (d *Device) CopyDeviceToHost(id ObjID) (_ []int64, err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return nil, err
+	}
 	o, err := d.res.lookup(id)
 	if err != nil {
 		return nil, err
@@ -64,7 +82,13 @@ func (d *Device) CopyDeviceToHost(id ObjID) ([]int64, error) {
 // CopyDeviceToDevice copies src into dst. If dst is larger, src is tiled
 // (replicated) to fill it — the mechanism GEMV-style kernels use to
 // broadcast a vector across matrix rows.
-func (d *Device) CopyDeviceToDevice(src, dst ObjID) error {
+func (d *Device) CopyDeviceToDevice(src, dst ObjID) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
 	s, err := d.res.lookup(src)
 	if err != nil {
 		return err
@@ -108,14 +132,21 @@ func (d *Device) CopyDeviceToDevice(src, dst ObjID) error {
 	if d.pipe.wantRecord() {
 		ev.Record = cmdstream.Record{Kind: cmdstream.KindCopyD2D, Src: int64(src), Dst: int64(dst)}
 	}
+	ferr := d.injectWrite(t, 0, t.n)
 	d.finishCopy(ev, "copy.d2d", volume, cost, 0, 0, volume*d.pipe.repeat)
-	return nil
+	return ferr
 }
 
 // CopyDeviceToDeviceRange copies n elements from src starting at srcOff
 // into dst starting at dstOff — the gather primitive graph kernels use to
 // assemble row batches from a resident adjacency matrix.
-func (d *Device) CopyDeviceToDeviceRange(src ObjID, srcOff int64, dst ObjID, dstOff, n int64) error {
+func (d *Device) CopyDeviceToDeviceRange(src ObjID, srcOff int64, dst ObjID, dstOff, n int64) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
 	s, err := d.res.lookup(src)
 	if err != nil {
 		return err
@@ -143,8 +174,9 @@ func (d *Device) CopyDeviceToDeviceRange(src ObjID, srcOff int64, dst ObjID, dst
 			Src:  int64(src), SrcOff: srcOff, Dst: int64(dst), DstOff: dstOff, N: n,
 		}
 	}
+	ferr := d.injectWrite(t, dstOff, dstOff+n)
 	d.finishCopy(ev, "copy.d2d", bytes, cost, 0, 0, bytes*d.pipe.repeat)
-	return nil
+	return ferr
 }
 
 // RecordHost charges a host-executed phase to the device's statistics.

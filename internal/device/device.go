@@ -16,6 +16,7 @@
 package device
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -25,6 +26,7 @@ import (
 	"pimeval/internal/cmdstream"
 	"pimeval/internal/dram"
 	"pimeval/internal/energy"
+	"pimeval/internal/fault"
 	"pimeval/internal/fulcrum"
 	"pimeval/internal/isa"
 	"pimeval/internal/par"
@@ -96,14 +98,36 @@ type Config struct {
 	// way — the knob exists for differential testing and before/after
 	// benchmarking of the kernel path, and costs wall-clock time only.
 	ReferenceEval bool
+	// Faults configures the deterministic fault-injection stage
+	// (internal/fault) that runs over every device memory write, plus the
+	// optional SEC-DED ECC model. Nil (the default) leaves the dispatch
+	// pipeline byte-identical to a fault-free build.
+	Faults *fault.Config
 }
 
-// Sentinel errors returned by the resource manager and dispatcher.
+// Sentinel errors returned by the resource manager and dispatcher. Every
+// error leaving the device wraps exactly one of these (errors.Is matches),
+// with the operation-specific detail carried in the message.
 var (
 	ErrOutOfMemory   = errors.New("device: PIM memory capacity exceeded")
-	ErrBadObject     = errors.New("device: unknown or freed PIM object")
+	ErrBadObject     = errors.New("device: unknown PIM object")
 	ErrShapeMismatch = errors.New("device: operand shapes or types differ")
 	ErrBadArgument   = errors.New("device: invalid argument")
+	// ErrFreed reports a use of an object after Free — distinct from
+	// ErrBadObject (an ID never allocated) so callers can tell a
+	// double-free or use-after-free bug from a corrupted handle.
+	ErrFreed = errors.New("device: PIM object already freed")
+	// ErrCanceled reports an operation abandoned because the context
+	// installed with SetContext was canceled or its deadline passed. The
+	// underlying context error is wrapped too, so errors.Is matches both.
+	ErrCanceled = errors.New("device: operation canceled")
+	// ErrUncorrectable re-exports the fault package's uncorrectable-ECC
+	// sentinel at the device boundary.
+	ErrUncorrectable = fault.ErrUncorrectable
+	// ErrPanic reports a panic recovered at the dispatch boundary — the
+	// device survives (its state may be partially updated), and the panic
+	// value is in the message.
+	ErrPanic = errors.New("device: panic during dispatch")
 )
 
 // ObjID identifies an allocated PIM data object. The zero value is invalid.
@@ -120,6 +144,12 @@ type Device struct {
 	res     resourceManager
 	pipe    pipeline
 	workers int
+	// ctx, when non-nil, cancels in-flight and subsequent operations
+	// (SetContext). nil means "never canceled" and costs nothing.
+	ctx context.Context
+	// inj is the fault-injection stage, nil unless Config.Faults enables
+	// at least one fault source or the ECC model.
+	inj *fault.Injector
 }
 
 // New creates a PIM device for the configuration.
@@ -129,6 +159,9 @@ func New(cfg Config) (*Device, error) {
 	}
 	if err := cfg.Module.Validate(); err != nil {
 		return nil, err
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArgument, err)
 	}
 	var arch ArchModel
 	switch cfg.Target {
@@ -147,9 +180,66 @@ func New(cfg Config) (*Device, error) {
 		em:      energy.NewModel(cfg.Module),
 		workers: par.Resolve(cfg.Workers),
 	}
+	if cfg.Faults.Enabled() {
+		inj, err := fault.NewInjector(*cfg.Faults, arch.Cores(cfg.Module.Geometry))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadArgument, err)
+		}
+		d.inj = inj
+	}
 	d.res.init(arch, cfg.Module.Geometry, cfg.Functional)
 	d.pipe.init(stats.New())
 	return d, nil
+}
+
+// SetContext installs a cancellation context: once ctx is canceled (or its
+// deadline passes), in-flight functional loops stop handing out work and
+// every subsequent operation fails with an error wrapping both ErrCanceled
+// and the context's error. A nil ctx removes the hook. Call between
+// operations only — the device dispatcher is single-threaded.
+func (d *Device) SetContext(ctx context.Context) { d.ctx = ctx }
+
+// start is the per-dispatch cancellation check shared by every entry point.
+// Inlinable fast path: devices without a context pay one nil check.
+func (d *Device) start() error {
+	if d.ctx == nil {
+		return nil
+	}
+	return d.startCtx()
+}
+
+// startCtx is the out-of-line context check behind start's nil check.
+func (d *Device) startCtx() error {
+	if err := d.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+// guarded reports whether the hardened dispatch path is active: entry points
+// defer panic recovery only when a resilience feature — fault injection or a
+// cancellation context (even context.Background()) — is switched on. A plain
+// device pays two nil checks and skips the defer, keeping the no-fault
+// dispatch path at seed cost.
+func (d *Device) guarded() bool { return d.inj != nil || d.ctx != nil }
+
+// guard converts a panic escaping a dispatch entry point into an error
+// wrapping ErrPanic, so one poisoned operation cannot take down a whole
+// benchmark suite. Deferred with a named return at each public entry point
+// when the device is guarded (see guarded).
+func guard(errp *error) {
+	if r := recover(); r != nil {
+		*errp = fmt.Errorf("%w: %v", ErrPanic, r)
+	}
+}
+
+// FaultCounts returns the accumulated fault-injection and ECC counters, or
+// the zero value when fault injection is disabled.
+func (d *Device) FaultCounts() fault.Counts {
+	if d.inj == nil {
+		return fault.Counts{}
+	}
+	return d.inj.Counts()
 }
 
 // Workers returns the resolved size of the functional engine's worker pool.
@@ -170,6 +260,9 @@ func (d *Device) Cores() int { return d.arch.Cores(d.cfg.Module.Geometry) }
 // Alloc allocates a PIM object of n elements of type dt, spread across all
 // PIM cores for maximum parallelism (the paper's PIM_ALLOC_AUTO policy).
 func (d *Device) Alloc(n int64, dt isa.DataType) (ObjID, error) {
+	if err := d.start(); err != nil {
+		return 0, err
+	}
 	obj, err := d.res.alloc(n, dt)
 	if err != nil {
 		return 0, err
@@ -188,8 +281,12 @@ func (d *Device) AllocAssociated(ref ObjID, dt isa.DataType) (ObjID, error) {
 	return d.Alloc(r.n, dt)
 }
 
-// Free releases a PIM object.
+// Free releases a PIM object. Freeing an already-freed object returns
+// ErrFreed.
 func (d *Device) Free(id ObjID) error {
+	if err := d.start(); err != nil {
+		return err
+	}
 	if err := d.res.free(id); err != nil {
 		return err
 	}

@@ -58,11 +58,14 @@ func TestAllocFreeLifecycle(t *testing.T) {
 		if err := d.Free(id); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := d.Object(id); !errors.Is(err, ErrBadObject) {
+		if _, err := d.Object(id); !errors.Is(err, ErrFreed) {
 			t.Errorf("freed object lookup: %v", err)
 		}
-		if err := d.Free(id); !errors.Is(err, ErrBadObject) {
+		if err := d.Free(id); !errors.Is(err, ErrFreed) {
 			t.Errorf("double free: %v", err)
+		}
+		if _, err := d.Object(ObjID(9999)); !errors.Is(err, ErrBadObject) {
+			t.Errorf("never-allocated lookup: %v", err)
 		}
 	}
 }

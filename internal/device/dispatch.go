@@ -2,6 +2,7 @@ package device
 
 import (
 	"pimeval/internal/cmdstream"
+	"pimeval/internal/fault"
 	"pimeval/internal/isa"
 	"pimeval/internal/perf"
 	"pimeval/internal/stats"
@@ -110,6 +111,14 @@ func (d *Device) lowerRepeatEnd() {
 // (paper Section V-D iii) and scales by the repeat factor.
 func (d *Device) finishExec(ev *Event, cmd isa.Command, shape *Object) {
 	cost := d.arch.CmdCost(cmd, shape.elemsPerCore, shape.activeCores, d.cfg.Module, d.em)
+	if d.eccOn() {
+		// SEC-DED widens every row access by 8 check bits per 64 data
+		// bits; the overhead rides inside the command cost (trace and
+		// stats both see it) and is also tracked separately.
+		ecc := fault.ECCOverhead(cost)
+		cost = cost.Plus(ecc)
+		d.pipe.stats.st.RecordECC(ecc.Scale(float64(d.pipe.repeat)))
+	}
 	ev.Name = cmd.Name()
 	ev.N = cmd.N
 	ev.TraceCost = cost
@@ -125,6 +134,12 @@ func (d *Device) finishExec(ev *Event, cmd isa.Command, shape *Object) {
 // arrive already scaled by the repeat factor; the trace shows the scaled
 // cost with the unscaled byte count, matching the pre-pipeline simulator.
 func (d *Device) finishCopy(ev *Event, name string, n int64, cost perf.Cost, h2d, d2h, d2d int64) {
+	if d.eccOn() {
+		// cost arrives repeat-scaled, so the ECC share is too.
+		ecc := fault.ECCOverhead(cost)
+		cost = cost.Plus(ecc)
+		d.pipe.stats.st.RecordECC(ecc)
+	}
 	ev.Name = name
 	ev.N = n
 	ev.TraceCost = cost

@@ -33,7 +33,13 @@ var aesSbox, aesSboxInv = kernels.AESSbox, kernels.AESSboxInv
 var compareOps = map[isa.Op]bool{isa.OpLt: true, isa.OpGt: true, isa.OpEq: true}
 
 // ExecBinary dispatches an element-wise binary command dst = a op b.
-func (d *Device) ExecBinary(op isa.Op, a, b, dst ObjID) error {
+func (d *Device) ExecBinary(op isa.Op, a, b, dst ObjID) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
 	if !binaryOps[op] {
 		return fmt.Errorf("%w: %v is not an element-wise binary op", ErrBadArgument, op)
 	}
@@ -56,22 +62,32 @@ func (d *Device) ExecBinary(op isa.Op, a, b, dst ObjID) error {
 		// below is the golden semantics the kernels are differentially
 		// tested against (ReferenceEval forces it).
 		if k := kernels.Binary(op, ao.dt); k != nil && !d.cfg.ReferenceEval {
-			d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, bo.data, lo, hi) })
+			err = d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, bo.data, lo, hi) })
 		} else {
-			d.forSpans(do, func(lo, hi int64) {
+			err = d.forSpans(do, func(lo, hi int64) {
 				for i := lo; i < hi; i++ {
 					do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], bo.data[i]))
 				}
 			})
 		}
+		if err != nil {
+			return err
+		}
 	}
+	ferr := d.injectWrite(do, 0, do.n)
 	d.finishExec(ev, isa.Command{Op: op, Type: ao.dt, N: do.n, Inputs: 2, WritesResult: true}, do)
-	return nil
+	return ferr
 }
 
 // ExecScalar dispatches dst = a op scalar, with the scalar broadcast by the
 // controller (one memory-resident input).
-func (d *Device) ExecScalar(op isa.Op, a ObjID, scalar int64, dst ObjID) error {
+func (d *Device) ExecScalar(op isa.Op, a ObjID, scalar int64, dst ObjID) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
 	if !binaryOps[op] {
 		return fmt.Errorf("%w: %v is not an element-wise binary op", ErrBadArgument, op)
 	}
@@ -90,21 +106,31 @@ func (d *Device) ExecScalar(op isa.Op, a ObjID, scalar int64, dst ObjID) error {
 	}
 	if d.cfg.Functional {
 		if k := kernels.Scalar(op, ao.dt); k != nil && !d.cfg.ReferenceEval {
-			d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, s, lo, hi) })
+			err = d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, s, lo, hi) })
 		} else {
-			d.forSpans(do, func(lo, hi int64) {
+			err = d.forSpans(do, func(lo, hi int64) {
 				for i := lo; i < hi; i++ {
 					do.data[i] = do.dt.Truncate(evalBinary(op, ao.dt, ao.data[i], s))
 				}
 			})
 		}
+		if err != nil {
+			return err
+		}
 	}
+	ferr := d.injectWrite(do, 0, do.n)
 	d.finishExec(ev, isa.Command{Op: op, Type: ao.dt, N: do.n, Scalar: s, Inputs: 1, WritesResult: true}, do)
-	return nil
+	return ferr
 }
 
 // ExecUnary dispatches dst = op a (not, abs, popcount).
-func (d *Device) ExecUnary(op isa.Op, a, dst ObjID) error {
+func (d *Device) ExecUnary(op isa.Op, a, dst ObjID) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
 	if !unaryOps[op] {
 		return fmt.Errorf("%w: %v is not a unary op", ErrBadArgument, op)
 	}
@@ -125,22 +151,32 @@ func (d *Device) ExecUnary(op isa.Op, a, dst ObjID) error {
 	}
 	if d.cfg.Functional {
 		if k := kernels.Unary(op, do.dt); k != nil && !d.cfg.ReferenceEval {
-			d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, lo, hi) })
+			err = d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, lo, hi) })
 		} else {
-			d.forSpans(do, func(lo, hi int64) {
+			err = d.forSpans(do, func(lo, hi int64) {
 				for i := lo; i < hi; i++ {
 					do.data[i] = evalUnary(op, do.dt, ao.data[i])
 				}
 			})
 		}
+		if err != nil {
+			return err
+		}
 	}
+	ferr := d.injectWrite(do, 0, do.n)
 	d.finishExec(ev, isa.Command{Op: op, Type: do.dt, N: do.n, Inputs: 1, WritesResult: true}, do)
-	return nil
+	return ferr
 }
 
 // ExecShift dispatches dst = a << amount or a >> amount. Right shifts are
 // arithmetic for signed types and logical for unsigned types.
-func (d *Device) ExecShift(op isa.Op, a ObjID, amount int, dst ObjID) error {
+func (d *Device) ExecShift(op isa.Op, a ObjID, amount int, dst ObjID) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
 	if op != isa.OpShiftL && op != isa.OpShiftR {
 		return fmt.Errorf("%w: %v is not a shift", ErrBadArgument, op)
 	}
@@ -161,21 +197,31 @@ func (d *Device) ExecShift(op isa.Op, a ObjID, amount int, dst ObjID) error {
 	}
 	if d.cfg.Functional {
 		if k := kernels.Shift(op, do.dt); k != nil && !d.cfg.ReferenceEval {
-			d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, amount, lo, hi) })
+			err = d.forSpans(do, func(lo, hi int64) { k(do.data, ao.data, amount, lo, hi) })
 		} else {
-			d.forSpans(do, func(lo, hi int64) {
+			err = d.forSpans(do, func(lo, hi int64) {
 				for i := lo; i < hi; i++ {
 					do.data[i] = evalShift(op, do.dt, ao.data[i], amount)
 				}
 			})
 		}
+		if err != nil {
+			return err
+		}
 	}
+	ferr := d.injectWrite(do, 0, do.n)
 	d.finishExec(ev, isa.Command{Op: op, Type: do.dt, N: do.n, Scalar: int64(amount), Inputs: 1, WritesResult: true}, do)
-	return nil
+	return ferr
 }
 
 // ExecSelect dispatches dst[i] = cond[i] != 0 ? a[i] : b[i].
-func (d *Device) ExecSelect(cond, a, b, dst ObjID) error {
+func (d *Device) ExecSelect(cond, a, b, dst ObjID) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
 	co, err := d.obj(cond)
 	if err != nil {
 		return err
@@ -198,14 +244,24 @@ func (d *Device) ExecSelect(cond, a, b, dst ObjID) error {
 	if d.cfg.Functional {
 		// Type-independent on canonical carriers; the kernel is the
 		// reference semantics, so no ReferenceEval branch exists.
-		d.forSpans(do, func(lo, hi int64) { kernels.Select(do.data, co.data, ao.data, bo.data, lo, hi) })
+		err = d.forSpans(do, func(lo, hi int64) { kernels.Select(do.data, co.data, ao.data, bo.data, lo, hi) })
+		if err != nil {
+			return err
+		}
 	}
+	ferr := d.injectWrite(do, 0, do.n)
 	d.finishExec(ev, isa.Command{Op: isa.OpSelect, Type: do.dt, N: do.n, Inputs: 3, WritesResult: true}, do)
-	return nil
+	return ferr
 }
 
 // Broadcast fills dst with a scalar value.
-func (d *Device) Broadcast(dst ObjID, val int64) error {
+func (d *Device) Broadcast(dst ObjID, val int64) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
 	do, err := d.obj(dst)
 	if err != nil {
 		return err
@@ -220,15 +276,25 @@ func (d *Device) Broadcast(dst ObjID, val int64) error {
 		}
 	}
 	if d.cfg.Functional {
-		d.forSpans(do, func(lo, hi int64) { kernels.Fill(do.data, v, lo, hi) })
+		err = d.forSpans(do, func(lo, hi int64) { kernels.Fill(do.data, v, lo, hi) })
+		if err != nil {
+			return err
+		}
 	}
+	ferr := d.injectWrite(do, 0, do.n)
 	d.finishExec(ev, isa.Command{Op: isa.OpBroadcast, Type: do.dt, N: do.n, Scalar: v, Inputs: 0, WritesResult: true}, do)
-	return nil
+	return ferr
 }
 
 // RedSum reduces the object to one int64 sum (no truncation: the paper's
 // reduction accumulates into a wide register).
-func (d *Device) RedSum(a ObjID) (int64, error) {
+func (d *Device) RedSum(a ObjID) (_ int64, err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return 0, err
+	}
 	ao, err := d.obj(a)
 	if err != nil {
 		return 0, err
@@ -241,9 +307,12 @@ func (d *Device) RedSum(a ObjID) (int64, error) {
 		// carriers sum directly (see kernels.Sum): sign-extension gives the
 		// host view for signed types, and a uint64's raw-bit carrier wraps
 		// identically to uint64 addition modulo 2^64.
-		parts := spansCollect(d, ao, func(lo, hi int64) int64 {
+		parts, err := spansCollect(d, ao, func(lo, hi int64) int64 {
 			return kernels.Sum(ao.data, lo, hi)
 		})
+		if err != nil {
+			return 0, err
+		}
 		for _, p := range parts {
 			sum += p
 		}
@@ -262,7 +331,13 @@ func (d *Device) RedSum(a ObjID) (int64, error) {
 
 // RedSumSeg reduces each consecutive segment of segLen elements to one sum,
 // returning n/segLen partial sums (the batched-GEMV building block).
-func (d *Device) RedSumSeg(a ObjID, segLen int64) ([]int64, error) {
+func (d *Device) RedSumSeg(a ObjID, segLen int64) (_ []int64, err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return nil, err
+	}
 	ao, err := d.obj(a)
 	if err != nil {
 		return nil, err
@@ -280,12 +355,15 @@ func (d *Device) RedSumSeg(a ObjID, segLen int64) ([]int64, error) {
 			seg0 int64
 			vals []int64
 		}
-		parts := spansCollect(d, ao, func(lo, hi int64) part {
+		parts, err := spansCollect(d, ao, func(lo, hi int64) part {
 			seg0 := lo / segLen
 			p := part{seg0: seg0, vals: make([]int64, (hi-1)/segLen-seg0+1)}
 			kernels.SumSeg(ao.data, lo, hi, segLen, seg0, p.vals)
 			return p
 		})
+		if err != nil {
+			return nil, err
+		}
 		for _, p := range parts {
 			for k, v := range p.vals {
 				sums[p.seg0+int64(k)] += v

@@ -1,6 +1,10 @@
 package device
 
-import "pimeval/internal/par"
+import (
+	"fmt"
+
+	"pimeval/internal/par"
+)
 
 // Parallel functional execution engine.
 //
@@ -39,18 +43,28 @@ const tasksPerWorker = 4
 
 // forSpans evaluates fn over every span of o across the worker pool. fn must
 // touch only state derivable from its own range; use spansCollect when a
-// per-span partial result needs a deterministic merge.
-func (d *Device) forSpans(o *Object, fn func(lo, hi int64)) {
+// per-span partial result needs a deterministic merge. A non-nil error means
+// the device's context canceled the loop (ErrCanceled, with the context's
+// error wrapped alongside) and the destination holds partial output.
+func (d *Device) forSpans(o *Object, fn func(lo, hi int64)) error {
 	sp := d.res.spans(o, d.workers)
-	par.For(d.workers, len(sp), func(i int) { fn(sp[i].lo, sp[i].hi) })
+	err := par.ForCtx(d.ctx, d.workers, len(sp), func(i int) { fn(sp[i].lo, sp[i].hi) })
+	if err != nil {
+		return fmt.Errorf("%w: functional execution interrupted: %w", ErrCanceled, err)
+	}
+	return nil
 }
 
 // spansCollect evaluates fn over every span of o across the worker pool and
 // returns the per-span results in ascending span order, ready for a
-// deterministic core-order merge.
-func spansCollect[T any](d *Device, o *Object, fn func(lo, hi int64) T) []T {
+// deterministic core-order merge. On a cancellation error the partials are
+// invalid and nil is returned.
+func spansCollect[T any](d *Device, o *Object, fn func(lo, hi int64) T) ([]T, error) {
 	sp := d.res.spans(o, d.workers)
 	parts := make([]T, len(sp))
-	par.For(d.workers, len(sp), func(i int) { parts[i] = fn(sp[i].lo, sp[i].hi) })
-	return parts
+	err := par.ForCtx(d.ctx, d.workers, len(sp), func(i int) { parts[i] = fn(sp[i].lo, sp[i].hi) })
+	if err != nil {
+		return nil, fmt.Errorf("%w: functional execution interrupted: %w", ErrCanceled, err)
+	}
+	return parts, nil
 }

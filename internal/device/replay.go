@@ -22,6 +22,10 @@ func NewFromStream(s *cmdstream.Stream, workers int) (*Device, error) {
 		Module:     s.Header.Module,
 		Functional: s.Header.Functional,
 		Workers:    workers,
+		// Carrying the recorded fault configuration makes replays fault
+		// bit-for-bit identically: injection is keyed by (seed, write
+		// sequence) and the stream fixes the operation order.
+		Faults: s.Header.Faults,
 	})
 }
 

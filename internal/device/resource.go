@@ -36,8 +36,11 @@ type resourceManager struct {
 	geo        dram.Geometry
 	functional bool
 	objs       map[ObjID]*Object
-	nextID     ObjID
-	usedBits   int64
+	// freed remembers released IDs so a double-free or use-after-free is
+	// reported as ErrFreed rather than the generic ErrBadObject.
+	freed    map[ObjID]bool
+	nextID   ObjID
+	usedBits int64
 }
 
 // init prepares an empty object table.
@@ -46,6 +49,7 @@ func (rm *resourceManager) init(arch ArchModel, geo dram.Geometry, functional bo
 	rm.geo = geo
 	rm.functional = functional
 	rm.objs = make(map[ObjID]*Object)
+	rm.freed = make(map[ObjID]bool)
 	rm.nextID = 1
 }
 
@@ -95,13 +99,18 @@ func (rm *resourceManager) free(id ObjID) error {
 	}
 	rm.usedBits -= o.n * int64(o.dt.Bits())
 	delete(rm.objs, id)
+	rm.freed[id] = true
 	return nil
 }
 
-// lookup resolves an object ID.
+// lookup resolves an object ID, distinguishing never-allocated IDs
+// (ErrBadObject) from released ones (ErrFreed).
 func (rm *resourceManager) lookup(id ObjID) (*Object, error) {
 	o := rm.objs[id]
 	if o == nil {
+		if rm.freed[id] {
+			return nil, fmt.Errorf("%w: id %d", ErrFreed, int64(id))
+		}
 		return nil, fmt.Errorf("%w: id %d", ErrBadObject, int64(id))
 	}
 	return o, nil

@@ -130,6 +130,7 @@ func (d *Device) RecordedStream() *cmdstream.Stream {
 			TargetID:   int(d.cfg.Target),
 			Module:     d.cfg.Module,
 			Functional: d.cfg.Functional,
+			Faults:     d.cfg.Faults,
 		},
 		Records: append([]cmdstream.Record(nil), rec.recs...),
 	}

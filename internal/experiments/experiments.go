@@ -42,12 +42,30 @@ func targetLabel(t pim.Target) string {
 // the whole pipeline honors one setting.
 var Workers int
 
+// Faults, when non-nil, enables the fault-injection stage (and optional
+// SEC-DED ECC model) on every experiment run dispatched by this package.
+// cmd/pimsweep and cmd/pimexperiments thread their -faults/-fault-seed
+// flags here, so resilience studies reuse the paper's experiment drivers
+// unchanged. Runs execute through the suite's resilient path when set.
+var Faults *pim.FaultConfig
+
+// Retries bounds the retry budget suite.RunResilient gets per benchmark
+// when Faults is set.
+var Retries = 2
+
 // RunSuite executes every benchmark at paper scale (model-only) on the
-// given target and rank count, returning results in registry order.
+// given target and rank count, returning results in registry order. With
+// Faults set, benchmarks run through the resilient path and degraded
+// partial results are kept rather than aborting the sweep.
 func RunSuite(target pim.Target, ranks int) ([]suite.Result, error) {
 	var out []suite.Result
 	for _, b := range suite.All() {
-		res, err := b.Run(suite.Config{Target: target, Ranks: ranks, Workers: Workers})
+		cfg := suite.Config{Target: target, Ranks: ranks, Workers: Workers, Faults: Faults, Retries: Retries}
+		if Faults != nil {
+			out = append(out, suite.RunResilient(b, cfg))
+			continue
+		}
+		res, err := b.Run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s on %v: %w", b.Info().Name, target, err)
 		}
@@ -186,7 +204,7 @@ func sweepOps(mutate func(*suite.Config, int), params []int) ([]SweepPoint, erro
 	var out []SweepPoint
 	for _, tgt := range pim.AllTargets {
 		for _, p := range params {
-			cfg := pim.Config{Target: tgt, Ranks: 8}
+			cfg := pim.Config{Target: tgt, Ranks: 8, Faults: Faults}
 			sc := suite.Config{Target: tgt, Ranks: 8}
 			mutate(&sc, p)
 			cfg.BanksPerRank = sc.BanksPerRank

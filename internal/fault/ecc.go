@@ -1,0 +1,147 @@
+package fault
+
+import "math/bits"
+
+// SEC-DED (72,64) extended Hamming code, the classic server-DRAM ECC: 64
+// data bits, 7 Hamming check bits, and one overall parity bit per memory
+// word. Single-bit errors are corrected, double-bit errors are detected,
+// and triple-or-worse errors may alias to a miscorrection — exactly the
+// failure surface the injector models.
+//
+// Codeword layout follows the textbook construction: positions 1..71 hold
+// the Hamming code (check bits at the power-of-two positions 1, 2, 4, 8,
+// 16, 32, 64; data bits fill the remaining 64 positions in ascending
+// order), and position 0 holds the overall parity bit that upgrades SEC to
+// SEC-DED.
+
+// CodewordBits is the total codeword width of the (72,64) code.
+const CodewordBits = 72
+
+// eccDataPos maps data bit k (LSB-first) to its codeword position.
+var eccDataPos = func() [64]int {
+	var m [64]int
+	k := 0
+	for pos := 1; pos < CodewordBits; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check bit
+			continue
+		}
+		m[k] = pos
+		k++
+	}
+	return m
+}()
+
+// eccPosData is the reverse map: codeword position to data bit index, or -1
+// for parity positions.
+var eccPosData = func() [CodewordBits]int {
+	var m [CodewordBits]int
+	for i := range m {
+		m[i] = -1
+	}
+	for k, pos := range eccDataPos {
+		m[pos] = k
+	}
+	return m
+}()
+
+// ECCEncode computes the check byte of a 64-bit data word: bits 0..6 are
+// the Hamming check bits for codeword positions 1, 2, 4, 8, 16, 32, 64,
+// and bit 7 is the overall parity over the other 71 codeword bits.
+func ECCEncode(data uint64) uint8 {
+	var syndrome int
+	for k := 0; k < 64; k++ {
+		if data>>uint(k)&1 != 0 {
+			syndrome ^= eccDataPos[k]
+		}
+	}
+	var check uint8
+	for i := 0; i < 7; i++ {
+		if syndrome>>uint(i)&1 != 0 {
+			check |= 1 << uint(i)
+		}
+	}
+	// Overall parity covers positions 1..71: the data bits plus the seven
+	// Hamming check bits just computed.
+	p := bits.OnesCount64(data) + bits.OnesCount8(check&0x7f)
+	if p&1 != 0 {
+		check |= 1 << 7
+	}
+	return check
+}
+
+// ECCStatus is the outcome of decoding one protected word.
+type ECCStatus int
+
+// The decode outcomes.
+const (
+	// ECCOK: the codeword is clean.
+	ECCOK ECCStatus = iota
+	// ECCCorrected: a single-bit error was located and corrected (the
+	// returned data is the original word).
+	ECCCorrected
+	// ECCDetected: a double-bit error was detected; the data is not
+	// recoverable.
+	ECCDetected
+)
+
+// ECCDecode checks a (data, check) pair and corrects a single-bit error.
+// It returns the (possibly corrected) data word and the decode status.
+// Note that three or more raw errors can alias into ECCOK or ECCCorrected
+// with wrong data — silent corruption, which the injector accounts
+// separately.
+func ECCDecode(data uint64, check uint8) (uint64, ECCStatus) {
+	var syndrome int
+	for k := 0; k < 64; k++ {
+		if data>>uint(k)&1 != 0 {
+			syndrome ^= eccDataPos[k]
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if check>>uint(i)&1 != 0 {
+			syndrome ^= 1 << uint(i)
+		}
+	}
+	// Recompute overall parity across all 72 bits; a clean or double-error
+	// codeword has even parity, a single error odd parity.
+	p := bits.OnesCount64(data) + bits.OnesCount8(check)
+	odd := p&1 != 0
+
+	switch {
+	case syndrome == 0 && !odd:
+		return data, ECCOK
+	case odd:
+		// Single-bit error. syndrome == 0 means the overall parity bit
+		// itself flipped; a parity-position syndrome means a check bit
+		// flipped; otherwise a data bit flipped and is corrected here.
+		if syndrome == 0 || syndrome >= CodewordBits {
+			if syndrome >= CodewordBits {
+				// Aliased multi-bit error pointing outside the codeword.
+				return data, ECCDetected
+			}
+			return data, ECCCorrected
+		}
+		if k := eccPosData[syndrome]; k >= 0 {
+			data ^= 1 << uint(k)
+		}
+		return data, ECCCorrected
+	default:
+		// Even parity with a non-zero syndrome: double-bit error.
+		return data, ECCDetected
+	}
+}
+
+// FlipCodewordBit flips one bit of a (data, check) codeword by codeword
+// position: position 0 is the overall parity bit, power-of-two positions
+// 1..64 are Hamming check bits, and the rest are data bits. Used by the
+// round-trip tests and the fuzz target to exercise check-bit errors.
+func FlipCodewordBit(data uint64, check uint8, pos int) (uint64, uint8) {
+	switch {
+	case pos == 0:
+		return data, check ^ (1 << 7)
+	case pos > 0 && pos < CodewordBits && pos&(pos-1) == 0:
+		return data, check ^ (1 << uint(bits.TrailingZeros(uint(pos))))
+	case pos > 0 && pos < CodewordBits:
+		return data ^ (1 << uint(eccPosData[pos])), check
+	}
+	return data, check
+}

@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestECCCleanRoundTrip: an unperturbed codeword decodes clean.
+func TestECCCleanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	words := []uint64{0, ^uint64(0), 1, 1 << 63, 0xdeadbeefcafef00d}
+	for i := 0; i < 64; i++ {
+		words = append(words, rng.Uint64())
+	}
+	for _, w := range words {
+		check := ECCEncode(w)
+		got, status := ECCDecode(w, check)
+		if status != ECCOK || got != w {
+			t.Fatalf("clean decode of %#x: got %#x, status %v", w, got, status)
+		}
+	}
+}
+
+// TestECCSingleBitCorrection: every possible single-bit error — in any of
+// the 72 codeword positions — is corrected back to the original data.
+func TestECCSingleBitCorrection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 32; trial++ {
+		w := rng.Uint64()
+		check := ECCEncode(w)
+		for pos := 0; pos < CodewordBits; pos++ {
+			d, c := FlipCodewordBit(w, check, pos)
+			got, status := ECCDecode(d, c)
+			if status != ECCCorrected {
+				t.Fatalf("word %#x, flip pos %d: status %v, want corrected", w, pos, status)
+			}
+			if got != w {
+				t.Fatalf("word %#x, flip pos %d: corrected to %#x", w, pos, got)
+			}
+		}
+	}
+}
+
+// TestECCDoubleBitDetection: every distinct pair of flipped codeword bits
+// is detected as uncorrectable and never silently "corrected".
+func TestECCDoubleBitDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		w := rng.Uint64()
+		check := ECCEncode(w)
+		for p1 := 0; p1 < CodewordBits; p1++ {
+			for p2 := p1 + 1; p2 < CodewordBits; p2++ {
+				d, c := FlipCodewordBit(w, check, p1)
+				d, c = FlipCodewordBit(d, c, p2)
+				_, status := ECCDecode(d, c)
+				if status != ECCDetected {
+					t.Fatalf("word %#x, flips (%d,%d): status %v, want detected", w, p1, p2, status)
+				}
+			}
+		}
+	}
+}
+
+// FuzzECC is the round-trip fuzz target: encode, flip up to two codeword
+// bits, decode — a single flip must be corrected to the original word, a
+// double flip must be detected, and a clean word must pass through.
+func FuzzECC(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0), uint8(0))
+	f.Add(^uint64(0), uint8(1), uint8(0), uint8(71))
+	f.Add(uint64(0xdeadbeef), uint8(2), uint8(3), uint8(64))
+	f.Add(uint64(1)<<63, uint8(2), uint8(70), uint8(70))
+	f.Fuzz(func(t *testing.T, word uint64, nflips, p1, p2 uint8) {
+		n := int(nflips % 3)
+		pos1, pos2 := int(p1)%CodewordBits, int(p2)%CodewordBits
+		if n == 2 && pos1 == pos2 {
+			n = 0 // flipping the same bit twice is a clean codeword
+		}
+		check := ECCEncode(word)
+		d, c := word, check
+		if n >= 1 {
+			d, c = FlipCodewordBit(d, c, pos1)
+		}
+		if n == 2 {
+			d, c = FlipCodewordBit(d, c, pos2)
+		}
+		got, status := ECCDecode(d, c)
+		switch n {
+		case 0:
+			if status != ECCOK || got != word {
+				t.Fatalf("clean: got %#x status %v, want %#x ok", got, status, word)
+			}
+		case 1:
+			if status != ECCCorrected || got != word {
+				t.Fatalf("single flip at %d: got %#x status %v, want %#x corrected",
+					pos1, got, status, word)
+			}
+		case 2:
+			if status != ECCDetected {
+				t.Fatalf("double flip at (%d,%d): status %v, want detected", pos1, pos2, status)
+			}
+		}
+	})
+}

@@ -11,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,35 @@ func Resolve(workers int) int {
 		return 1
 	}
 	return workers
+}
+
+// ForCtx runs fn(i) for every i in [0, n) like For, but stops handing out
+// new indices once ctx is canceled or its deadline passes, and returns the
+// context's error. Tasks already claimed run to completion (fn is never
+// interrupted mid-element), so on a nil error every index was executed and
+// on a non-nil error the caller must treat any partially written output as
+// invalid. A nil ctx or a context that can never be canceled delegates to
+// For with no per-task overhead.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		For(workers, n, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var canceled atomic.Bool
+	For(workers, n, func(i int) {
+		if canceled.Load() {
+			return
+		}
+		if ctx.Err() != nil {
+			canceled.Store(true)
+			return
+		}
+		fn(i)
+	})
+	return ctx.Err()
 }
 
 // For runs fn(i) for every i in [0, n), dispatching indices across at most

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -47,6 +49,61 @@ func TestForEmptyAndNegative(t *testing.T) {
 	For(4, -1, func(int) { ran = true })
 	if ran {
 		t.Error("For ran tasks for n <= 0")
+	}
+}
+
+func TestForCtxNilContextRunsEverything(t *testing.T) {
+	const n = 500
+	var hits [n]atomic.Int32
+	if err := ForCtx(nil, 4, n, func(i int) { hits[i].Add(1) }); err != nil {
+		t.Fatalf("ForCtx(nil ctx): %v", err)
+	}
+	for i := range hits {
+		if c := hits[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForCtxBackgroundIsUncancelable(t *testing.T) {
+	// context.Background has a nil Done channel, so ForCtx must take the
+	// zero-overhead path and still cover every index.
+	var count atomic.Int32
+	if err := ForCtx(context.Background(), 3, 100, func(int) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Errorf("ran %d of 100 tasks", count.Load())
+	}
+}
+
+func TestForCtxPreCanceledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForCtx(ctx, 4, 100, func(int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("pre-canceled ForCtx ran tasks")
+	}
+}
+
+func TestForCtxCancelMidRunStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int32
+	const n = 100000
+	err := ForCtx(ctx, 4, n, func(i int) {
+		if count.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if c := count.Load(); c >= n {
+		t.Errorf("all %d tasks ran despite cancellation", c)
 	}
 }
 

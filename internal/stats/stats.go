@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pimeval/internal/fault"
 	"pimeval/internal/perf"
 )
 
@@ -47,6 +48,12 @@ type Stats struct {
 	host   perf.Cost
 	// opCount tracks Figure-8 operation-category frequencies.
 	opCount map[string]int64
+	// faults accumulates the fault-injection and ECC outcome counters.
+	faults fault.Counts
+	// ecc is the SEC-DED check-bit maintenance overhead folded into the
+	// command and copy costs, tracked separately so resilience studies
+	// can report the ECC tax.
+	ecc perf.Cost
 }
 
 // New returns an empty statistics collector.
@@ -80,6 +87,20 @@ func (s *Stats) RecordCopy(h2d, d2h, d2d int64, cost perf.Cost) {
 // RecordHost adds a host-executed phase.
 func (s *Stats) RecordHost(cost perf.Cost) { s.host = s.host.Plus(cost) }
 
+// RecordFaults accumulates one operation's fault-stage outcome.
+func (s *Stats) RecordFaults(c fault.Counts) { s.faults.Add(c) }
+
+// RecordECC accumulates ECC overhead already charged inside a command or
+// copy cost.
+func (s *Stats) RecordECC(c perf.Cost) { s.ecc = s.ecc.Plus(c) }
+
+// Faults returns the accumulated fault and ECC counters.
+func (s *Stats) Faults() fault.Counts { return s.faults }
+
+// ECCOverhead returns the accumulated SEC-DED maintenance cost (a subset of
+// the kernel and copy costs, not an addition to them).
+func (s *Stats) ECCOverhead() perf.Cost { return s.ecc }
+
 // Merge folds o's counters into s: per-command counts and costs add
 // component-wise by command name, as do the operation-category counts, copy
 // traffic, and host cost. Each key accumulates independently, so merging a
@@ -104,6 +125,8 @@ func (s *Stats) Merge(o *Stats) {
 	s.copies.DeviceToDeviceBytes += o.copies.DeviceToDeviceBytes
 	s.copies.Cost = s.copies.Cost.Plus(o.copies.Cost)
 	s.host = s.host.Plus(o.host)
+	s.faults.Add(o.faults)
+	s.ecc = s.ecc.Plus(o.ecc)
 }
 
 // Clone returns an independent deep copy of the collector.
@@ -119,6 +142,8 @@ func (s *Stats) Reset() {
 	s.opCount = make(map[string]int64)
 	s.copies = CopyStats{}
 	s.host = perf.Cost{}
+	s.faults = fault.Counts{}
+	s.ecc = perf.Cost{}
 }
 
 // Copies returns the copy traffic summary.
@@ -228,6 +253,17 @@ func (s *Stats) Report(header string) string {
 	fmt.Fprintf(&b, "  %-14s: %8d %22f %30f\n", "TOTAL -----", total.Count, total.Cost.TimeMS(), total.Cost.EnergyMJ())
 	if s.host.TimeNS > 0 {
 		fmt.Fprintf(&b, "  Host elapsed   : %f ms, %f mJ\n", s.host.TimeMS(), s.host.EnergyMJ())
+	}
+	if s.faults.Any() || s.ecc != (perf.Cost{}) {
+		fmt.Fprintln(&b)
+		fmt.Fprintln(&b, "Fault / ECC Stats:")
+		f := s.faults
+		fmt.Fprintf(&b, "  Transient flips  : %d (stuck-at %d, failed-core words %d)\n",
+			f.TransientFlips, f.StuckFaults, f.FailedWords)
+		fmt.Fprintf(&b, "  ECC corrected    : %d words, detected uncorrectable %d, silent %d\n",
+			f.Corrected, f.Detected, f.Silent)
+		fmt.Fprintf(&b, "  ECC overhead     : %f ms, %f mJ (included above)\n",
+			s.ecc.TimeMS(), s.ecc.EnergyMJ())
 	}
 	fmt.Fprintln(&b, line)
 	return b.String()

@@ -19,14 +19,38 @@
 package pim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"pimeval/internal/device"
 	"pimeval/internal/dram"
+	"pimeval/internal/fault"
 	"pimeval/internal/hostmodel"
 	"pimeval/internal/isa"
 )
+
+// Sentinel errors of the PIM API. Every error returned by a Device wraps
+// exactly one of these; match with errors.Is. ErrCanceled additionally wraps
+// the context's own error (context.Canceled or context.DeadlineExceeded).
+var (
+	ErrOutOfMemory   = device.ErrOutOfMemory   // PIM memory capacity exceeded
+	ErrBadObject     = device.ErrBadObject     // unknown object handle
+	ErrFreed         = device.ErrFreed         // double-free or use-after-free
+	ErrTypeMismatch  = device.ErrShapeMismatch // operand shapes or types differ
+	ErrBadArgument   = device.ErrBadArgument   // invalid argument
+	ErrCanceled      = device.ErrCanceled      // context canceled or deadline passed
+	ErrUncorrectable = device.ErrUncorrectable // detected uncorrectable memory error (ECC)
+	ErrPanic         = device.ErrPanic         // panic recovered at the dispatch boundary
+)
+
+// FaultConfig configures the deterministic fault-injection subsystem
+// (Config.Faults). See internal/fault for the field semantics; the zero
+// value injects nothing.
+type FaultConfig = fault.Config
+
+// FaultStats are the accumulated fault-injection and ECC counters.
+type FaultStats = fault.Counts
 
 // Target selects the simulated PIM architecture.
 type Target = device.Target
@@ -104,6 +128,11 @@ type Config struct {
 	// bit-identical either way; the knob exists for differential testing
 	// and kernel before/after benchmarking, and trades wall-clock time only.
 	ReferenceEval bool
+	// Faults enables the seed-driven fault-injection stage and optional
+	// SEC-DED ECC model for resilience studies. A fixed Seed reproduces
+	// identical faults regardless of Workers; nil (the default) leaves the
+	// pipeline byte-identical to a fault-free run.
+	Faults *FaultConfig
 }
 
 // module materializes the dram description for the config.
@@ -149,6 +178,7 @@ func NewDevice(cfg Config) (*Device, error) {
 		Functional:    cfg.Functional,
 		Workers:       cfg.Workers,
 		ReferenceEval: cfg.ReferenceEval,
+		Faults:        cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -168,6 +198,17 @@ func (v *Device) Workers() int { return v.d.Workers() }
 
 // Functional reports whether the device carries real data.
 func (v *Device) Functional() bool { return v.d.Config().Functional }
+
+// SetContext installs a cancellation context on the device: once ctx is
+// canceled or its deadline passes, in-flight functional loops stop early and
+// every subsequent operation fails with an error matching both ErrCanceled
+// and ctx.Err(). Pass nil to remove the hook. The device dispatcher is
+// single-threaded — call between operations, not concurrently with one.
+func (v *Device) SetContext(ctx context.Context) { v.d.SetContext(ctx) }
+
+// FaultStats returns the accumulated fault-injection and ECC counters (zero
+// when Config.Faults is nil).
+func (v *Device) FaultStats() FaultStats { return v.d.Stats().Faults() }
 
 // Alloc allocates a PIM object of n elements (the paper's pimAlloc with
 // PIM_ALLOC_AUTO).
@@ -231,7 +272,8 @@ func CopyFromDevice[T Integer](v *Device, id ObjID, dst []T) error {
 		return nil
 	}
 	if len(dst) != len(vals) {
-		return fmt.Errorf("pim: destination slice length %d, object length %d", len(dst), len(vals))
+		return fmt.Errorf("%w: destination slice length %d, object length %d",
+			ErrTypeMismatch, len(dst), len(vals))
 	}
 	for i, x := range vals {
 		dst[i] = T(x)
