@@ -41,6 +41,13 @@ type Config struct {
 	// Record captures the run's command stream (the cmdstream IR lowered
 	// from every API call) in Result.Stream for serialization or replay.
 	Record bool
+	// Optimize records the run's command stream, rewrites it with the
+	// stream optimizer (all passes), and replays the optimized stream on a
+	// fresh device; the result's metrics, op mix, report, and trace then
+	// come from the optimized replay. Data equivalence is guaranteed by the
+	// optimizer's bit-identity contract (DESIGN.md §12); Result.Optimized
+	// carries the per-pass counters.
+	Optimize bool
 	// Geometry overrides for sensitivity sweeps; 0 = paper defaults.
 	BanksPerRank     int
 	SubarraysPerBank int
@@ -103,6 +110,9 @@ type Result struct {
 	Trace string
 	// Stream holds the recorded command stream when configured with Record.
 	Stream *pim.Stream
+	// Optimized holds the stream optimizer's per-pass counters when the run
+	// was configured with Optimize.
+	Optimized *pim.OptimizeResult
 	// Faults are the device's accumulated fault-injection and ECC counters
 	// (zero for fault-free runs).
 	Faults pim.FaultStats
@@ -276,7 +286,7 @@ func NewRunner(b Benchmark, cfg Config) (*Runner, error) {
 	if cfg.Trace {
 		dev.EnableTrace()
 	}
-	if cfg.Record {
+	if cfg.Record || cfg.Optimize {
 		dev.RecordStream()
 	}
 	r := &Runner{Cfg: cfg, Dev: dev, Size: size}
@@ -294,31 +304,57 @@ func (r *Runner) Finish(b Benchmark, verified bool, cpu, gpu HostCost) Result {
 		r.cancel()
 		r.cancel = nil
 	}
+	var stream *pim.Stream
+	if r.Cfg.Record || r.Cfg.Optimize {
+		stream = r.Dev.RecordedStream()
+	}
+	// With Optimize set, the optimized stream replays on a fresh device and
+	// that replay becomes the statistics source; the live run still did the
+	// work (and the functional verification). A replay failure falls back to
+	// the live statistics and marks the result degraded.
+	statsDev := r.Dev
+	var optRes *pim.OptimizeResult
+	degraded, errMsg := false, ""
+	if r.Cfg.Optimize && stream != nil {
+		opt, res, err := pim.Optimize(stream)
+		if err == nil {
+			var rdev *pim.Device
+			if rdev, err = pim.Replay(opt, pim.ReplayConfig{Workers: r.Cfg.Workers, Trace: r.Cfg.Trace}); err == nil {
+				statsDev = rdev
+				optRes = &res
+			}
+		}
+		if err != nil {
+			degraded, errMsg = true, "stream optimizer: "+err.Error()
+		}
+	}
+	if !r.Cfg.Record {
+		stream = nil
+	}
 	report, trace := "", ""
 	if r.Cfg.EmitReport {
-		report = r.Dev.Report()
+		report = statsDev.Report()
 	}
 	if r.Cfg.Trace {
-		trace = r.Dev.TraceString()
-	}
-	var stream *pim.Stream
-	if r.Cfg.Record {
-		stream = r.Dev.RecordedStream()
+		trace = statsDev.TraceString()
 	}
 	return Result{
 		Report:          report,
 		Trace:           trace,
 		Stream:          stream,
+		Optimized:       optRes,
 		Benchmark:       b.Info().Name,
 		Target:          r.Cfg.Target,
 		N:               r.Size,
-		Metrics:         r.Dev.Metrics(),
-		OpMix:           r.Dev.OpMix(),
-		Faults:          r.Dev.FaultStats(),
+		Metrics:         statsDev.Metrics(),
+		OpMix:           statsDev.OpMix(),
+		Faults:          statsDev.FaultStats(),
 		CPU:             cpu,
 		GPU:             gpu,
 		Verified:        verified && r.Cfg.Functional,
 		VerifiedSkipped: !r.Cfg.Functional,
+		Degraded:        degraded,
+		Err:             errMsg,
 	}
 }
 

@@ -14,6 +14,14 @@
 //	pimasm -op mul -type int16 -target fulcrum -n 8192 -record mul.stream
 //	pimasm -replay mul.stream
 //
+// The -opt flag runs the stream optimizer (internal/streamopt, all passes)
+// on the command stream — before writing for -record, or after decoding for
+// -replay — and prints the per-pass summary; the optimized stream replays
+// to bit-identical data at equal or lower simulated cost.
+//
+//	pimasm -op add -target fulcrum -record add.stream -opt
+//	pimasm -replay add.stream -opt
+//
 // A -record run can carry the fault-injection stage (-faults, -fault-seed,
 // -ecc): the fault configuration is serialized in the stream header, so a
 // later -replay reproduces the exact same injected faults bit for bit.
@@ -80,6 +88,7 @@ func run(args []string, out io.Writer) error {
 		faultRate  = fs.Float64("faults", 0, "transient bit-flip probability per written bit for -record (serialized into the stream header)")
 		faultSeed  = fs.Int64("fault-seed", 1, "seed driving every fault decision (fixed seed = reproducible faults)")
 		ecc        = fs.Bool("ecc", false, "enable the SEC-DED (72,64) ECC model for -record")
+		optimize   = fs.Bool("opt", false, "run the stream optimizer (all passes) on the command stream before writing (-record) or replaying (-replay)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,7 +98,7 @@ func run(args []string, out io.Writer) error {
 		fcfg = &pim.FaultConfig{Seed: *faultSeed, TransientBitRate: *faultRate, ECC: *ecc}
 	}
 	if *replayPath != "" {
-		return replayStream(out, *replayPath, *workers)
+		return replayStream(out, *replayPath, *workers, *optimize)
 	}
 	op, ok := opsByName[*opName]
 	if !ok {
@@ -104,7 +113,7 @@ func run(args []string, out io.Writer) error {
 		if !ok {
 			return fmt.Errorf("unknown target %q", *targetName)
 		}
-		return recordStream(out, *recordPath, target, op, dt, *imm, *recordN, *workers, fcfg)
+		return recordStream(out, *recordPath, target, op, dt, *imm, *recordN, *workers, fcfg, *optimize)
 	}
 
 	t := dram.DDR4(1).Timing
@@ -183,7 +192,7 @@ var unaryFns = map[isa.Op]func(*pim.Device, pim.ObjID, pim.ObjID) error{
 // recordStream runs the op through the full device API on a one-rank
 // functional device with the command-stream recorder attached, and writes
 // the captured stream to path.
-func recordStream(out io.Writer, path string, target pim.Target, op isa.Op, dt isa.DataType, imm, n int64, workers int, faults *pim.FaultConfig) error {
+func recordStream(out io.Writer, path string, target pim.Target, op isa.Op, dt isa.DataType, imm, n int64, workers int, faults *pim.FaultConfig, optimize bool) error {
 	dev, err := pim.NewDevice(pim.Config{
 		Target: target, Ranks: 1, Functional: true, Workers: workers,
 		Faults: faults,
@@ -240,6 +249,12 @@ func recordStream(out io.Writer, path string, target pim.Target, op isa.Op, dt i
 		return err
 	}
 	s := dev.RecordedStream()
+	if optimize {
+		s, err = optimizeStream(out, s)
+		if err != nil {
+			return err
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -258,7 +273,7 @@ func recordStream(out io.Writer, path string, target pim.Target, op isa.Op, dt i
 
 // replayStream decodes a recorded command stream, replays it on a fresh
 // device built from the stream's header, and prints the device report.
-func replayStream(out io.Writer, path string, workers int) error {
+func replayStream(out io.Writer, path string, workers int, optimize bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -267,6 +282,12 @@ func replayStream(out io.Writer, path string, workers int) error {
 	s, err := pim.DecodeStream(f)
 	if err != nil {
 		return err
+	}
+	if optimize {
+		s, err = optimizeStream(out, s)
+		if err != nil {
+			return err
+		}
 	}
 	dev, err := pim.Replay(s, pim.ReplayConfig{Workers: workers})
 	if err != nil {
@@ -279,6 +300,22 @@ func replayStream(out io.Writer, path string, workers int) error {
 	}
 	fmt.Fprintln(out, dev.Report())
 	return nil
+}
+
+// optimizeStream runs the all-passes stream optimizer and prints its
+// per-pass summary.
+func optimizeStream(out io.Writer, s *pim.Stream) (*pim.Stream, error) {
+	opt, res, err := pim.Optimize(s)
+	if err != nil {
+		return nil, err
+	}
+	if res.Skipped != "" {
+		fmt.Fprintf(out, "optimizer skipped: %s\n", res.Skipped)
+		return opt, nil
+	}
+	fmt.Fprintf(out, "optimized %d -> %d records (%d eliminated, %d hoisted, %d moved, %d fused)\n",
+		len(s.Records), len(opt.Records), res.Eliminated, res.Hoisted, res.Moved, res.Fused)
+	return opt, nil
 }
 
 // operandCount returns how many memory-resident operand regions op's

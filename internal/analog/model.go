@@ -87,6 +87,26 @@ func (m *Model) CmdCost(cmd isa.Command, elemsPerCore int64, activeCores int, mo
 	batches := (elemsPerCore + int64(g.ColsPerRow) - 1) / int64(g.ColsPerRow)
 	bits := cmd.Type.Bits()
 
+	if f := cmd.Fused; f != nil {
+		// Fused two-stage command: TRA computation has no registers to keep
+		// an intermediate in, so the fused cost is exactly the sum of the
+		// stage compositions (countsCost is linear at fixed batches) —
+		// never more than the sequential pair.
+		c1, ok := m.cmdCounts(cmd.Op, cmd.Type, cmd.Scalar, bits)
+		if !ok {
+			return perf.Cost{}
+		}
+		c2, ok := m.cmdCounts(f.Op, cmd.Type, f.Scalar, bits)
+		if !ok {
+			return perf.Cost{}
+		}
+		c := Counts{
+			AAPs: c1.AAPs + c2.AAPs, Nots: c1.Nots + c2.Nots,
+			TRAs: c1.TRAs + c2.TRAs, Sets: c1.Sets + c2.Sets,
+		}
+		return m.countsCost(c, batches, activeCores, mod, em)
+	}
+
 	var c Counts
 	switch cmd.Op {
 	case isa.OpRedSum, isa.OpRedSumSeg:
@@ -118,6 +138,20 @@ func (m *Model) CmdCost(cmd isa.Command, elemsPerCore int64, activeCores int, mo
 		}
 	}
 	return m.countsCost(c, batches, activeCores, mod, em)
+}
+
+// cmdCounts returns the micro-op composition of one element-wise op,
+// applying the same special cases CmdCost uses for ops without a direct
+// microprogram translation (division, the S-box network).
+func (m *Model) cmdCounts(op isa.Op, dt isa.DataType, imm int64, bits int) (Counts, bool) {
+	switch op {
+	case isa.OpSbox, isa.OpSboxInv:
+		return Counts{AAPs: 96, Nots: 16, TRAs: 40}, true
+	case isa.OpDiv:
+		return Counts{AAPs: 40 * bits * bits, Nots: 2 * bits * bits, TRAs: 10 * bits * bits}, true
+	default:
+		return m.counts(op, dt, imm)
+	}
 }
 
 // countsCost converts a micro-op composition into time and energy.

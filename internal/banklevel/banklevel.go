@@ -69,7 +69,17 @@ func (*Model) CmdCost(cmd isa.Command, elemsPerCore int64, activeCores int, mod 
 		lanes = 1
 	}
 	peSteps := float64((elemsPerRow + int64(lanes) - 1) / int64(lanes))
-	peNS := peSteps * peCycles(cmd.Op) * PECycleNS
+	cycles := peCycles(cmd.Op)
+	elemPJ := opEnergyPJ(cmd.Op, bits)
+	if f := cmd.Fused; f != nil {
+		// Fused second stage: both ops run while the lane group is resident
+		// in the PE, so cycles and energy add and the intermediate never
+		// crosses the GDL — one fewer transfer-out/write and read/transfer-in
+		// round than the sequential pair.
+		cycles += peCycles(f.Op)
+		elemPJ += opEnergyPJ(f.Op, bits)
+	}
+	peNS := peSteps * cycles * PECycleNS
 
 	inputs := float64(cmd.Inputs)
 	writes := 0.0
@@ -88,7 +98,7 @@ func (*Model) CmdCost(cmd isa.Command, elemsPerCore int64, activeCores int, mod 
 	perGroupPJ := inputs*(em.RowReadPJ()+em.GDLTransferPJ()) +
 		writes*(em.GDLTransferPJ()+em.RowWritePJ()) +
 		float64(WalkerRows)*float64(g.ColsPerRow)*energy.WalkerLatchPJPerBit +
-		float64(elemsPerRow)*opEnergyPJ(cmd.Op, bits)
+		float64(elemsPerRow)*elemPJ
 
 	cost := perf.Cost{
 		TimeNS:   float64(rowGroups) * perGroupNS,

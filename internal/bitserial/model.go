@@ -120,6 +120,34 @@ func (m *Model) CmdCost(cmd isa.Command, elemsPerCore int64, activeCores int, mo
 		return m.countsCost(c, batches, activeCores, mod, em)
 	}
 
+	if f := cmd.Fused; f != nil {
+		// Fused two-stage command. Bit-serial lanes hold one bit per
+		// register, so the intermediate must still materialize as bit
+		// planes: the fused microprogram (BuildFused) is the concatenation
+		// of the stage programs, and its cost is the scalar-specialized sum
+		// of the stages — exactly the sequential pair, never more
+		// (countsCost is linear in the composition at fixed batches).
+		c1, ok := m.counts(cmd.Op, cmd.Type, cmd.Scalar)
+		if !ok {
+			return perf.Cost{}
+		}
+		if f.Stage1Scalar {
+			c1 = specializeScalar(c1, isa.Command{Op: cmd.Op, Scalar: cmd.Scalar}, bits)
+		}
+		c2, ok := m.counts(f.Op, cmd.Type, f.Scalar)
+		if !ok {
+			return perf.Cost{}
+		}
+		if f.ScalarForm {
+			c2 = specializeScalar(c2, isa.Command{Op: f.Op, Scalar: f.Scalar}, bits)
+		}
+		c := Counts{
+			Reads: c1.Reads + c2.Reads, Writes: c1.Writes + c2.Writes,
+			Logic: c1.Logic + c2.Logic, Moves: c1.Moves + c2.Moves,
+		}
+		return m.countsCost(c, batches, activeCores, mod, em)
+	}
+
 	c, ok := m.counts(cmd.Op, cmd.Type, cmd.Scalar)
 	if !ok {
 		return perf.Cost{}

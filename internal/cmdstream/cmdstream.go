@@ -58,6 +58,11 @@ const (
 	FormBroadcast Form = "broadcast"  // dst = imm everywhere
 	FormRedSum    Form = "redsum"     // full reduction (Result)
 	FormRedSumSeg Form = "redsum.seg" // segmented reduction (Results)
+	// FormFused is a two-stage element-wise command produced by the stream
+	// optimizer (internal/streamopt): stage 1 is Form1/Op (binary or scalar),
+	// stage 2 is Form2/Op2 (unary, scalar, or — when stage 1 is scalar — a
+	// binary consuming B), and only the final result is written to Dst.
+	FormFused Form = "fused"
 )
 
 // Record is one self-contained IR record. Only the fields relevant to the
@@ -83,6 +88,14 @@ type Record struct {
 	Scalar int64  `json:"scalar,omitempty"` // immediate operand / broadcast value
 	Amount int    `json:"amount,omitempty"` // shift distance
 	SegLen int64  `json:"seglen,omitempty"` // segment length (redsum.seg)
+
+	// Fused-command stages (Form == FormFused). Stage 1 reads A (and B when
+	// Form1 is binary) applying Op/Scalar; stage 2 applies Op2/Scalar2 to the
+	// intermediate (and B when Form2 is binary, which requires Form1 scalar).
+	Form1   Form   `json:"form1,omitempty"`
+	Form2   Form   `json:"form2,omitempty"`
+	Op2     string `json:"op2,omitempty"`
+	Scalar2 int64  `json:"scalar2,omitempty"`
 
 	// Device-to-device copies.
 	Src    int64 `json:"src,omitempty"`
@@ -116,6 +129,12 @@ type Header struct {
 	TargetID   int         `json:"target_id"` // architecture enum value
 	Module     dram.Module `json:"module"`
 	Functional bool        `json:"functional"`
+	// Optimized lists the streamopt passes applied to this stream, in the
+	// order they ran; empty for a stream exactly as recorded. Replay uses it
+	// to relax the sequential-allocation divergence check: an optimized
+	// stream may have gaps in its ObjID sequence (dead-alloc elimination),
+	// so its allocations replay by explicit ID instead.
+	Optimized []string `json:"optimized,omitempty"`
 	// Faults carries the fault-injection configuration active during
 	// recording. Injection is keyed by (seed, write sequence), so a replay
 	// built from this header reproduces the recorded run's injected data
@@ -154,5 +173,49 @@ func Decode(r io.Reader) (*Stream, error) {
 	if err := s.Header.Faults.Validate(); err != nil {
 		return nil, fmt.Errorf("cmdstream: stream header: %w", err)
 	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	return &s, nil
+}
+
+// knownKinds is the set of record kinds the replayer dispatches.
+var knownKinds = map[Kind]bool{
+	KindAlloc: true, KindFree: true, KindCopyH2D: true, KindCopyD2H: true,
+	KindCopyD2D: true, KindCopyD2DRange: true, KindExec: true, KindHost: true,
+	KindRepeatBegin: true, KindRepeatEnd: true,
+}
+
+// Validate checks the stream's record structure statically: every record
+// kind must be known, and repeat scopes must be balanced, non-nested, and
+// carry a positive factor. Decode runs it so a malformed stream is rejected
+// up front instead of executing a prefix before failing mid-replay; the
+// replayer and optimizer run it for streams constructed in memory.
+func (s *Stream) Validate() error {
+	depth := 0
+	for i := range s.Records {
+		rec := &s.Records[i]
+		if !knownKinds[rec.Kind] {
+			return fmt.Errorf("cmdstream: seq %d: unknown record kind %q", rec.Seq, rec.Kind)
+		}
+		switch rec.Kind {
+		case KindRepeatBegin:
+			if depth != 0 {
+				return fmt.Errorf("cmdstream: seq %d: nested repeat scope", rec.Seq)
+			}
+			if rec.Repeat < 1 {
+				return fmt.Errorf("cmdstream: seq %d: repeat scope with factor %d", rec.Seq, rec.Repeat)
+			}
+			depth++
+		case KindRepeatEnd:
+			if depth == 0 {
+				return fmt.Errorf("cmdstream: seq %d: repeat.end without matching begin", rec.Seq)
+			}
+			depth--
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("cmdstream: unterminated repeat scope (%d unclosed)", depth)
+	}
+	return nil
 }

@@ -150,6 +150,90 @@ func TestReplayMatchesLiveRun(t *testing.T) {
 	_ = liveSum // verified inside Replay against the recorded Result
 }
 
+// TestScopeValidationRejectsNestedBeforeExecution pins down the static
+// validator: a stream whose repeat scopes nest (with frees interleaved
+// between the scope records) must be rejected by Decode AND by Replay
+// before any record executes — previously the replayer discovered the
+// nesting mid-walk, after a prefix of the stream had already run.
+func TestScopeValidationRejectsNestedBeforeExecution(t *testing.T) {
+	s := &cmdstream.Stream{
+		Header: cmdstream.Header{
+			Version: cmdstream.Version, Target: "fulcrum", TargetID: 1,
+			Module: dram.DDR4(1), Functional: true,
+		},
+		Records: []cmdstream.Record{
+			{Seq: 1, Kind: cmdstream.KindAlloc, Obj: 1, Type: "int32", N: 4},
+			{Seq: 2, Kind: cmdstream.KindAlloc, Obj: 2, Type: "int32", N: 4},
+			{Seq: 3, Kind: cmdstream.KindRepeatBegin, Repeat: 2},
+			{Seq: 4, Kind: cmdstream.KindFree, Obj: 1},
+			{Seq: 5, Kind: cmdstream.KindRepeatBegin, Repeat: 3}, // nested
+			{Seq: 6, Kind: cmdstream.KindFree, Obj: 2},
+			{Seq: 7, Kind: cmdstream.KindRepeatEnd},
+			{Seq: 8, Kind: cmdstream.KindRepeatEnd},
+		},
+	}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "nested repeat") {
+		t.Fatalf("Validate: %v, want nested-repeat error", err)
+	}
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cmdstream.Decode(&buf); err == nil || !strings.Contains(err.Error(), "nested repeat") {
+		t.Errorf("Decode: %v, want nested-repeat error", err)
+	}
+	d := newDev(t)
+	if err := cmdstream.Replay(d, s); err == nil || !strings.Contains(err.Error(), "nested repeat") {
+		t.Fatalf("Replay: %v, want nested-repeat error", err)
+	}
+	// Nothing may have executed: the allocs before the malformed scope must
+	// not exist on the device.
+	if err := d.Free(device.ObjID(1)); err == nil {
+		t.Error("replay executed a prefix of a malformed stream")
+	}
+}
+
+// TestSequentialScopesRoundTrip is the legal counterpart: two back-to-back
+// (non-nested) scopes with frees interleaved between them round-trip
+// through encode/decode and replay cleanly.
+func TestSequentialScopesRoundTrip(t *testing.T) {
+	d := newDev(t)
+	d.StartRecording()
+	a, _ := d.Alloc(8, isa.Int32)
+	b, _ := d.Alloc(8, isa.Int32)
+	if err := d.CopyHostToDevice(a, []int64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WithRepeat(3, func() error { return d.ExecScalar(isa.OpAdd, a, 1, b) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WithRepeat(2, func() error { return d.ExecScalar(isa.OpMul, b, 2, b) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	s := d.RecordedStream()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cmdstream.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Errorf("decoded stream differs:\n got %+v\nwant %+v", got, s)
+	}
+	rep := newDev(t)
+	if err := cmdstream.Replay(rep, got); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
 func TestReplayScopeErrors(t *testing.T) {
 	hdr := cmdstream.Header{
 		Version: cmdstream.Version, Target: "fulcrum", TargetID: 1,

@@ -12,6 +12,12 @@ import (
 // dependency on the simulator core.
 type Executor interface {
 	Alloc(n int64, dt isa.DataType) (ObjID, error)
+	// AllocAs allocates an object under an explicit, caller-chosen ID.
+	// Optimized streams replay allocations through it: dead-alloc
+	// elimination leaves gaps in the recorded ID sequence, so the surviving
+	// allocations must land on their recorded IDs rather than the device's
+	// next sequential one.
+	AllocAs(id ObjID, n int64, dt isa.DataType) error
 	Free(id ObjID) error
 	CopyHostToDevice(id ObjID, values []int64) error
 	CopyDeviceToHost(id ObjID) ([]int64, error)
@@ -22,6 +28,7 @@ type Executor interface {
 	ExecUnary(op isa.Op, a, dst ObjID) error
 	ExecShift(op isa.Op, a ObjID, amount int, dst ObjID) error
 	ExecSelect(cond, a, b, dst ObjID) error
+	ExecFused(f Fused) error
 	Broadcast(dst ObjID, val int64) error
 	RedSum(a ObjID) (int64, error)
 	RedSumSeg(a ObjID, segLen int64) ([]int64, error)
@@ -29,18 +36,55 @@ type Executor interface {
 	WithRepeat(n int64, fn func() error) error
 }
 
-// Replay re-executes every record of the stream against x, in order. When
-// the stream was recorded functionally, reduction results are verified
-// against the recorded values — a replay that diverges from the live run
-// fails loudly instead of producing silently different numbers.
+// Fused is the operand bundle for a two-stage fused element-wise command
+// (FormFused records). Stage 1 applies Op1 to A (Form1 binary reads B as the
+// second operand; Form1 scalar uses the immediate S1); stage 2 applies Op2
+// to the intermediate (Form2 unary), with the immediate S2 (Form2 scalar),
+// or with B as the second operand (Form2 binary, legal only when Form1 is
+// scalar so the command still reads at most two memory operands). Only the
+// final result is written to Dst.
+type Fused struct {
+	Form1, Form2 Form
+	Op1, Op2     isa.Op
+	A, B, Dst    ObjID
+	S1, S2       int64
+}
+
+// FusedFromRecord unpacks a FormFused exec record.
+func FusedFromRecord(rec *Record) (Fused, error) {
+	op1, ok := isa.OpByName(rec.Op)
+	if !ok {
+		return Fused{}, fmt.Errorf("unknown op %q", rec.Op)
+	}
+	op2, ok := isa.OpByName(rec.Op2)
+	if !ok {
+		return Fused{}, fmt.Errorf("unknown op %q", rec.Op2)
+	}
+	return Fused{
+		Form1: rec.Form1, Form2: rec.Form2,
+		Op1: op1, Op2: op2,
+		A: ObjID(rec.A), B: ObjID(rec.B), Dst: ObjID(rec.Dst),
+		S1: rec.Scalar, S2: rec.Scalar2,
+	}, nil
+}
+
+// Replay re-executes every record of the stream against x, in order. The
+// stream is validated structurally first, so malformed scope nesting is
+// rejected before any record executes. When the stream was recorded
+// functionally, reduction results are verified against the recorded values —
+// a replay that diverges from the live run fails loudly instead of
+// producing silently different numbers.
 func Replay(x Executor, s *Stream) error {
-	return replay(x, s.Records, s.Header.Functional)
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	return replay(x, s.Records, s.Header.Functional, len(s.Header.Optimized) > 0)
 }
 
 // replay walks one record sequence. Repeat scopes delegate their body back
 // through x.WithRepeat so the executor applies the same charging semantics
 // the live run did.
-func replay(x Executor, recs []Record, verify bool) error {
+func replay(x Executor, recs []Record, verify, optimized bool) error {
 	for i := 0; i < len(recs); i++ {
 		rec := &recs[i]
 		switch rec.Kind {
@@ -60,7 +104,7 @@ func replay(x Executor, recs []Record, verify bool) error {
 			}
 			inner := recs[i+1 : end]
 			if err := x.WithRepeat(rec.Repeat, func() error {
-				return replay(x, inner, verify)
+				return replay(x, inner, verify, optimized)
 			}); err != nil {
 				return err
 			}
@@ -68,7 +112,7 @@ func replay(x Executor, recs []Record, verify bool) error {
 		case KindRepeatEnd:
 			return fmt.Errorf("cmdstream: seq %d: repeat.end without matching begin", rec.Seq)
 		default:
-			if err := replayOne(x, rec, verify); err != nil {
+			if err := replayOne(x, rec, verify, optimized); err != nil {
 				return fmt.Errorf("cmdstream: seq %d (%s): %w", rec.Seq, rec.Kind, err)
 			}
 		}
@@ -77,12 +121,17 @@ func replay(x Executor, recs []Record, verify bool) error {
 }
 
 // replayOne executes a single non-structural record.
-func replayOne(x Executor, rec *Record, verify bool) error {
+func replayOne(x Executor, rec *Record, verify, optimized bool) error {
 	switch rec.Kind {
 	case KindAlloc:
 		dt, ok := isa.TypeByName(rec.Type)
 		if !ok {
 			return fmt.Errorf("unknown data type %q", rec.Type)
+		}
+		if optimized {
+			// Optimized streams may skip dead allocations, leaving gaps in
+			// the recorded ID sequence; allocate under the recorded ID.
+			return x.AllocAs(ObjID(rec.Obj), rec.N, dt)
 		}
 		id, err := x.Alloc(rec.N, dt)
 		if err != nil {
@@ -130,6 +179,12 @@ func replayExec(x Executor, rec *Record, verify bool) error {
 		return x.ExecShift(op, ObjID(rec.A), rec.Amount, ObjID(rec.Dst))
 	case FormSelect:
 		return x.ExecSelect(ObjID(rec.Cond), ObjID(rec.A), ObjID(rec.B), ObjID(rec.Dst))
+	case FormFused:
+		f, err := FusedFromRecord(rec)
+		if err != nil {
+			return err
+		}
+		return x.ExecFused(f)
 	case FormBroadcast:
 		return x.Broadcast(ObjID(rec.Dst), rec.Scalar)
 	case FormRedSum:

@@ -271,6 +271,21 @@ func (d *Device) Alloc(n int64, dt isa.DataType) (ObjID, error) {
 	return obj.id, nil
 }
 
+// AllocAs allocates a PIM object under an explicit ID — the replay path for
+// optimized streams, whose recorded ID sequences may have gaps where dead
+// allocations were eliminated.
+func (d *Device) AllocAs(id ObjID, n int64, dt isa.DataType) error {
+	if err := d.start(); err != nil {
+		return err
+	}
+	obj, err := d.res.allocAt(id, n, dt)
+	if err != nil {
+		return err
+	}
+	d.lowerAlloc(obj)
+	return nil
+}
+
 // AllocAssociated allocates an object with the same shape and core mapping
 // as ref (the paper's pimAllocAssociated), optionally with a different type.
 func (d *Device) AllocAssociated(ref ObjID, dt isa.DataType) (ObjID, error) {

@@ -1,0 +1,166 @@
+package device
+
+import (
+	"fmt"
+
+	"pimeval/internal/cmdstream"
+	"pimeval/internal/isa"
+	"pimeval/internal/kernels"
+)
+
+// fusedUnaryOps is the unary op set legal as a fused second stage. Sbox and
+// its inverse are excluded: they carry an 8-bit-only constraint and have no
+// composed bit-serial program, so the optimizer never emits them fused.
+var fusedUnaryOps = map[isa.Op]bool{
+	isa.OpNot: true, isa.OpAbs: true, isa.OpPopCount: true,
+}
+
+// ExecFused dispatches a two-stage fused element-wise command produced by
+// the stream optimizer: stage 1 (binary or scalar form) feeds stage 2
+// (unary, scalar, or binary form) through an unmaterialized intermediate,
+// and only the final result is written to f.Dst. All operands must share
+// length and element type; f.Dst may alias an input. The command is charged
+// as one dispatch on the architecture model, which on the word-parallel
+// targets is strictly cheaper than the sequential pair (one fewer row-write
+// round) and on the bit-serial targets exactly matches it.
+func (d *Device) ExecFused(f cmdstream.Fused) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
+	if f.Form1 != cmdstream.FormBinary && f.Form1 != cmdstream.FormScalar {
+		return fmt.Errorf("%w: fused stage 1 form %q", ErrBadArgument, f.Form1)
+	}
+	if !binaryOps[f.Op1] {
+		return fmt.Errorf("%w: %v is not an element-wise binary op", ErrBadArgument, f.Op1)
+	}
+	switch f.Form2 {
+	case cmdstream.FormUnary:
+		if !fusedUnaryOps[f.Op2] {
+			return fmt.Errorf("%w: %v is not a fusable unary op", ErrBadArgument, f.Op2)
+		}
+	case cmdstream.FormScalar:
+		if !binaryOps[f.Op2] {
+			return fmt.Errorf("%w: %v is not an element-wise binary op", ErrBadArgument, f.Op2)
+		}
+	case cmdstream.FormBinary:
+		if !binaryOps[f.Op2] {
+			return fmt.Errorf("%w: %v is not an element-wise binary op", ErrBadArgument, f.Op2)
+		}
+		if f.Form1 != cmdstream.FormScalar {
+			return fmt.Errorf("%w: fused binary second stage requires a scalar first stage", ErrBadArgument)
+		}
+	default:
+		return fmt.Errorf("%w: fused stage 2 form %q", ErrBadArgument, f.Form2)
+	}
+	ao, err := d.obj(f.A)
+	if err != nil {
+		return err
+	}
+	do, err := d.obj(f.Dst)
+	if err != nil {
+		return err
+	}
+	// needB: one of the two stages is a true binary and reads f.B.
+	needB := f.Form1 == cmdstream.FormBinary || f.Form2 == cmdstream.FormBinary
+	var bo *Object
+	if needB {
+		if bo, err = d.obj(f.B); err != nil {
+			return err
+		}
+		if bo.n != ao.n || bo.dt != ao.dt {
+			return fmt.Errorf("%w: inputs (%d,%v) vs (%d,%v)", ErrShapeMismatch, ao.n, ao.dt, bo.n, bo.dt)
+		}
+	}
+	if ao.n != do.n || ao.dt != do.dt {
+		return fmt.Errorf("%w: dst (%d,%v) for inputs (%d,%v)", ErrShapeMismatch, do.n, do.dt, ao.n, ao.dt)
+	}
+	dt := ao.dt
+	s1, s2 := dt.Truncate(f.S1), dt.Truncate(f.S2)
+	ev := d.begin(ClassExec)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{
+			Kind: cmdstream.KindExec, Form: cmdstream.FormFused,
+			Form1: f.Form1, Form2: f.Form2,
+			Op: f.Op1.String(), Op2: f.Op2.String(),
+			Type: dt.String(), N: do.n,
+			A: int64(f.A), Dst: int64(f.Dst),
+			Scalar: f.S1, Scalar2: f.S2,
+		}
+		if needB {
+			ev.Record.B = int64(f.B)
+		}
+	}
+	if d.cfg.Functional {
+		if err := d.fusedFunctional(f, ao, bo, do, s1, s2); err != nil {
+			return err
+		}
+	}
+	ferr := d.injectWrite(do, 0, do.n)
+	inputs := 1
+	if needB {
+		inputs = 2
+	}
+	d.finishExec(ev, isa.Command{
+		Op: f.Op1, Type: dt, N: do.n, Scalar: s1,
+		Inputs: inputs, WritesResult: true,
+		Fused: &isa.FusedStage{
+			Op: f.Op2, Scalar: s2,
+			ScalarForm:   f.Form2 == cmdstream.FormScalar,
+			BinaryForm:   f.Form2 == cmdstream.FormBinary,
+			Stage1Scalar: f.Form1 == cmdstream.FormScalar,
+		},
+	}, do)
+	return ferr
+}
+
+// fusedFunctional runs the two stages over every span, resolving one fused
+// kernel per command when available and falling back to the per-element
+// reference composition (the golden semantics, forced by ReferenceEval).
+func (d *Device) fusedFunctional(f cmdstream.Fused, ao, bo, do *Object, s1, s2 int64) error {
+	dt := do.dt
+	if !d.cfg.ReferenceEval {
+		var bk kernels.BinaryKernel
+		var uk kernels.UnaryKernel
+		switch {
+		case f.Form1 == cmdstream.FormBinary && f.Form2 == cmdstream.FormUnary:
+			bk = kernels.FusedBinaryUnary(f.Op1, f.Op2, dt)
+		case f.Form1 == cmdstream.FormBinary && f.Form2 == cmdstream.FormScalar:
+			bk = kernels.FusedBinaryScalar(f.Op1, f.Op2, dt, s2)
+		case f.Form1 == cmdstream.FormScalar && f.Form2 == cmdstream.FormBinary:
+			bk = kernels.FusedScalarBinary(f.Op1, f.Op2, dt, s1)
+		case f.Form1 == cmdstream.FormScalar && f.Form2 == cmdstream.FormScalar:
+			uk = kernels.FusedScalarScalar(f.Op1, f.Op2, dt, s1, s2)
+		case f.Form1 == cmdstream.FormScalar && f.Form2 == cmdstream.FormUnary:
+			uk = kernels.FusedScalarUnary(f.Op1, f.Op2, dt, s1)
+		}
+		if bk != nil {
+			return d.forSpans(do, func(lo, hi int64) { bk(do.data, ao.data, bo.data, lo, hi) })
+		}
+		if uk != nil {
+			return d.forSpans(do, func(lo, hi int64) { uk(do.data, ao.data, lo, hi) })
+		}
+	}
+	// Reference composition: stage 1 through a canonical intermediate,
+	// exactly as the sequential pair of reference evaluators computes it.
+	return d.forSpans(do, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			var t int64
+			if f.Form1 == cmdstream.FormBinary {
+				t = dt.Truncate(evalBinary(f.Op1, dt, ao.data[i], bo.data[i]))
+			} else {
+				t = dt.Truncate(evalBinary(f.Op1, dt, ao.data[i], s1))
+			}
+			switch f.Form2 {
+			case cmdstream.FormUnary:
+				do.data[i] = evalUnary(f.Op2, dt, t)
+			case cmdstream.FormScalar:
+				do.data[i] = dt.Truncate(evalBinary(f.Op2, dt, t, s2))
+			default: // FormBinary
+				do.data[i] = dt.Truncate(evalBinary(f.Op2, dt, t, bo.data[i]))
+			}
+		}
+	})
+}

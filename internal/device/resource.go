@@ -91,6 +91,36 @@ func (rm *resourceManager) alloc(n int64, dt isa.DataType) (*Object, error) {
 	return obj, nil
 }
 
+// allocAt performs one allocation under an explicit, caller-chosen ID. It is
+// the replay path for optimized streams: dead-alloc elimination leaves gaps
+// in the recorded ID sequence, so surviving allocations must land on their
+// recorded IDs. The sequential counter advances past the given ID to keep
+// subsequent plain allocations collision-free.
+func (rm *resourceManager) allocAt(id ObjID, n int64, dt isa.DataType) (*Object, error) {
+	if id <= 0 {
+		return nil, fmt.Errorf("%w: object id %d", ErrBadArgument, int64(id))
+	}
+	if _, ok := rm.objs[id]; ok {
+		return nil, fmt.Errorf("%w: object id %d already allocated", ErrBadArgument, int64(id))
+	}
+	if rm.freed[id] {
+		return nil, fmt.Errorf("%w: object id %d was already freed", ErrBadArgument, int64(id))
+	}
+	obj, err := rm.alloc(n, dt)
+	if err != nil {
+		return nil, err
+	}
+	// Re-home the object from the sequential ID alloc assigned to the
+	// requested one.
+	delete(rm.objs, obj.id)
+	obj.id = id
+	rm.objs[id] = obj
+	if rm.nextID <= id {
+		rm.nextID = id + 1
+	}
+	return obj, nil
+}
+
 // free releases an object and returns its capacity.
 func (rm *resourceManager) free(id ObjID) error {
 	o, err := rm.lookup(id)

@@ -106,7 +106,17 @@ func (*Model) CmdCost(cmd isa.Command, elemsPerCore int64, activeCores int, mod 
 	if cmd.WritesResult {
 		writes = 1
 	}
-	aluNS := float64(elemsPerRow) * aluCycles(cmd.Op, bits) * ALUCycleNS
+	cycles := aluCycles(cmd.Op, bits)
+	elemPJ := opEnergyPJ(cmd.Op, bits)
+	if f := cmd.Fused; f != nil {
+		// Fused second stage: the element stays in the ALU for both ops, so
+		// the cycle and energy terms add while the intermediate's row write
+		// and re-read disappear — the word-parallel fusion win. Inputs
+		// already counts both stages' memory operands.
+		cycles += aluCycles(f.Op, bits)
+		elemPJ += opEnergyPJ(f.Op, bits)
+	}
+	aluNS := float64(elemsPerRow) * cycles * ALUCycleNS
 
 	// The three walkers let the next rows' fetches overlap ALU processing
 	// of the current rows, so a row group costs the slower of the two plus
@@ -119,7 +129,7 @@ func (*Model) CmdCost(cmd isa.Command, elemsPerCore int64, activeCores int, mod 
 	perGroupNS += writes * t.RowWriteNS
 	perGroupPJ := reads*em.RowReadPJ() + writes*em.RowWritePJ() +
 		float64(WalkerRows)*float64(g.ColsPerRow)*energy.WalkerLatchPJPerBit +
-		float64(elemsPerRow)*opEnergyPJ(cmd.Op, bits)
+		float64(elemsPerRow)*elemPJ
 
 	cost := perf.Cost{
 		TimeNS:   float64(rowGroups) * perGroupNS,

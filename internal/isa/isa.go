@@ -259,7 +259,32 @@ type Command struct {
 	// WritesResult reports whether the command materializes an output object
 	// in memory (reductions do not).
 	WritesResult bool
+	// Fused, when non-nil, appends a second element-wise stage applied to
+	// the first stage's result before the single write-back (stream-optimizer
+	// fusion). Inputs then counts the memory operands of both stages.
+	Fused *FusedStage
 }
 
-// Name returns the stats-report mnemonic, e.g. "add.int32".
-func (c Command) Name() string { return c.Op.String() + "." + c.Type.String() }
+// FusedStage describes the second stage of a fused two-stage command, plus
+// the shape of the first (cost models need to know whether stage 1 ran in
+// scalar-broadcast form to specialize its bit-serial microprogram counts).
+type FusedStage struct {
+	Op     Op
+	Scalar int64 // stage-2 immediate (ScalarForm)
+	// Exactly one of ScalarForm/BinaryForm may be set; neither means the
+	// second stage is unary. BinaryForm requires a scalar first stage.
+	ScalarForm bool
+	BinaryForm bool
+	// Stage1Scalar records that the first stage is the scalar-broadcast form
+	// (its immediate is Command.Scalar).
+	Stage1Scalar bool
+}
+
+// Name returns the stats-report mnemonic, e.g. "add.int32"; fused commands
+// join the stage mnemonics, e.g. "mul+add.int32".
+func (c Command) Name() string {
+	if c.Fused != nil {
+		return c.Op.String() + "+" + c.Fused.Op.String() + "." + c.Type.String()
+	}
+	return c.Op.String() + "." + c.Type.String()
+}

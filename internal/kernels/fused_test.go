@@ -1,0 +1,244 @@
+package kernels
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pimeval/internal/isa"
+)
+
+// fusedBinaryOps and fusedUnaryOps are the stage-op universes the stream
+// optimizer can combine (division excluded by the optimizer but legal here;
+// the kernel layer accepts any registered pair).
+var fusedBinaryOps = []isa.Op{
+	isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr,
+	isa.OpXor, isa.OpXnor, isa.OpMin, isa.OpMax, isa.OpLt, isa.OpGt, isa.OpEq,
+}
+var fusedUnaryStageOps = []isa.Op{isa.OpNot, isa.OpAbs, isa.OpPopCount}
+
+// edgeVec builds an edge-heavy canonical operand vector: width extremes,
+// zero, ±1, then seeded randoms, all truncated to dt.
+func edgeVec(dt isa.DataType, n int, seed int64) []int64 {
+	edges := []int64{0, 1, -1, 2, -2}
+	if dt.Signed() {
+		hi := int64(1)<<(dt.Bits()-1) - 1
+		edges = append(edges, hi, -hi-1, hi-1, -hi)
+	} else {
+		edges = append(edges, dt.Truncate(-1), dt.Truncate(-2))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		if i < len(edges) {
+			out[i] = dt.Truncate(edges[i])
+		} else {
+			out[i] = dt.Truncate(rng.Int63())
+		}
+	}
+	return out
+}
+
+// sequentialGolden computes the two-stage result through a materialized
+// int64 intermediate using the registered stage kernels — the definition of
+// what every fused kernel must reproduce bit-for-bit. form1 true = binary
+// stage 1; form2: 0 unary, 1 scalar, 2 binary.
+func sequentialGolden(t *testing.T, op1, op2 isa.Op, dt isa.DataType,
+	form1Binary bool, form2 int, a, b []int64, s1, s2 int64) []int64 {
+	t.Helper()
+	tmp := make([]int64, len(a))
+	dst := make([]int64, len(a))
+	n := int64(len(a))
+	if form1Binary {
+		k := Binary(op1, dt)
+		if k == nil {
+			t.Fatalf("Binary(%v, %v) = nil", op1, dt)
+		}
+		k(tmp, a, b, 0, n)
+	} else {
+		k := Scalar(op1, dt)
+		if k == nil {
+			t.Fatalf("Scalar(%v, %v) = nil", op1, dt)
+		}
+		k(tmp, a, s1, 0, n)
+	}
+	switch form2 {
+	case 0:
+		k := Unary(op2, dt)
+		if k == nil {
+			t.Fatalf("Unary(%v, %v) = nil", op2, dt)
+		}
+		k(dst, tmp, 0, n)
+	case 1:
+		k := Scalar(op2, dt)
+		if k == nil {
+			t.Fatalf("Scalar(%v, %v) = nil", op2, dt)
+		}
+		k(dst, tmp, s2, 0, n)
+	default:
+		k := Binary(op2, dt)
+		if k == nil {
+			t.Fatalf("Binary(%v, %v) = nil", op2, dt)
+		}
+		k(dst, tmp, b, 0, n)
+	}
+	return dst
+}
+
+// TestFusedMatchesSequentialComposition sweeps every fused constructor over
+// every type and a representative op matrix — including the three
+// hand-specialized single-pass kernels (mul+add, add+max, sub+abs) — and
+// requires bit-identity with the sequential stage pair. n spans multiple
+// fusedBlock chunks to exercise the composed kernels' blocking loop.
+func TestFusedMatchesSequentialComposition(t *testing.T) {
+	const n = fusedBlock + 37
+	s1, s2 := int64(3), int64(-5)
+	for _, dt := range allTypes {
+		a := edgeVec(dt, n, 11)
+		b := edgeVec(dt, n, 23)
+		for _, op1 := range fusedBinaryOps {
+			for _, op2 := range fusedUnaryStageOps {
+				if k := FusedBinaryUnary(op1, op2, dt); k != nil {
+					dst := make([]int64, n)
+					k(dst, a, b, 0, n)
+					want := sequentialGolden(t, op1, op2, dt, true, 0, a, b, s1, s2)
+					if !reflect.DeepEqual(dst, want) {
+						t.Errorf("FusedBinaryUnary(%v,%v,%v) diverges", op1, op2, dt)
+					}
+				}
+				if k := FusedScalarUnary(op1, op2, dt, s1); k != nil {
+					dst := make([]int64, n)
+					k(dst, a, 0, n)
+					want := sequentialGolden(t, op1, op2, dt, false, 0, a, b, s1, s2)
+					if !reflect.DeepEqual(dst, want) {
+						t.Errorf("FusedScalarUnary(%v,%v,%v) diverges", op1, op2, dt)
+					}
+				}
+			}
+			for _, op2 := range fusedBinaryOps {
+				if k := FusedBinaryScalar(op1, op2, dt, s2); k != nil {
+					dst := make([]int64, n)
+					k(dst, a, b, 0, n)
+					want := sequentialGolden(t, op1, op2, dt, true, 1, a, b, s1, s2)
+					if !reflect.DeepEqual(dst, want) {
+						t.Errorf("FusedBinaryScalar(%v,%v,%v) diverges", op1, op2, dt)
+					}
+				}
+				if k := FusedScalarBinary(op1, op2, dt, s1); k != nil {
+					dst := make([]int64, n)
+					k(dst, a, b, 0, n)
+					want := sequentialGolden(t, op1, op2, dt, false, 2, a, b, s1, s2)
+					if !reflect.DeepEqual(dst, want) {
+						t.Errorf("FusedScalarBinary(%v,%v,%v) diverges", op1, op2, dt)
+					}
+				}
+				if k := FusedScalarScalar(op1, op2, dt, s1, s2); k != nil {
+					dst := make([]int64, n)
+					k(dst, a, 0, n)
+					want := sequentialGolden(t, op1, op2, dt, false, 1, a, b, s1, s2)
+					if !reflect.DeepEqual(dst, want) {
+						t.Errorf("FusedScalarScalar(%v,%v,%v) diverges", op1, op2, dt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedSpecializedRegistered pins that the hand-specialized single-pass
+// kernels actually resolve through their tables (a table-key typo would
+// silently fall back to the composed form and hide a perf regression).
+func TestFusedSpecializedRegistered(t *testing.T) {
+	for _, dt := range allTypes {
+		if _, ok := fusedScalarBinaryTab[fusedBinKey{isa.OpMul, isa.OpAdd, dt}]; !ok {
+			t.Errorf("scaled-add not registered for %v", dt)
+		}
+		if _, ok := fusedBinaryScalarTab[fusedBinKey{isa.OpAdd, isa.OpMax, dt}]; !ok {
+			t.Errorf("add-max not registered for %v", dt)
+		}
+		wantAbs := dt.Signed()
+		if _, ok := fusedBinaryUnaryTab[fusedBinKey{isa.OpSub, isa.OpAbs, dt}]; ok != wantAbs {
+			t.Errorf("abs-diff registered for %v = %v, want %v", dt, ok, wantAbs)
+		}
+	}
+}
+
+// TestFusedNilForUnregisteredStage pins nil returns when either stage lacks
+// a kernel, so the dispatcher's nil-check fallback is reachable.
+func TestFusedNilForUnregisteredStage(t *testing.T) {
+	if FusedBinaryUnary(isa.OpAdd, isa.OpSbox, isa.Int32) != nil {
+		t.Error("sbox fused for a non-8-bit type")
+	}
+	if FusedBinaryUnary(isa.OpNot, isa.OpAbs, isa.Int32) != nil {
+		t.Error("unary op accepted as fused stage 1")
+	}
+	if FusedScalarScalar(isa.OpAdd, isa.OpAbs, isa.Int32, 0, 0) != nil {
+		t.Error("unary op accepted as fused scalar stage 2")
+	}
+}
+
+// FuzzFusedKernels drives random (op pair, type, shape, immediates, lanes)
+// tuples through the fused constructors and cross-checks the sequential
+// stage composition — the executable form of the bit-identity contract.
+func FuzzFusedKernels(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(2), uint8(0), int64(3), int64(-5), int64(7), int64(-1))
+	f.Add(uint8(2), uint8(0), uint8(0), uint8(2), int64(127), int64(1), int64(-128), int64(255))
+	f.Add(uint8(1), uint8(14), uint8(7), uint8(1), int64(-1), int64(-1), int64(1), int64(0))
+	f.Fuzz(func(t *testing.T, op1b, op2b, dtb, shape uint8, s1, s2, v1, v2 int64) {
+		op1 := fusedBinaryOps[int(op1b)%len(fusedBinaryOps)]
+		dt := allTypes[int(dtb)%len(allTypes)]
+		s1, s2 = dt.Truncate(s1), dt.Truncate(s2)
+		a := edgeVec(dt, 40, v1)
+		b := edgeVec(dt, 40, v2)
+		a[0], b[0] = dt.Truncate(v1), dt.Truncate(v2)
+		n := int64(len(a))
+		dst := make([]int64, n)
+		var want []int64
+		switch shape % 5 {
+		case 0:
+			op2 := fusedUnaryStageOps[int(op2b)%len(fusedUnaryStageOps)]
+			k := FusedBinaryUnary(op1, op2, dt)
+			if k == nil {
+				t.Skip()
+			}
+			k(dst, a, b, 0, n)
+			want = sequentialGolden(t, op1, op2, dt, true, 0, a, b, s1, s2)
+		case 1:
+			op2 := fusedBinaryOps[int(op2b)%len(fusedBinaryOps)]
+			k := FusedBinaryScalar(op1, op2, dt, s2)
+			if k == nil {
+				t.Skip()
+			}
+			k(dst, a, b, 0, n)
+			want = sequentialGolden(t, op1, op2, dt, true, 1, a, b, s1, s2)
+		case 2:
+			op2 := fusedBinaryOps[int(op2b)%len(fusedBinaryOps)]
+			k := FusedScalarBinary(op1, op2, dt, s1)
+			if k == nil {
+				t.Skip()
+			}
+			k(dst, a, b, 0, n)
+			want = sequentialGolden(t, op1, op2, dt, false, 2, a, b, s1, s2)
+		case 3:
+			op2 := fusedBinaryOps[int(op2b)%len(fusedBinaryOps)]
+			k := FusedScalarScalar(op1, op2, dt, s1, s2)
+			if k == nil {
+				t.Skip()
+			}
+			k(dst, a, 0, n)
+			want = sequentialGolden(t, op1, op2, dt, false, 1, a, b, s1, s2)
+		default:
+			op2 := fusedUnaryStageOps[int(op2b)%len(fusedUnaryStageOps)]
+			k := FusedScalarUnary(op1, op2, dt, s1)
+			if k == nil {
+				t.Skip()
+			}
+			k(dst, a, 0, n)
+			want = sequentialGolden(t, op1, op2, dt, false, 0, a, b, s1, s2)
+		}
+		if !reflect.DeepEqual(dst, want) {
+			t.Fatalf("fused diverges from sequential pair (op1=%v dt=%v shape=%d)\n got %v\nwant %v",
+				op1, dt, shape%5, dst, want)
+		}
+	})
+}

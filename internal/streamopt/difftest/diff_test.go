@@ -1,0 +1,323 @@
+// Package difftest is the stream optimizer's differential test battery: it
+// records real suite benchmarks through the public API, replays the stream
+// unoptimized and under every pass combination, and requires the optimizer's
+// bit-identity contract to hold observably — identical device data for every
+// object live at end of stream, simulated latency and energy never above the
+// baseline replay, and exact stat identity whenever a combination changed
+// nothing. Replay itself re-verifies recorded reduction results, so every
+// comparison below runs on top of that built-in functional check.
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	_ "pimeval/benchmarks/all" // register the benchmark suite
+	"pimeval/benchmarks/suite"
+	"pimeval/internal/cmdstream"
+	"pimeval/pim"
+)
+
+// combos enumerates all 16 pass subsets.
+func combos() []pim.OptimizeConfig {
+	out := make([]pim.OptimizeConfig, 0, 16)
+	for m := 0; m < 16; m++ {
+		out = append(out, pim.OptimizeConfig{
+			DeadCode: m&1 != 0,
+			Hoist:    m&2 != 0,
+			Schedule: m&4 != 0,
+			Fuse:     m&8 != 0,
+		})
+	}
+	return out
+}
+
+func comboName(c pim.OptimizeConfig) string {
+	s := ""
+	for _, p := range []struct {
+		on  bool
+		tag string
+	}{{c.DeadCode, "d"}, {c.Hoist, "h"}, {c.Schedule, "s"}, {c.Fuse, "f"}} {
+		if p.on {
+			s += p.tag
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// record runs one benchmark functionally with stream capture and returns
+// its result (Stream non-nil, Verified unless faults corrupt the run).
+func record(t *testing.T, name string, target pim.Target, workers int, faults *pim.FaultConfig) suite.Result {
+	t.Helper()
+	b, err := suite.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(suite.Config{
+		Target:     target,
+		Functional: true,
+		Workers:    workers,
+		Record:     true,
+		Faults:     faults,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if res.Stream == nil || len(res.Stream.Records) == 0 {
+		t.Fatalf("%s: no stream recorded", name)
+	}
+	return res
+}
+
+// liveObjects returns id -> element count for every object still allocated
+// at the end of the stream — the run's observable outputs.
+func liveObjects(s *pim.Stream) map[int64]int64 {
+	live := map[int64]int64{}
+	for _, r := range s.Records {
+		switch r.Kind {
+		case cmdstream.KindAlloc:
+			live[r.Obj] = r.N
+		case cmdstream.KindFree:
+			delete(live, r.Obj)
+		}
+	}
+	return live
+}
+
+// readObjects copies every live object off the device. Callers must capture
+// Metrics first: these reads are device operations and perturb the stats.
+func readObjects(t *testing.T, dev *pim.Device, objs map[int64]int64) map[int64][]int64 {
+	t.Helper()
+	out := make(map[int64][]int64, len(objs))
+	for id, n := range objs {
+		buf := make([]int64, n)
+		if err := pim.CopyFromDevice(dev, pim.ObjID(id), buf); err != nil {
+			t.Fatalf("read obj %d: %v", id, err)
+		}
+		out[id] = buf
+	}
+	return out
+}
+
+// leq is the cost comparison for reordering/fusing combinations: never
+// above baseline beyond float re-association noise.
+func leq(a, b float64) bool { return a <= b*(1+1e-9)+1e-12 }
+
+func metricsBitIdentical(a, b pim.Metrics) bool {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	for i := 0; i < va.NumField(); i++ {
+		fa, fb := va.Field(i), vb.Field(i)
+		if fa.Kind() == reflect.Float64 {
+			if math.Float64bits(fa.Float()) != math.Float64bits(fb.Float()) {
+				return false
+			}
+		} else if fa.Int() != fb.Int() {
+			return false
+		}
+	}
+	return true
+}
+
+// diffStream is the core differential check: baseline replay vs optimized
+// replay of one recorded stream under one pass combination.
+func diffStream(t *testing.T, stream *pim.Stream, cfg pim.OptimizeConfig, workers int) {
+	t.Helper()
+	base, err := pim.Replay(stream, pim.ReplayConfig{Workers: workers})
+	if err != nil {
+		t.Fatalf("baseline replay: %v", err)
+	}
+	baseM := base.Metrics()
+	objs := liveObjects(stream)
+	baseData := readObjects(t, base, objs)
+
+	opt, res, err := pim.OptimizeWith(stream, cfg)
+	if err != nil {
+		t.Fatalf("optimize(%s): %v", comboName(cfg), err)
+	}
+	if res.Skipped != "" {
+		// Fault-gated: the stream must come back untouched and replay to the
+		// exact baseline.
+		if !reflect.DeepEqual(opt.Records, stream.Records) {
+			t.Fatalf("skipped optimization (%s) altered records", res.Skipped)
+		}
+	}
+	optDev, err := pim.Replay(opt, pim.ReplayConfig{Workers: workers})
+	if err != nil {
+		t.Fatalf("optimized replay (%s): %v", comboName(cfg), err)
+	}
+	optM := optDev.Metrics()
+	optData := readObjects(t, optDev, objs)
+
+	// Data: bit-identical, always — the contract has no epsilon here.
+	for id := range objs {
+		if !reflect.DeepEqual(optData[id], baseData[id]) {
+			t.Errorf("%s: object %d data diverged", comboName(cfg), id)
+		}
+	}
+	// Costs: a combination that changed nothing must reproduce the baseline
+	// replay's metrics bit-for-bit; one that did change the stream may only
+	// re-associate float sums, never regress.
+	if !res.Changed() {
+		if !metricsBitIdentical(optM, baseM) {
+			t.Errorf("%s: unchanged stream, metrics diverged\n got %+v\nwant %+v",
+				comboName(cfg), optM, baseM)
+		}
+	} else {
+		if !leq(optM.TotalMS(), baseM.TotalMS()) {
+			t.Errorf("%s: latency regressed: %.9f ms > %.9f ms",
+				comboName(cfg), optM.TotalMS(), baseM.TotalMS())
+		}
+		if !leq(optM.TotalMJ(), baseM.TotalMJ()) {
+			t.Errorf("%s: energy regressed: %.9f mJ > %.9f mJ",
+				comboName(cfg), optM.TotalMJ(), baseM.TotalMJ())
+		}
+	}
+	if t.Failed() {
+		t.Logf("combo %s: %+v", comboName(cfg), res)
+	}
+}
+
+// allBenchmarks is every registered benchmark, Table I plus extensions.
+func allBenchmarks() []suite.Benchmark {
+	return append(suite.All(), suite.Extensions()...)
+}
+
+// TestDifferentialSuiteAllPasses sweeps the entire benchmark suite on every
+// architecture with the full pipeline enabled. In -short mode the sweep
+// drops to one architecture per benchmark, rotating so every target still
+// sees a third of the suite.
+func TestDifferentialSuiteAllPasses(t *testing.T) {
+	all := pim.AllPasses()
+	for i, b := range allBenchmarks() {
+		name := b.Info().Name
+		targets := pim.AllTargets
+		if testing.Short() {
+			targets = pim.AllTargets[i%len(pim.AllTargets) : i%len(pim.AllTargets)+1]
+		}
+		for _, target := range targets {
+			t.Run(fmt.Sprintf("%s/%v", name, target), func(t *testing.T) {
+				live := record(t, name, target, 1, nil)
+				if !live.Verified {
+					t.Fatalf("live run not verified")
+				}
+				diffStream(t, live.Stream, all, 1)
+			})
+		}
+	}
+}
+
+// TestDifferentialPassComboMatrix exhausts all 16 pass combinations over a
+// benchmark subset chosen for shape diversity: axpy (scalar chains, the
+// fusion showcase), vecadd (pure streaming), brightness (scalar clamp
+// chains), histogram (random access + reductions).
+func TestDifferentialPassComboMatrix(t *testing.T) {
+	for _, name := range []string{"axpy", "vecadd", "brightness", "histogram"} {
+		t.Run(name, func(t *testing.T) {
+			live := record(t, name, pim.Fulcrum, 1, nil)
+			if !live.Verified {
+				t.Fatalf("live run not verified")
+			}
+			for _, cfg := range combos() {
+				t.Run(comboName(cfg), func(t *testing.T) {
+					diffStream(t, live.Stream, cfg, 1)
+				})
+			}
+		})
+	}
+}
+
+// TestDifferentialWorkerCounts replays baseline and optimized streams under
+// the parallel functional engine: worker count must be invisible in the
+// data and the modeled costs.
+func TestDifferentialWorkerCounts(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	for _, name := range []string{"vecadd", "kmeans"} {
+		t.Run(name, func(t *testing.T) {
+			live := record(t, name, pim.Fulcrum, workers, nil)
+			if !live.Verified {
+				t.Fatalf("live run not verified")
+			}
+			diffStream(t, live.Stream, pim.AllPasses(), 1)
+			diffStream(t, live.Stream, pim.AllPasses(), workers)
+		})
+	}
+}
+
+// TestDifferentialWithECC proves composition with the ECC model: an
+// ECC-only fault config corrupts nothing, so optimization stays legal and
+// every invariant holds with the SEC-DED overhead in the cost model.
+func TestDifferentialWithECC(t *testing.T) {
+	faults := &pim.FaultConfig{Seed: 42, ECC: true}
+	for _, name := range []string{"vecadd", "histogram"} {
+		t.Run(name, func(t *testing.T) {
+			live := record(t, name, pim.Fulcrum, 1, faults)
+			if !live.Verified {
+				t.Fatalf("live run not verified under ECC-only faults")
+			}
+			diffStream(t, live.Stream, pim.AllPasses(), 1)
+		})
+	}
+}
+
+// TestDifferentialSkipsCorruptingFaults proves composition with fault
+// replay: corrupting fault injection is keyed to the write sequence, so the
+// optimizer must refuse to touch the stream — and the untouched stream must
+// still replay to the exact baseline, faults included.
+func TestDifferentialSkipsCorruptingFaults(t *testing.T) {
+	faults := &pim.FaultConfig{Seed: 7, StuckBits: 4}
+	live := record(t, "vecadd", pim.Fulcrum, 1, faults)
+	_, res, err := pim.Optimize(live.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped == "" {
+		t.Fatal("optimizer did not skip a stream with corrupting fault injection")
+	}
+	if res.Changed() {
+		t.Fatalf("skipped optimization reported changes: %+v", res)
+	}
+	diffStream(t, live.Stream, pim.AllPasses(), 1)
+}
+
+// TestSuiteOptimizeConfig exercises the public suite integration: a run
+// with Config.Optimize reports the optimized replay's metrics, carries the
+// pass counters, and never regresses the recorded baseline run.
+func TestSuiteOptimizeConfig(t *testing.T) {
+	b, err := suite.ByName("axpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := b.Run(suite.Config{Target: pim.Fulcrum, Functional: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized, err := b.Run(suite.Config{Target: pim.Fulcrum, Functional: true, Workers: 1, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.Degraded {
+		t.Fatalf("optimized run degraded: %s", optimized.Err)
+	}
+	if !optimized.Verified {
+		t.Fatal("optimized run lost functional verification")
+	}
+	if optimized.Optimized == nil {
+		t.Fatal("Result.Optimized not populated")
+	}
+	if !optimized.Optimized.Changed() {
+		t.Fatalf("optimizer found nothing in axpy: %+v", *optimized.Optimized)
+	}
+	if !leq(optimized.Metrics.TotalMS(), plain.Metrics.TotalMS()) ||
+		!leq(optimized.Metrics.TotalMJ(), plain.Metrics.TotalMJ()) {
+		t.Errorf("optimized metrics regressed: %+v vs %+v", optimized.Metrics, plain.Metrics)
+	}
+}

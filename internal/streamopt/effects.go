@@ -1,0 +1,112 @@
+package streamopt
+
+import "pimeval/internal/cmdstream"
+
+// recEffects is the def-use analysis every pass is built on. It returns the
+// objects whose current value rec reads (uses), the objects rec writes
+// (defs), and whether the write is partial — a partial def leaves the
+// destination's prior contents observable, so it never kills liveness and
+// never licenses reordering across a reader.
+//
+// Object IDs are the whole aliasing story: IR records reference whole
+// objects, and distinct IDs never overlap in device memory. Free is modeled
+// as use+def of its object so nothing commutes across the end of a
+// lifetime; structural records (host, repeat.begin/end) have no effects and
+// are handled as barriers by the passes themselves.
+func recEffects(rec *cmdstream.Record) (uses, defs []int64, partial bool) {
+	switch rec.Kind {
+	case cmdstream.KindAlloc:
+		// Allocation zero-fills: a full definition of the new object.
+		return nil, []int64{rec.Obj}, false
+	case cmdstream.KindFree:
+		return []int64{rec.Obj}, []int64{rec.Obj}, true
+	case cmdstream.KindCopyH2D:
+		return nil, []int64{rec.Obj}, false
+	case cmdstream.KindCopyD2H:
+		return []int64{rec.Obj}, nil, false
+	case cmdstream.KindCopyD2D:
+		// Same-size copy or tiling broadcast: dst is fully overwritten
+		// either way.
+		return []int64{rec.Src}, []int64{rec.Dst}, false
+	case cmdstream.KindCopyD2DRange:
+		// Only [DstOff, DstOff+N) is rewritten; the rest of dst survives.
+		return []int64{rec.Src, rec.Dst}, []int64{rec.Dst}, true
+	case cmdstream.KindExec:
+		switch rec.Form {
+		case cmdstream.FormBinary:
+			return []int64{rec.A, rec.B}, []int64{rec.Dst}, false
+		case cmdstream.FormScalar, cmdstream.FormUnary, cmdstream.FormShift:
+			return []int64{rec.A}, []int64{rec.Dst}, false
+		case cmdstream.FormSelect:
+			return []int64{rec.Cond, rec.A, rec.B}, []int64{rec.Dst}, false
+		case cmdstream.FormBroadcast:
+			return nil, []int64{rec.Dst}, false
+		case cmdstream.FormRedSum, cmdstream.FormRedSumSeg:
+			return []int64{rec.A}, nil, false
+		case cmdstream.FormFused:
+			if rec.Form1 == cmdstream.FormBinary || rec.Form2 == cmdstream.FormBinary {
+				return []int64{rec.A, rec.B}, []int64{rec.Dst}, false
+			}
+			return []int64{rec.A}, []int64{rec.Dst}, false
+		}
+	}
+	return nil, nil, false
+}
+
+// removableStore reports whether rec is a pure store: a record whose only
+// observable effect is writing its destination object, making it dead code
+// when nothing reads that destination again. Reductions and d2h copies
+// surface values to the host and are never removable; alloc and free are
+// lifetime events swept separately.
+func removableStore(rec *cmdstream.Record) bool {
+	switch rec.Kind {
+	case cmdstream.KindCopyH2D, cmdstream.KindCopyD2D, cmdstream.KindCopyD2DRange:
+		return true
+	case cmdstream.KindExec:
+		switch rec.Form {
+		case cmdstream.FormBinary, cmdstream.FormScalar, cmdstream.FormUnary,
+			cmdstream.FormShift, cmdstream.FormSelect, cmdstream.FormBroadcast,
+			cmdstream.FormFused:
+			return true
+		}
+	}
+	return false
+}
+
+// usesObj reports whether rec reads obj's current value.
+func usesObj(rec *cmdstream.Record, obj int64) bool {
+	uses, _, _ := recEffects(rec)
+	for _, u := range uses {
+		if u == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// deadAfter reports whether obj's value at position from-1 is provably
+// unobservable: scanning forward from `from`, obj is freed or fully
+// overwritten before any record reads it, and it does not survive to the
+// end of the stream (live objects are observable outputs).
+func deadAfter(recs []cmdstream.Record, from int, obj int64) bool {
+	for j := from; j < len(recs); j++ {
+		rec := &recs[j]
+		if rec.Kind == cmdstream.KindFree && rec.Obj == obj {
+			return true
+		}
+		uses, defs, partial := recEffects(rec)
+		for _, u := range uses {
+			if u == obj {
+				return false
+			}
+		}
+		if !partial {
+			for _, d := range defs {
+				if d == obj {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package streamopt
+
+import "pimeval/internal/cmdstream"
+
+// hoist moves loop-invariant records out of repeat scopes. A record inside
+// a repeat.begin/repeat.end pair is charged Repeat times; hoisted ahead of
+// the begin it is charged once, with identical data (replay collapses scope
+// bodies to a single execution, so only the charging changes).
+//
+// Candidates are the immediate-driven exec forms — broadcast and scalar —
+// which is where real streams park their per-iteration constants. A
+// candidate hoists when it is invariant in the strong, real-loop sense:
+//
+//   - no record in the body (including itself) writes any of its inputs;
+//   - nothing before it in the body reads or writes its destination, so
+//     sliding it over the prefix commutes;
+//   - nothing after it in the body writes its destination, so the value it
+//     leaves is the one every later iteration would have seen anyway.
+//
+// The scan iterates to fixpoint per scope: hoisting one record can unblock
+// another behind it.
+func hoist(recs []cmdstream.Record) ([]cmdstream.Record, int) {
+	hoisted := 0
+	for i := 0; i < len(recs); i++ {
+		if recs[i].Kind != cmdstream.KindRepeatBegin {
+			continue
+		}
+		end := i + 1
+		for recs[end].Kind != cmdstream.KindRepeatEnd { // validated: balanced
+			end++
+		}
+		for {
+			j := hoistable(recs, i+1, end)
+			if j < 0 {
+				break
+			}
+			// Rotate recs[i:j+1] right by one: the candidate lands where
+			// begin was, begin and the body prefix shift down.
+			r := recs[j]
+			copy(recs[i+1:j+1], recs[i:j])
+			recs[i] = r
+			i++
+			hoisted++
+		}
+		i = end
+	}
+	return recs, hoisted
+}
+
+// hoistable returns the index of the first hoistable record in the scope
+// body recs[start:end), or -1.
+func hoistable(recs []cmdstream.Record, start, end int) int {
+scan:
+	for j := start; j < end; j++ {
+		rec := &recs[j]
+		if rec.Kind != cmdstream.KindExec ||
+			(rec.Form != cmdstream.FormBroadcast && rec.Form != cmdstream.FormScalar) {
+			continue
+		}
+		uses, defs, _ := recEffects(rec)
+		dst := defs[0]
+		for k := start; k < end; k++ {
+			if recs[k].Kind == cmdstream.KindHost {
+				continue // no data effects; pure cost
+			}
+			kUses, kDefs, _ := recEffects(&recs[k])
+			for _, d := range kDefs {
+				for _, u := range uses {
+					if d == u {
+						continue scan // input written in the body: not invariant
+					}
+				}
+				if d == dst && k != j {
+					continue scan // dst clobbered elsewhere in the body
+				}
+			}
+			if k < j {
+				for _, u := range kUses {
+					if u == dst {
+						continue scan // prefix reads dst: cannot slide over it
+					}
+				}
+			}
+		}
+		return j
+	}
+	return -1
+}

@@ -1,0 +1,171 @@
+package streamopt
+
+import (
+	"container/heap"
+
+	"pimeval/internal/cmdstream"
+)
+
+// schedule reorders provably independent records so consumers follow their
+// producers — def-use chain locality, which is exactly the adjacency the
+// fusion pass needs. Every cost model is stateless (a record's cost does
+// not depend on its neighbors), so reordering is cost-preserving; totals
+// can differ from the baseline only by floating-point re-association of the
+// same per-record terms.
+//
+// Scheduling blocks are delimited by structural barriers that must not
+// move: host records, repeat scope boundaries, and allocation events
+// (alloc/free stay put so the optimized stream's peak-memory profile never
+// exceeds the original's). Within a block, records are topologically
+// ordered by their RAW/WAR/WAW dependences over object IDs, greedily
+// preferring the just-placed record's data successor and falling back to
+// the lowest original index — an unschedulable block comes out untouched.
+func schedule(recs []cmdstream.Record) ([]cmdstream.Record, int) {
+	out := make([]cmdstream.Record, 0, len(recs))
+	moved := 0
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			blk, m := scheduleBlock(recs[start:end])
+			out = append(out, blk...)
+			moved += m
+		}
+	}
+	for i := range recs {
+		switch recs[i].Kind {
+		case cmdstream.KindHost, cmdstream.KindRepeatBegin, cmdstream.KindRepeatEnd,
+			cmdstream.KindAlloc, cmdstream.KindFree:
+			flush(i)
+			out = append(out, recs[i])
+			start = i + 1
+		}
+	}
+	flush(len(recs))
+	return out, moved
+}
+
+// scheduleBlock list-schedules one barrier-free run of records.
+func scheduleBlock(blk []cmdstream.Record) ([]cmdstream.Record, int) {
+	n := len(blk)
+	if n < 3 {
+		return blk, 0
+	}
+
+	// Dependence graph via last-writer / readers-since-write maps: a use
+	// depends on the object's last writer (RAW); a def depends on the last
+	// writer (WAW) and on every reader since (WAR). Duplicate edges are
+	// harmless — indegrees count them symmetrically.
+	uses := make([][]int64, n)
+	defs := make([][]int64, n)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	lastWriter := make(map[int64]int)
+	readers := make(map[int64][]int)
+	addEdge := func(from, to int) {
+		if from != to {
+			adj[from] = append(adj[from], to)
+			indeg[to]++
+		}
+	}
+	for i := range blk {
+		u, d, _ := recEffects(&blk[i])
+		uses[i], defs[i] = u, d
+		for _, x := range u {
+			if w, ok := lastWriter[x]; ok {
+				addEdge(w, i)
+			}
+		}
+		for _, x := range d {
+			if w, ok := lastWriter[x]; ok {
+				addEdge(w, i)
+			}
+			for _, r := range readers[x] {
+				addEdge(r, i)
+			}
+		}
+		for _, x := range d {
+			lastWriter[x] = i
+			readers[x] = nil
+		}
+		for _, x := range u {
+			readers[x] = append(readers[x], i)
+		}
+	}
+
+	ready := &intHeap{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			heap.Push(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	scheduled := make([]bool, n)
+	last := -1
+	for len(order) < n {
+		pick := -1
+		if last >= 0 && blk[last].Kind == cmdstream.KindExec {
+			// Chain preference: the lowest-index ready exec successor reading
+			// a value the just-placed exec produced. Only exec->exec links
+			// are followed — those are the chains fusion can collapse;
+			// chasing copies around would tear other adjacencies apart.
+			for _, s := range adj[last] {
+				if !scheduled[s] && indeg[s] == 0 && blk[s].Kind == cmdstream.KindExec &&
+					readsAny(uses[s], defs[last]) && (pick < 0 || s < pick) {
+					pick = s
+				}
+			}
+		}
+		if pick < 0 {
+			// Chain-picked nodes stay in the heap; skip them lazily.
+			for {
+				pick = heap.Pop(ready).(int)
+				if !scheduled[pick] {
+					break
+				}
+			}
+		}
+		scheduled[pick] = true
+		order = append(order, pick)
+		for _, s := range adj[pick] {
+			if indeg[s]--; indeg[s] == 0 {
+				heap.Push(ready, s)
+			}
+		}
+		last = pick
+	}
+
+	moved := 0
+	outBlk := make([]cmdstream.Record, n)
+	for pos, idx := range order {
+		outBlk[pos] = blk[idx]
+		if idx != pos {
+			moved++
+		}
+	}
+	return outBlk, moved
+}
+
+func readsAny(uses, defs []int64) bool {
+	for _, u := range uses {
+		for _, d := range defs {
+			if u == d {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

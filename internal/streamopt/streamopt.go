@@ -1,0 +1,146 @@
+// Package streamopt is an optimizing pass pipeline over the command-stream
+// IR (internal/cmdstream). It rewrites a recorded stream into a cheaper one
+// that replays to bit-identical data: every live object's final contents and
+// every reduction result are exactly those of the original stream, while the
+// simulated latency and energy never increase (they drop whenever a pass
+// finds work).
+//
+// Four passes run, each independently switchable:
+//
+//   - dead-code elimination: stores (copies, element-wise execs) whose result
+//     is never observed are dropped, then alloc/free pairs of objects nothing
+//     references are swept;
+//   - hoisting: loop-invariant broadcast and scalar execs move out of
+//     repeat.begin/repeat.end scopes, so they are charged once instead of
+//     Repeat times;
+//   - locality scheduling: provably independent records inside a scheduling
+//     block reorder to follow def-use chains, bringing producers next to
+//     their consumers (cost-neutral — the cost model is stateless — but it
+//     feeds the fusion pass);
+//   - fusion: adjacent element-wise pairs where the second record consumes
+//     the first's destination collapse into one two-stage FormFused command,
+//     eliminating the intermediate's write/read round on word-parallel
+//     architectures.
+//
+// Correctness rests on a def-use analysis over object IDs (effects.go): the
+// IR references whole objects, never aliased sub-ranges of different
+// objects, so object identity is the complete aliasing story. The one
+// partial-write case (copy.d2d.range) is modeled as use+def of its
+// destination, which makes it a barrier for every pass.
+package streamopt
+
+import (
+	"pimeval/internal/cmdstream"
+)
+
+// Config selects the passes Optimize runs. The zero value disables
+// everything (Optimize returns an untouched copy); All enables everything.
+type Config struct {
+	DeadCode bool `json:"deadcode"`
+	Hoist    bool `json:"hoist"`
+	Schedule bool `json:"schedule"`
+	Fuse     bool `json:"fuse"`
+}
+
+// All returns a Config with every pass enabled.
+func All() Config {
+	return Config{DeadCode: true, Hoist: true, Schedule: true, Fuse: true}
+}
+
+func (c Config) any() bool { return c.DeadCode || c.Hoist || c.Schedule || c.Fuse }
+
+// names lists the enabled passes in pipeline order; it is what Optimize
+// stamps into Header.Optimized.
+func (c Config) names() []string {
+	var n []string
+	if c.DeadCode {
+		n = append(n, "deadcode")
+	}
+	if c.Hoist {
+		n = append(n, "hoist")
+	}
+	if c.Schedule {
+		n = append(n, "schedule")
+	}
+	if c.Fuse {
+		n = append(n, "fuse")
+	}
+	return n
+}
+
+// Result reports what the pipeline did.
+type Result struct {
+	// Eliminated counts records removed by dead-code elimination (dead
+	// stores plus swept alloc/free pairs, including the cleanup run after
+	// fusion).
+	Eliminated int
+	// Hoisted counts records moved out of repeat scopes.
+	Hoisted int
+	// Moved counts records the scheduler placed at a new position.
+	Moved int
+	// Fused counts record pairs collapsed into FormFused commands.
+	Fused int
+	// Skipped is non-empty when optimization was declined wholesale (the
+	// stream records corrupting fault injection); the returned stream is an
+	// unmodified copy.
+	Skipped string
+}
+
+// Changed reports whether any pass modified the stream.
+func (r Result) Changed() bool {
+	return r.Eliminated+r.Hoisted+r.Moved+r.Fused > 0
+}
+
+// Optimize runs the enabled passes over s and returns a new stream; s is
+// never modified. The pipeline order is deadcode, hoist, schedule, fuse,
+// then (when both are enabled) a second deadcode sweep to collect the
+// temporaries fusion orphans. The returned stream's header carries the
+// enabled pass names in Optimized, switching replay to by-ID allocation.
+//
+// Streams recorded under corrupting fault injection (transient flips, stuck
+// bits, failed cores) are returned untouched: injection is keyed by the
+// per-scope write sequence, so eliding, reordering, or fusing writes would
+// change which faults land where and break replay determinism. ECC-only
+// configurations never alter data and stay fully optimizable.
+func Optimize(s *cmdstream.Stream, cfg Config) (*cmdstream.Stream, Result, error) {
+	var res Result
+	if err := s.Validate(); err != nil {
+		return nil, res, err
+	}
+	out := &cmdstream.Stream{Header: s.Header}
+	out.Records = append([]cmdstream.Record(nil), s.Records...)
+	if !cfg.any() {
+		return out, res, nil
+	}
+	if f := s.Header.Faults; f != nil && (f.TransientBitRate > 0 || f.StuckBits > 0 || f.FailedCores > 0) {
+		res.Skipped = "stream records corrupting fault injection (write-sequence keyed)"
+		return out, res, nil
+	}
+
+	recs := out.Records
+	if cfg.DeadCode {
+		recs, res.Eliminated = deadCode(recs)
+	}
+	if cfg.Hoist {
+		recs, res.Hoisted = hoist(recs)
+	}
+	if cfg.Schedule {
+		recs, res.Moved = schedule(recs)
+	}
+	if cfg.Fuse {
+		recs, res.Fused = fuse(recs)
+		if cfg.DeadCode && res.Fused > 0 {
+			var n int
+			recs, n = deadCode(recs)
+			res.Eliminated += n
+		}
+	}
+	out.Records = recs
+	if res.Changed() {
+		for i := range out.Records {
+			out.Records[i].Seq = int64(i + 1)
+		}
+	}
+	out.Header.Optimized = cfg.names()
+	return out, res, nil
+}

@@ -1,0 +1,446 @@
+package streamopt
+
+import (
+	"reflect"
+	"testing"
+
+	"pimeval/internal/cmdstream"
+	"pimeval/internal/dram"
+	"pimeval/internal/fault"
+)
+
+// Record constructors for hand-written golden streams (n=8, int32).
+
+const goldN = 8
+
+func alloc(id int64) cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindAlloc, Obj: id, N: goldN, Type: "int32"}
+}
+func free(id int64) cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindFree, Obj: id}
+}
+func h2d(id int64) cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindCopyH2D, Obj: id}
+}
+func d2h(id int64) cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindCopyD2H, Obj: id}
+}
+func d2d(src, dst int64) cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindCopyD2D, Src: src, Dst: dst}
+}
+func binRec(op string, a, b, dst int64) cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindExec, Form: cmdstream.FormBinary,
+		Op: op, Type: "int32", N: goldN, A: a, B: b, Dst: dst}
+}
+func scalarRec(op string, a, imm, dst int64) cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindExec, Form: cmdstream.FormScalar,
+		Op: op, Type: "int32", N: goldN, A: a, Scalar: imm, Dst: dst}
+}
+func unaryRec(op string, a, dst int64) cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindExec, Form: cmdstream.FormUnary,
+		Op: op, Type: "int32", N: goldN, A: a, Dst: dst}
+}
+func broadcastRec(dst, imm int64) cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindExec, Form: cmdstream.FormBroadcast,
+		Op: "broadcast", Type: "int32", N: goldN, Dst: dst, Scalar: imm}
+}
+func repeatBegin(n int64) cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindRepeatBegin, Repeat: n}
+}
+func repeatEnd() cmdstream.Record {
+	return cmdstream.Record{Kind: cmdstream.KindRepeatEnd}
+}
+
+func wantRecords(t *testing.T, got, want []cmdstream.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d:\ngot:  %+v\nwant: %+v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		g.Seq, w.Seq = 0, 0 // sequence numbers are renumbered; compare shape
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("record %d:\ngot:  %+v\nwant: %+v", i, g, w)
+		}
+	}
+}
+
+func TestDeadCodeGolden(t *testing.T) {
+	// t (obj 2) is written then freed without a read: the exec and the
+	// alloc/free pair must go. c (obj 3) is overwritten by a copy nothing
+	// reads before the next full overwrite: the first copy must go too.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3),
+		h2d(1),
+		scalarRec("mul", 1, 3, 2), // dead store into t
+		d2d(1, 3),                 // dead: overwritten below before any read
+		d2d(1, 3),
+		free(2),
+		d2h(3),
+	}
+	got, removed := deadCode(recs)
+	want := []cmdstream.Record{
+		alloc(1), alloc(3),
+		h2d(1),
+		d2d(1, 3),
+		d2h(3),
+	}
+	wantRecords(t, got, want)
+	if removed != 4 { // exec, first d2d, alloc(2), free(2)
+		t.Errorf("removed = %d, want 4", removed)
+	}
+}
+
+func TestDeadCodeKeepsLiveAtEnd(t *testing.T) {
+	// Objects still allocated at end-of-stream are observable outputs: the
+	// store into obj 2 must survive even though no record reads it.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2),
+		h2d(1),
+		scalarRec("add", 1, 5, 2),
+	}
+	got, removed := deadCode(recs)
+	wantRecords(t, got, recs)
+	if removed != 0 {
+		t.Errorf("removed = %d, want 0", removed)
+	}
+}
+
+func TestDeadCodeKeepsObservables(t *testing.T) {
+	// Reductions and d2h copies escape to the host and are never removed,
+	// so their inputs stay live.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2),
+		h2d(1),
+		binRec("add", 1, 1, 2),
+		{Kind: cmdstream.KindExec, Form: cmdstream.FormRedSum, Op: "redsum",
+			Type: "int32", N: goldN, A: 2, Result: 42},
+		free(2),
+	}
+	got, removed := deadCode(recs)
+	wantRecords(t, got, recs)
+	if removed != 0 {
+		t.Errorf("removed = %d, want 0", removed)
+	}
+}
+
+func TestFuseGoldenBinaryThenScalar(t *testing.T) {
+	// t = a+b; d = t*3; t freed unread -> one fused record, and the second
+	// deadCode sweep inside Optimize would collect t's alloc/free pair.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3), alloc(4),
+		h2d(1), h2d(2),
+		binRec("add", 1, 2, 3),
+		scalarRec("mul", 3, 3, 4),
+		free(3),
+		d2h(4),
+	}
+	got, fused := fuse(recs)
+	want := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3), alloc(4),
+		h2d(1), h2d(2),
+		{Kind: cmdstream.KindExec, Form: cmdstream.FormFused,
+			Form1: cmdstream.FormBinary, Form2: cmdstream.FormScalar,
+			Op: "add", Op2: "mul", Type: "int32", N: goldN,
+			A: 1, B: 2, Dst: 4, Scalar2: 3},
+		free(3),
+		d2h(4),
+	}
+	wantRecords(t, got, want)
+	if fused != 1 {
+		t.Errorf("fused = %d, want 1", fused)
+	}
+}
+
+func TestFuseGoldenCommutativeSwap(t *testing.T) {
+	// t = a*3; d = b+t (t is the SECOND operand; add commutes) -> AXPY.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3), alloc(4),
+		scalarRec("mul", 1, 3, 3),
+		binRec("add", 2, 3, 4),
+		free(3),
+	}
+	got, fused := fuse(recs)
+	want := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3), alloc(4),
+		{Kind: cmdstream.KindExec, Form: cmdstream.FormFused,
+			Form1: cmdstream.FormScalar, Form2: cmdstream.FormBinary,
+			Op: "mul", Op2: "add", Type: "int32", N: goldN,
+			A: 1, B: 2, Dst: 4, Scalar: 3},
+		free(3),
+	}
+	wantRecords(t, got, want)
+	if fused != 1 {
+		t.Errorf("fused = %d, want 1", fused)
+	}
+}
+
+func TestFuseGoldenBinaryThenUnary(t *testing.T) {
+	// t = a-b; d = |t|, with t overwritten (t == dst): fuses without a
+	// liveness scan.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3),
+		binRec("sub", 1, 2, 3),
+		unaryRec("abs", 3, 3),
+	}
+	got, fused := fuse(recs)
+	want := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3),
+		{Kind: cmdstream.KindExec, Form: cmdstream.FormFused,
+			Form1: cmdstream.FormBinary, Form2: cmdstream.FormUnary,
+			Op: "sub", Op2: "abs", Type: "int32", N: goldN,
+			A: 1, B: 2, Dst: 3},
+	}
+	wantRecords(t, got, want)
+	if fused != 1 {
+		t.Errorf("fused = %d, want 1", fused)
+	}
+}
+
+func TestFuseRejectsObservedIntermediate(t *testing.T) {
+	// The intermediate is read again after the pair: fusing would leave it
+	// holding the wrong value.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3), alloc(4),
+		binRec("add", 1, 2, 3),
+		scalarRec("mul", 3, 3, 4),
+		d2h(3), // t observed
+		free(3),
+	}
+	got, fused := fuse(recs)
+	wantRecords(t, got, recs)
+	if fused != 0 {
+		t.Errorf("fused = %d, want 0", fused)
+	}
+}
+
+func TestFuseRejectsNonCommutativeSwap(t *testing.T) {
+	// d = b-t: the intermediate is the second operand of a non-commutative
+	// op; no legal fused form exists.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3), alloc(4),
+		scalarRec("mul", 1, 3, 3),
+		binRec("sub", 2, 3, 4),
+		free(3),
+	}
+	got, fused := fuse(recs)
+	wantRecords(t, got, recs)
+	if fused != 0 {
+		t.Errorf("fused = %d, want 0", fused)
+	}
+}
+
+func TestHoistGolden(t *testing.T) {
+	// The broadcast is loop-invariant; the add consuming it is not (it
+	// writes obj 3 which it also... no: it reads 1 and 2, writes 3 — but
+	// its input 2 is written in the body by the broadcast, so it stays).
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3),
+		h2d(1),
+		repeatBegin(10),
+		broadcastRec(2, 7),
+		binRec("add", 1, 2, 3),
+		repeatEnd(),
+		d2h(3),
+	}
+	got, hoisted := hoist(recs)
+	want := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3),
+		h2d(1),
+		broadcastRec(2, 7),
+		repeatBegin(10),
+		binRec("add", 1, 2, 3),
+		repeatEnd(),
+		d2h(3),
+	}
+	wantRecords(t, got, want)
+	if hoisted != 1 {
+		t.Errorf("hoisted = %d, want 1", hoisted)
+	}
+}
+
+func TestHoistRejectsVaryingInput(t *testing.T) {
+	// The scalar op's input is rewritten inside the body (by the copy), so
+	// it is not invariant; and the self-incrementing scalar writes its own
+	// input. Neither moves.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3),
+		repeatBegin(4),
+		d2d(3, 1),
+		scalarRec("add", 1, 5, 2), // input 1 written by the d2d
+		scalarRec("add", 2, 1, 2), // writes its own input
+		repeatEnd(),
+		d2h(2),
+	}
+	got, hoisted := hoist(recs)
+	wantRecords(t, got, recs)
+	if hoisted != 0 {
+		t.Errorf("hoisted = %d, want 0", hoisted)
+	}
+}
+
+func TestHoistRejectsClobberedDst(t *testing.T) {
+	// The broadcast's destination is read earlier in the body: hoisting it
+	// over that read would change the value the read observes.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2),
+		repeatBegin(4),
+		binRec("add", 2, 2, 1),
+		broadcastRec(2, 7),
+		repeatEnd(),
+		d2h(1), d2h(2),
+	}
+	got, hoisted := hoist(recs)
+	wantRecords(t, got, recs)
+	if hoisted != 0 {
+		t.Errorf("hoisted = %d, want 0", hoisted)
+	}
+}
+
+func TestScheduleGoldenChains(t *testing.T) {
+	// Two independent producer->consumer chains interleaved; scheduling
+	// brings each consumer next to its producer (fusion adjacency).
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3), alloc(4), alloc(5), alloc(6),
+		binRec("add", 1, 2, 3),
+		binRec("mul", 1, 2, 5),
+		scalarRec("mul", 3, 3, 4),
+		scalarRec("add", 5, 5, 6),
+		d2h(4), d2h(6),
+	}
+	got, moved := schedule(recs)
+	want := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3), alloc(4), alloc(5), alloc(6),
+		binRec("add", 1, 2, 3),
+		scalarRec("mul", 3, 3, 4),
+		binRec("mul", 1, 2, 5),
+		scalarRec("add", 5, 5, 6),
+		d2h(4), d2h(6),
+	}
+	wantRecords(t, got, want)
+	if moved != 2 {
+		t.Errorf("moved = %d, want 2", moved)
+	}
+}
+
+func TestScheduleRespectsDependences(t *testing.T) {
+	// WAR: the second record overwrites an input of the first; WAW: the
+	// last two write the same object. Order must be preserved exactly.
+	recs := []cmdstream.Record{
+		alloc(1), alloc(2), alloc(3),
+		binRec("add", 1, 2, 3),
+		broadcastRec(1, 9), // WAR with the add's read of 1
+		broadcastRec(3, 1), // WAW with the add's write of 3
+		d2h(3),
+	}
+	got, moved := schedule(recs)
+	wantRecords(t, got, recs)
+	if moved != 0 {
+		t.Errorf("moved = %d, want 0", moved)
+	}
+}
+
+func header() cmdstream.Header {
+	return cmdstream.Header{Version: cmdstream.Version, Target: "PIM_DEVICE_FULCRUM",
+		Module: dram.DDR4(1), Functional: true}
+}
+
+func TestOptimizePipeline(t *testing.T) {
+	// The ScaledAdd shape: tmp = x*a; y = y+tmp; free tmp. Scheduling keeps
+	// adjacency, fusion collapses the pair, and the second deadCode sweep
+	// collects tmp's alloc/free.
+	s := &cmdstream.Stream{
+		Header: header(),
+		Records: []cmdstream.Record{
+			alloc(1), alloc(2), alloc(3),
+			h2d(1), h2d(2),
+			scalarRec("mul", 1, 3, 3),
+			binRec("add", 2, 3, 2),
+			free(3),
+			d2h(2),
+		},
+	}
+	opt, res, err := Optimize(s, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cmdstream.Record{
+		alloc(1), alloc(2),
+		h2d(1), h2d(2),
+		{Kind: cmdstream.KindExec, Form: cmdstream.FormFused,
+			Form1: cmdstream.FormScalar, Form2: cmdstream.FormBinary,
+			Op: "mul", Op2: "add", Type: "int32", N: goldN,
+			A: 1, B: 2, Dst: 2, Scalar: 3},
+		d2h(2),
+	}
+	wantRecords(t, opt.Records, want)
+	if res.Fused != 1 || res.Eliminated != 2 {
+		t.Errorf("result = %+v, want 1 fused, 2 eliminated", res)
+	}
+	for i, rec := range opt.Records {
+		if rec.Seq != int64(i+1) {
+			t.Errorf("record %d has seq %d, want %d", i, rec.Seq, i+1)
+		}
+	}
+	if got := opt.Header.Optimized; len(got) != 4 {
+		t.Errorf("header passes = %v, want all four", got)
+	}
+	// The input stream must be untouched.
+	if s.Records[5].Form != cmdstream.FormScalar || len(s.Records) != 9 || s.Header.Optimized != nil {
+		t.Error("Optimize modified its input stream")
+	}
+}
+
+func TestOptimizeNoPassesIsIdentity(t *testing.T) {
+	s := &cmdstream.Stream{Header: header(), Records: []cmdstream.Record{
+		alloc(1), h2d(1), d2h(1),
+	}}
+	opt, res, err := Optimize(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Changed() || res.Skipped != "" {
+		t.Errorf("result = %+v, want untouched", res)
+	}
+	if !reflect.DeepEqual(opt.Records, s.Records) || len(opt.Header.Optimized) != 0 {
+		t.Error("no-pass Optimize altered the stream")
+	}
+}
+
+func TestOptimizeSkipsCorruptingFaults(t *testing.T) {
+	h := header()
+	h.Faults = &fault.Config{Seed: 1, TransientBitRate: 1e-4, ECC: true}
+	s := &cmdstream.Stream{Header: h, Records: []cmdstream.Record{
+		alloc(1), alloc(2), scalarRec("mul", 1, 3, 2), free(2),
+	}}
+	opt, res, err := Optimize(s, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped == "" || res.Changed() {
+		t.Errorf("result = %+v, want skipped and unchanged", res)
+	}
+	if !reflect.DeepEqual(opt.Records, s.Records) || len(opt.Header.Optimized) != 0 {
+		t.Error("corrupting-fault stream was modified")
+	}
+
+	// ECC-only fault configs never alter data: fully optimizable.
+	h.Faults = &fault.Config{Seed: 1, ECC: true}
+	s.Header = h
+	_, res, err = Optimize(s, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != "" || res.Eliminated == 0 {
+		t.Errorf("ECC-only result = %+v, want optimized", res)
+	}
+}
+
+func TestOptimizeRejectsMalformedStream(t *testing.T) {
+	s := &cmdstream.Stream{Header: header(), Records: []cmdstream.Record{
+		repeatBegin(2), repeatBegin(2), repeatEnd(), repeatEnd(),
+	}}
+	if _, _, err := Optimize(s, All()); err == nil {
+		t.Error("nested repeat scopes accepted")
+	}
+}

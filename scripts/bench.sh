@@ -1,21 +1,26 @@
 #!/bin/sh
-# Kernel benchmark runner: measures the specialized element kernels against
-# the golden per-element interpreter and archives the raw results.
+# Benchmark runner: measures the specialized element kernels and the stream
+# optimizer, archiving the raw results.
 #
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [kernels-output.json] [streamopt-output.json]
 #
-# Runs BenchmarkExecKernels (micro kernel-vs-reference loops plus the
+# Step 1 runs BenchmarkExecKernels (micro kernel-vs-reference loops plus the
 # device-level vecadd at each worker count) and BenchmarkBuildCached (compile
-# cache hit vs fresh compilation) with `go test -json`, writing the stream to
-# BENCH_kernels.json by default. The output is JSONL in test2json format: one
-# JSON object per line with Action/Package/Test/Output fields; benchmark
-# measurements appear in the Output field of "output" actions. Summarized
-# numbers live in EXPERIMENTS.md.
+# cache hit vs fresh compilation), writing to BENCH_kernels.json by default.
+# Step 2 runs BenchmarkStreamOptimize (optimizer wall-clock per recorded
+# paper-scale stream, plus sim-speedup / sim-ms-saved / sim-mJ-saved /
+# records-removed custom metrics from the optimized replay) and
+# BenchmarkReplayOptimized (baseline vs optimized replay wall-clock),
+# writing to BENCH_streamopt.json. Both outputs are JSONL in test2json
+# format: one JSON object per line with Action/Package/Test/Output fields;
+# benchmark measurements appear in the Output field of "output" actions.
+# Summarized numbers live in EXPERIMENTS.md.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_kernels.json}"
+sout="${2:-BENCH_streamopt.json}"
 
 echo "==> go test -bench ExecKernels|BuildCached -> $out"
 go test -run='^$' -bench='^(BenchmarkExecKernels|BenchmarkBuildCached)$' \
@@ -24,3 +29,11 @@ go test -run='^$' -bench='^(BenchmarkExecKernels|BenchmarkBuildCached)$' \
 
 echo "==> wrote $out"
 grep -o '"Output":"Benchmark[^"]*ns/op[^"]*' "$out" | sed 's/"Output":"//; s/\\t/\t/g; s/\\n$//' || true
+
+echo "==> go test -bench StreamOptimize|ReplayOptimized -> $sout"
+go test -run='^$' -bench='^(BenchmarkStreamOptimize|BenchmarkReplayOptimized)$' \
+    -benchtime=100x -count=1 -json \
+    ./internal/streamopt/difftest/ >"$sout"
+
+echo "==> wrote $sout"
+grep -o '"Output":"Benchmark[^"]*ns/op[^"]*' "$sout" | sed 's/"Output":"//; s/\\t/\t/g; s/\\n$//' || true

@@ -20,4 +20,7 @@ else
     echo "==> staticcheck not installed; skipping (CI runs it)"
 fi
 
+echo "==> optimizer differential battery (race)"
+go test -race ./internal/streamopt/ ./internal/streamopt/difftest/
+
 echo "OK"
