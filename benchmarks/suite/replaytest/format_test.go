@@ -1,0 +1,85 @@
+package replaytest
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	_ "pimeval/benchmarks/all" // register the benchmark suite
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+// TestBinaryFormatLossless is the cross-suite lossless check for the
+// bit-packed binary encoding: every suite benchmark on every architecture
+// is recorded functionally, encoded to both JSON and binary, and decoded
+// back — the two decodes must agree record for record, and the binary
+// decode must equal the original recording exactly. In -short mode one
+// representative benchmark per architecture runs; the full matrix runs
+// otherwise.
+func TestBinaryFormatLossless(t *testing.T) {
+	type pair struct {
+		name   string
+		target pim.Target
+	}
+	var cases []pair
+	if testing.Short() {
+		cases = []pair{
+			{"vecadd", pim.BitSerial},
+			{"kmeans", pim.Fulcrum},
+			{"gemv", pim.BankLevel},
+		}
+	} else {
+		for _, b := range suite.All() {
+			for _, tgt := range pim.AllTargets {
+				cases = append(cases, pair{b.Info().Name, tgt})
+			}
+		}
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("%s/%v", c.name, c.target), func(t *testing.T) {
+			b, err := suite.ByName(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := b.Run(suite.Config{
+				Target: c.target, Functional: true, Workers: 1, Record: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stream == nil || len(res.Stream.Records) == 0 {
+				t.Fatal("run recorded no stream")
+			}
+
+			var jbuf, bbuf bytes.Buffer
+			if err := res.Stream.Encode(&jbuf); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Stream.EncodeBinary(&bbuf); err != nil {
+				t.Fatal(err)
+			}
+			jsonSize, binSize := jbuf.Len(), bbuf.Len()
+
+			fromJSON, err := pim.DecodeStream(&jbuf)
+			if err != nil {
+				t.Fatalf("JSON decode: %v", err)
+			}
+			fromBin, err := pim.DecodeStream(&bbuf)
+			if err != nil {
+				t.Fatalf("binary decode: %v", err)
+			}
+			if !reflect.DeepEqual(fromBin, res.Stream) {
+				t.Error("binary decode differs from the recorded stream")
+			}
+			if !reflect.DeepEqual(fromJSON, fromBin) {
+				t.Error("JSON and binary decodes disagree")
+			}
+			if binSize >= jsonSize {
+				t.Errorf("binary encoding (%d B) not smaller than JSON (%d B)", binSize, jsonSize)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ package suite
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -41,6 +42,13 @@ type Config struct {
 	// Record captures the run's command stream (the cmdstream IR lowered
 	// from every API call) in Result.Stream for serialization or replay.
 	Record bool
+	// StreamPath, when non-empty, streams the run's command stream to this
+	// file as operations dispatch (the out-of-core recording path: the
+	// trace never materializes in memory). Independent of Record.
+	StreamPath string
+	// StreamFormat selects the StreamPath encoding: "bin" (default,
+	// bit-packed binary) or "json".
+	StreamFormat string
 	// Optimize records the run's command stream, rewrites it with the
 	// stream optimizer (all passes), and replays the optimized stream on a
 	// fresh device; the result's metrics, op mix, report, and trace then
@@ -271,6 +279,8 @@ type Runner struct {
 	Size int64
 	// cancel releases the Timeout context; Finish calls it.
 	cancel context.CancelFunc
+	// streamFile backs Config.StreamPath; Finish closes it.
+	streamFile *os.File
 }
 
 // NewRunner creates the device and resolves the input size for a run.
@@ -290,6 +300,23 @@ func NewRunner(b Benchmark, cfg Config) (*Runner, error) {
 		dev.RecordStream()
 	}
 	r := &Runner{Cfg: cfg, Dev: dev, Size: size}
+	if cfg.StreamPath != "" {
+		format := pim.StreamBinary
+		if cfg.StreamFormat != "" {
+			if format, err = pim.ParseStreamFormat(cfg.StreamFormat); err != nil {
+				return nil, err
+			}
+		}
+		f, err := os.Create(cfg.StreamPath)
+		if err != nil {
+			return nil, fmt.Errorf("suite: stream file: %w", err)
+		}
+		if err := dev.RecordStreamTo(f, format); err != nil {
+			f.Close()
+			return nil, err
+		}
+		r.streamFile = f
+	}
 	if cfg.Timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 		dev.SetContext(ctx)
@@ -304,6 +331,19 @@ func (r *Runner) Finish(b Benchmark, verified bool, cpu, gpu HostCost) Result {
 		r.cancel()
 		r.cancel = nil
 	}
+	degraded, errMsg := false, ""
+	if r.streamFile != nil {
+		// Flush and close the streamed recording; a deferred write error
+		// degrades the result rather than silently losing the trace.
+		err := r.Dev.FinishRecording()
+		if cerr := r.streamFile.Close(); err == nil {
+			err = cerr
+		}
+		r.streamFile = nil
+		if err != nil {
+			degraded, errMsg = true, "stream recording: "+err.Error()
+		}
+	}
 	var stream *pim.Stream
 	if r.Cfg.Record || r.Cfg.Optimize {
 		stream = r.Dev.RecordedStream()
@@ -314,7 +354,6 @@ func (r *Runner) Finish(b Benchmark, verified bool, cpu, gpu HostCost) Result {
 	// the live statistics and marks the result degraded.
 	statsDev := r.Dev
 	var optRes *pim.OptimizeResult
-	degraded, errMsg := false, ""
 	if r.Cfg.Optimize && stream != nil {
 		opt, res, err := pim.Optimize(stream)
 		if err == nil {

@@ -37,6 +37,7 @@ import (
 
 	"pimeval/internal/analog"
 	"pimeval/internal/bitserial"
+	"pimeval/internal/cmdstream"
 	"pimeval/internal/dram"
 	"pimeval/internal/isa"
 	"pimeval/internal/par"
@@ -89,8 +90,13 @@ func run(args []string, out io.Writer) error {
 		faultSeed  = fs.Int64("fault-seed", 1, "seed driving every fault decision (fixed seed = reproducible faults)")
 		ecc        = fs.Bool("ecc", false, "enable the SEC-DED (72,64) ECC model for -record")
 		optimize   = fs.Bool("opt", false, "run the stream optimizer (all passes) on the command stream before writing (-record) or replaying (-replay)")
+		formatName = fs.String("format", "json", "stream encoding for -record: json or bin (replay auto-detects)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	format, err := pim.ParseStreamFormat(*formatName)
+	if err != nil {
 		return err
 	}
 	var fcfg *pim.FaultConfig
@@ -113,7 +119,7 @@ func run(args []string, out io.Writer) error {
 		if !ok {
 			return fmt.Errorf("unknown target %q", *targetName)
 		}
-		return recordStream(out, *recordPath, target, op, dt, *imm, *recordN, *workers, fcfg, *optimize)
+		return recordStream(out, *recordPath, format, target, op, dt, *imm, *recordN, *workers, fcfg, *optimize)
 	}
 
 	t := dram.DDR4(1).Timing
@@ -191,8 +197,10 @@ var unaryFns = map[isa.Op]func(*pim.Device, pim.ObjID, pim.ObjID) error{
 
 // recordStream runs the op through the full device API on a one-rank
 // functional device with the command-stream recorder attached, and writes
-// the captured stream to path.
-func recordStream(out io.Writer, path string, target pim.Target, op isa.Op, dt isa.DataType, imm, n int64, workers int, faults *pim.FaultConfig, optimize bool) error {
+// the captured stream to path. Without -opt the stream is encoded to the
+// file as operations dispatch (the streaming recording path); with -opt it
+// is captured in memory, optimized, and then encoded.
+func recordStream(out io.Writer, path string, format pim.StreamFormat, target pim.Target, op isa.Op, dt isa.DataType, imm, n int64, workers int, faults *pim.FaultConfig, optimize bool) error {
 	dev, err := pim.NewDevice(pim.Config{
 		Target: target, Ranks: 1, Functional: true, Workers: workers,
 		Faults: faults,
@@ -201,6 +209,16 @@ func recordStream(out io.Writer, path string, target pim.Target, op isa.Op, dt i
 		return err
 	}
 	dev.RecordStream()
+	var streamFile *os.File
+	if !optimize {
+		if streamFile, err = os.Create(path); err != nil {
+			return err
+		}
+		if err := dev.RecordStreamTo(streamFile, format); err != nil {
+			streamFile.Close()
+			return err
+		}
+	}
 	rng := rand.New(rand.NewSource(1))
 	operands := make([]pim.ObjID, operandCount(op))
 	for k := range operands {
@@ -250,56 +268,108 @@ func recordStream(out io.Writer, path string, target pim.Target, op isa.Op, dt i
 	}
 	s := dev.RecordedStream()
 	if optimize {
-		s, err = optimizeStream(out, s)
-		if err != nil {
+		if s, err = optimizeStream(out, s); err != nil {
 			return err
 		}
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if streamFile != nil {
+		// The streaming path already wrote every record; flush and close.
+		err := dev.FinishRecording()
+		if cerr := streamFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := s.EncodeFormat(f, format); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
-	if err := s.Encode(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "recorded %d stream records to %s (%s, %s.%s, n=%d)\n",
-		len(s.Records), path, target, op, dt, n)
+	fmt.Fprintf(out, "recorded %d stream records to %s (%s, %s, %s.%s, n=%d)\n",
+		len(s.Records), path, format, target, op, dt, n)
 	return nil
 }
 
-// replayStream decodes a recorded command stream, replays it on a fresh
-// device built from the stream's header, and prints the device report.
+// replayStream replays a recorded command stream (JSON or binary,
+// auto-detected) on a fresh device built from the stream's header, and
+// prints the device report. Without -opt the stream is replayed record by
+// record as it decodes (bounded memory, whatever the stream size); with
+// -opt it is materialized, optimized, and then replayed.
 func replayStream(out io.Writer, path string, workers int, optimize bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	s, err := pim.DecodeStream(f)
-	if err != nil {
-		return err
-	}
+	var dev *pim.Device
+	var replayed int
 	if optimize {
-		s, err = optimizeStream(out, s)
+		s, err := pim.DecodeStream(f)
 		if err != nil {
 			return err
 		}
+		if s, err = optimizeStream(out, s); err != nil {
+			return err
+		}
+		if dev, err = pim.Replay(s, pim.ReplayConfig{Workers: workers}); err != nil {
+			return err
+		}
+		replayed = len(s.Records)
+	} else {
+		src, err := pim.OpenStreamSource(f)
+		if err != nil {
+			return err
+		}
+		cs := &countingSource{Source: src}
+		if dev, err = pim.ReplaySource(cs, pim.ReplayConfig{Workers: workers}); err != nil {
+			return err
+		}
+		replayed = cs.n
 	}
-	dev, err := pim.Replay(s, pim.ReplayConfig{Workers: workers})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "replayed %d stream records on %s\n", len(s.Records), dev.Target())
+	fmt.Fprintf(out, "replayed %d stream records on %s\n", replayed, dev.Target())
 	if fc := dev.FaultStats(); fc.Any() {
 		fmt.Fprintf(out, "reproduced faults: %d transient flips, %d stuck-at, %d failed-core words (%d corrected, %d detected, %d silent)\n",
 			fc.TransientFlips, fc.StuckFaults, fc.FailedWords, fc.Corrected, fc.Detected, fc.Silent)
 	}
 	fmt.Fprintln(out, dev.Report())
 	return nil
+}
+
+// countingSource counts records as they flow through, preserving the
+// chunked-payload interface of the wrapped source.
+type countingSource struct {
+	cmdstream.Source
+	n int
+}
+
+func (c *countingSource) Next() (*cmdstream.Record, error) {
+	rec, err := c.Source.Next()
+	if err == nil {
+		c.n++
+	}
+	return rec, err
+}
+
+func (c *countingSource) PendingPayload() bool {
+	cs, ok := c.Source.(cmdstream.ChunkedSource)
+	return ok && cs.PendingPayload()
+}
+
+func (c *countingSource) NextPayloadChunk() ([]int64, error) {
+	cs, ok := c.Source.(cmdstream.ChunkedSource)
+	if !ok {
+		return nil, io.EOF
+	}
+	return cs.NextPayloadChunk()
 }
 
 // optimizeStream runs the all-passes stream optimizer and prints its

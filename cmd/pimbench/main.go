@@ -60,6 +60,8 @@ func run(args []string, out io.Writer) error {
 		workers    = fs.Int("workers", 0, "functional engine worker pool size (0 = NumCPU, 1 = serial)")
 		report     = fs.Bool("report", false, "print the artifact-style PIM statistics report (Listing 3)")
 		trace      = fs.Bool("trace", false, "print the device command trace (last 64Ki entries)")
+		record     = fs.String("record", "", "stream the run's command stream to this file as it executes (single benchmark only)")
+		format     = fs.String("format", "bin", "encoding for -record: bin or json")
 		list       = fs.Bool("list", false, "list available benchmarks")
 
 		faultRate   = fs.Float64("faults", 0, "transient bit-flip probability per written bit (enables fault injection)")
@@ -104,9 +106,13 @@ func run(args []string, out io.Writer) error {
 		Target: tgt, Ranks: *ranks, Size: *size,
 		Functional: *functional, Workers: *workers,
 		EmitReport: *report, Trace: *trace,
+		StreamPath: *record, StreamFormat: *format,
 		Faults: fcfg, Retries: *retries,
 	}
 	if *app == "all" {
+		if *record != "" {
+			return fmt.Errorf("-record works with a single benchmark, not -app all")
+		}
 		return runAll(out, cfg)
 	}
 	b, err := suite.ByName(*app)
@@ -148,6 +154,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "Energy reduction   : %.3f vs CPU, %.3f vs GPU\n", res.EnergyReductionCPU(), res.EnergyReductionGPU())
 	if fcfg != nil {
 		printFaults(out, res)
+	}
+	if *record != "" {
+		fmt.Fprintf(out, "Command stream     : %s (%s)\n", *record, *format)
 	}
 	switch {
 	case res.Degraded:

@@ -57,6 +57,7 @@ func run(args []string, stdout io.Writer) error {
 		areaTab  = fs.Bool("area", false, "per-chip area overhead estimates")
 		batching = fs.Bool("batching", false, "small-problem batching study")
 		gdl      = fs.Bool("gdl", false, "bank-level GDL width ablation")
+		binstrm  = fs.Bool("binstream", false, "binary vs JSON stream encoding comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -152,6 +153,7 @@ func run(args []string, stdout io.Writer) error {
 		{*all || *areaTab, "area", static(experiments.AreaTable())},
 		{*all || *batching, "batching", experiments.BatchingTable},
 		{*all || *gdl, "gdl", experiments.GDLTable},
+		{*all || *binstrm, "binstream", experiments.BinStream},
 	}
 	for _, a := range artifacts {
 		if !a.enabled {

@@ -33,9 +33,11 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pimsweep", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		cols    = fs.Bool("cols", false, "sweep #columns (Figure 6a)")
-		banks   = fs.Bool("banks", false, "sweep #banks (Figure 6b)")
-		workers = fs.Int("workers", 0, "functional engine worker pool size (0 = NumCPU, 1 = serial)")
+		cols      = fs.Bool("cols", false, "sweep #columns (Figure 6a)")
+		banks     = fs.Bool("banks", false, "sweep #banks (Figure 6b)")
+		workers   = fs.Int("workers", 0, "functional engine worker pool size (0 = NumCPU, 1 = serial)")
+		recordDir = fs.String("record-dir", "", "stream each sweep point's command stream to a file in this directory")
+		format    = fs.String("format", "bin", "encoding for -record-dir streams: bin or json")
 
 		faultRate = fs.Float64("faults", 0, "transient bit-flip probability per written bit (enables fault injection)")
 		faultSeed = fs.Int64("fault-seed", 1, "seed driving every fault decision (fixed seed = reproducible faults)")
@@ -45,6 +47,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	experiments.Workers = *workers
+	experiments.RecordDir = *recordDir
+	experiments.RecordFormat = *format
 	if *faultRate > 0 || *ecc {
 		experiments.Faults = &pim.FaultConfig{
 			Seed:             *faultSeed,

@@ -14,12 +14,25 @@
 package cmdstream
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"pimeval/internal/dram"
 	"pimeval/internal/fault"
+)
+
+// Sentinel decode errors. Both are wrapped with context (what was being
+// decoded when the stream failed), so match with errors.Is.
+var (
+	// ErrTruncated marks a stream that was cut off mid-header, mid-record,
+	// or mid-payload in either encoding.
+	ErrTruncated = errors.New("truncated stream")
+	// ErrFormat marks input that is neither a JSON stream object nor a
+	// binary stream (bad magic).
+	ErrFormat = errors.New("unrecognized stream format")
 )
 
 // ObjID identifies a PIM data object in stream records. Object IDs are
@@ -142,11 +155,106 @@ type Header struct {
 	Faults *fault.Config `json:"faults,omitempty"`
 }
 
+// validate checks the header's schema version, module geometry, and fault
+// configuration. Every decoder (JSON and binary) runs it before yielding the
+// first record.
+func (h *Header) validate() error {
+	if h.Version != Version {
+		return fmt.Errorf("cmdstream: unsupported stream version %d (want %d)", h.Version, Version)
+	}
+	if err := h.Module.Validate(); err != nil {
+		return fmt.Errorf("cmdstream: stream header: %w", err)
+	}
+	if err := h.Faults.Validate(); err != nil {
+		return fmt.Errorf("cmdstream: stream header: %w", err)
+	}
+	return nil
+}
+
 // Stream is a recorded command stream: the device header plus the ordered
 // records of every operation dispatched while recording was enabled.
 type Stream struct {
 	Header  Header   `json:"header"`
 	Records []Record `json:"records"`
+}
+
+// Format selects a stream wire encoding.
+type Format int
+
+const (
+	// FormatJSON is the human-readable encoding: one stream object with
+	// header and records, floats in shortest round-trip form.
+	FormatJSON Format = iota
+	// FormatBinary is the bit-packed encoding (DESIGN.md §13): dense enums,
+	// varint ids, payload elements at their true width, chunked frames.
+	FormatBinary
+)
+
+// ParseFormat maps the command-line spellings ("json", "bin"/"binary") onto
+// a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "json":
+		return FormatJSON, nil
+	case "bin", "binary":
+		return FormatBinary, nil
+	}
+	return 0, fmt.Errorf("cmdstream: unknown stream format %q (want json or bin)", s)
+}
+
+// String returns the canonical spelling accepted by ParseFormat.
+func (f Format) String() string {
+	if f == FormatBinary {
+		return "bin"
+	}
+	return "json"
+}
+
+// NewWriter returns a Sink encoding records to w in the given format. The
+// sink buffers internally; Close flushes but does not close w.
+func NewWriter(w io.Writer, f Format) Sink {
+	if f == FormatBinary {
+		return newBinaryWriter(w)
+	}
+	return newJSONWriter(w)
+}
+
+// OpenSource returns a streaming decoder for r, auto-detecting the encoding
+// from the first bytes: binary streams open with the "PIMB" magic, JSON
+// streams with (possibly whitespace-preceded) '{'. Anything else fails with
+// ErrFormat. The source reads from r incrementally and never closes it.
+func OpenSource(r io.Reader) (Source, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	for {
+		head, err := br.Peek(len(binMagic))
+		if len(head) == 0 {
+			return nil, binErr("header", errOrEOF(err))
+		}
+		switch head[0] {
+		case ' ', '\t', '\r', '\n':
+			br.ReadByte()
+			continue
+		case '{':
+			return newJSONSource(br)
+		}
+		if len(head) == len(binMagic) && string(head) == binMagic {
+			return newBinSource(br)
+		}
+		if len(head) < len(binMagic) && string(head) == binMagic[:len(head)] {
+			// Input ended partway through the binary magic: the stream is
+			// recognizably binary but cut short.
+			return nil, binErr("header", io.ErrUnexpectedEOF)
+		}
+		return nil, fmt.Errorf("cmdstream: decode: %w", ErrFormat)
+	}
+}
+
+// errOrEOF normalizes a nil Peek error on empty input to io.EOF.
+func errOrEOF(err error) error {
+	if err == nil {
+		return io.EOF
+	}
+	return err
 }
 
 // Encode writes the stream as JSON. Float fields round-trip exactly
@@ -157,26 +265,37 @@ func (s *Stream) Encode(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// Decode reads a JSON-encoded stream and validates its header.
+// EncodeBinary writes the stream in the bit-packed binary encoding.
+func (s *Stream) EncodeBinary(w io.Writer) error {
+	return s.EncodeFormat(w, FormatBinary)
+}
+
+// EncodeFormat writes the stream in the given encoding.
+func (s *Stream) EncodeFormat(w io.Writer, f Format) error {
+	if f == FormatJSON {
+		return s.Encode(w)
+	}
+	return Pump(NewWriter(w, f), FromStream(s))
+}
+
+// Decode reads an encoded stream — JSON or binary, auto-detected — fully
+// into memory and validates its header and structure. Truncated input fails
+// with an error wrapping ErrTruncated; unrecognizable input with ErrFormat.
+// For bounded-memory decoding of large streams use OpenSource instead.
 func Decode(r io.Reader) (*Stream, error) {
-	var s Stream
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("cmdstream: decode: %w", err)
+	src, err := OpenSource(r)
+	if err != nil {
+		return nil, err
 	}
-	if s.Header.Version != Version {
-		return nil, fmt.Errorf("cmdstream: unsupported stream version %d (want %d)", s.Header.Version, Version)
-	}
-	if err := s.Header.Module.Validate(); err != nil {
-		return nil, fmt.Errorf("cmdstream: stream header: %w", err)
-	}
-	if err := s.Header.Faults.Validate(); err != nil {
-		return nil, fmt.Errorf("cmdstream: stream header: %w", err)
+	defer src.Close()
+	s, err := Collect(src)
+	if err != nil {
+		return nil, err
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return &s, nil
+	return s, nil
 }
 
 // knownKinds is the set of record kinds the replayer dispatches.
@@ -185,6 +304,9 @@ var knownKinds = map[Kind]bool{
 	KindCopyD2D: true, KindCopyD2DRange: true, KindExec: true, KindHost: true,
 	KindRepeatBegin: true, KindRepeatEnd: true,
 }
+
+// KnownKind reports whether k is a record kind the replayer dispatches.
+func KnownKind(k Kind) bool { return knownKinds[k] }
 
 // Validate checks the stream's record structure statically: every record
 // kind must be known, and repeat scopes must be balanced, non-nested, and

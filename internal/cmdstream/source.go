@@ -1,0 +1,264 @@
+package cmdstream
+
+import (
+	"fmt"
+	"io"
+)
+
+// Source is the streaming producer side of the record pipeline: a header
+// plus an iterator over records. Every stream consumer in the repo (replay,
+// the optimizer, the tools) speaks Source, so records flow through bounded
+// buffers instead of whole-stream slices; FromStream adapts the materialized
+// slice API onto it.
+//
+// Contract: Next returns io.EOF after the last record. The returned *Record
+// may reuse one backing struct across calls, but its slice fields (Data,
+// Results) are freshly allocated per record — a consumer that retains a
+// record may copy the struct shallowly. Sources that stream h2d payloads
+// out-of-core additionally implement ChunkedSource.
+type Source interface {
+	// Header identifies the device the stream was recorded on. It is valid
+	// immediately (before the first Next call).
+	Header() Header
+	// Next returns the next record, or io.EOF at end of stream.
+	Next() (*Record, error)
+	// Close releases the source. Sources never close an underlying reader
+	// they were handed; the caller owns it.
+	Close() error
+}
+
+// Sink is the streaming consumer side: Begin is called once with the stream
+// header before any record, Write once per record in stream order, and Close
+// exactly once at the end (flushing any buffered encoding state). The
+// format writers (NewWriter) and the in-memory Collector implement it.
+type Sink interface {
+	Begin(h Header) error
+	Write(rec *Record) error
+	Close() error
+}
+
+// ChunkedSource is implemented by sources that can stream the h2d payload
+// of the record most recently returned by Next in bounded chunks instead of
+// materializing Record.Data. After Next returns a KindCopyH2D record with
+// nil Data and PendingPayload reports true, the consumer drains the payload
+// with NextPayloadChunk until io.EOF; chunks share one backing buffer, so
+// they must be consumed (copied or written) before the next call. Calling
+// Next with an undrained payload discards the remainder.
+type ChunkedSource interface {
+	PendingPayload() bool
+	NextPayloadChunk() ([]int64, error)
+}
+
+// ChunkedExecutor is implemented by executors that can consume an h2d
+// payload in bounded chunks (the out-of-core replay path). next returns
+// successive chunks and io.EOF at end; the executor copies each chunk out
+// before requesting the next.
+type ChunkedExecutor interface {
+	CopyHostToDeviceFrom(id ObjID, next func() ([]int64, error)) error
+}
+
+// Materialize completes rec in place: if src has a pending streamed payload
+// for rec (a ChunkedSource h2d record), it is drained into rec.Data. For
+// every other record this is a no-op.
+func Materialize(src Source, rec *Record) error {
+	cs, ok := src.(ChunkedSource)
+	if !ok || !cs.PendingPayload() || rec.Kind != KindCopyH2D {
+		return nil
+	}
+	for {
+		chunk, err := cs.NextPayloadChunk()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		rec.Data = append(rec.Data, chunk...)
+	}
+}
+
+// sliceSource iterates a materialized record slice.
+type sliceSource struct {
+	h    Header
+	recs []Record
+	pos  int
+}
+
+// FromStream adapts a materialized stream onto the Source interface.
+func FromStream(s *Stream) Source { return &sliceSource{h: s.Header, recs: s.Records} }
+
+// FromRecords adapts a header and record slice onto the Source interface.
+func FromRecords(h Header, recs []Record) Source { return &sliceSource{h: h, recs: recs} }
+
+func (s *sliceSource) Header() Header { return s.h }
+
+func (s *sliceSource) Next() (*Record, error) {
+	if s.pos >= len(s.recs) {
+		return nil, io.EOF
+	}
+	rec := &s.recs[s.pos]
+	s.pos++
+	return rec, nil
+}
+
+func (s *sliceSource) Close() error { return nil }
+
+// Collector is the in-memory Sink: it accumulates records into a slice,
+// making the materialized stream API a thin wrapper over the streaming one.
+type Collector struct {
+	h     Header
+	recs  []Record
+	began bool
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Begin stores the stream header.
+func (c *Collector) Begin(h Header) error {
+	c.h = h
+	c.began = true
+	return nil
+}
+
+// Write appends a copy of the record.
+func (c *Collector) Write(rec *Record) error {
+	c.recs = append(c.recs, *rec)
+	return nil
+}
+
+// Close is a no-op; the Collector stays readable.
+func (c *Collector) Close() error { return nil }
+
+// Len returns the number of collected records.
+func (c *Collector) Len() int { return len(c.recs) }
+
+// Stream returns a snapshot of the collected stream.
+func (c *Collector) Stream() *Stream {
+	return &Stream{Header: c.h, Records: append([]Record(nil), c.recs...)}
+}
+
+// Collect materializes a source into a stream, draining streamed h2d
+// payloads into Record.Data. It does not close the source.
+func Collect(src Source) (*Stream, error) {
+	s := &Stream{Header: src.Header()}
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := Materialize(src, rec); err != nil {
+			return nil, err
+		}
+		s.Records = append(s.Records, *rec)
+	}
+}
+
+// Pump drives every record of src through dst: Begin with the source
+// header, one Write per record (with streamed payloads materialized — the
+// per-record buffer is the only allocation, so a multi-GB stream transcodes
+// with bounded memory), and a final Close on dst. The source is not closed.
+func Pump(dst Sink, src Source) error {
+	if err := dst.Begin(src.Header()); err != nil {
+		return err
+	}
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			return dst.Close()
+		}
+		if err != nil {
+			return err
+		}
+		if err := Materialize(src, rec); err != nil {
+			return err
+		}
+		if err := dst.Write(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// ReplaySource re-executes a stream record by record as it is produced, the
+// out-of-core counterpart of Replay: only the current record (or the current
+// repeat-scope body) is resident, and h2d payloads stream through bounded
+// chunks when both the source and the executor support it. Structure is
+// validated incrementally, so — unlike Replay, which validates the whole
+// materialized stream up front — a malformed suffix is only detected after
+// the preceding records have executed.
+func ReplaySource(x Executor, src Source) error {
+	h := src.Header()
+	verify := h.Functional
+	optimized := len(h.Optimized) > 0
+	cs, _ := src.(ChunkedSource)
+	ce, _ := x.(ChunkedExecutor)
+
+	var scope []Record // buffered body of the open repeat scope
+	var factor int64
+	depth := 0
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if !knownKinds[rec.Kind] {
+			return fmt.Errorf("cmdstream: seq %d: unknown record kind %q", rec.Seq, rec.Kind)
+		}
+		switch rec.Kind {
+		case KindRepeatBegin:
+			if depth != 0 {
+				return fmt.Errorf("cmdstream: seq %d: nested repeat scope", rec.Seq)
+			}
+			if rec.Repeat < 1 {
+				return fmt.Errorf("cmdstream: seq %d: repeat scope with factor %d", rec.Seq, rec.Repeat)
+			}
+			depth, factor, scope = 1, rec.Repeat, scope[:0]
+		case KindRepeatEnd:
+			if depth == 0 {
+				return fmt.Errorf("cmdstream: seq %d: repeat.end without matching begin", rec.Seq)
+			}
+			depth = 0
+			body := scope
+			if err := x.WithRepeat(factor, func() error {
+				return replay(x, body, verify, optimized)
+			}); err != nil {
+				return err
+			}
+		default:
+			if depth > 0 {
+				// Scope bodies replay through WithRepeat as one unit, so the
+				// body is buffered (scopes are bounded; payloads inside them
+				// materialize).
+				if err := Materialize(src, rec); err != nil {
+					return err
+				}
+				scope = append(scope, *rec)
+				continue
+			}
+			if rec.Kind == KindCopyH2D && cs != nil && ce != nil && cs.PendingPayload() {
+				// The out-of-core h2d path: the payload flows source → device
+				// in bounded chunks and is never materialized.
+				if err := ce.CopyHostToDeviceFrom(ObjID(rec.Obj), cs.NextPayloadChunk); err != nil {
+					return fmt.Errorf("cmdstream: seq %d (%s): %w", rec.Seq, rec.Kind, err)
+				}
+				continue
+			}
+			if err := Materialize(src, rec); err != nil {
+				return err
+			}
+			if err := replayOne(x, rec, verify, optimized); err != nil {
+				return fmt.Errorf("cmdstream: seq %d (%s): %w", rec.Seq, rec.Kind, err)
+			}
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("cmdstream: %w: unterminated repeat scope", ErrTruncated)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"io"
 
 	"pimeval/internal/cmdstream"
 	"pimeval/internal/perf"
@@ -44,6 +45,69 @@ func (d *Device) CopyHostToDevice(id ObjID, values []int64) (err error) {
 			// pre-injection: replays re-run the fault stage at the same
 			// sequence number and corrupt it identically.
 			ev.Record.Data = append([]int64(nil), values...)
+		}
+	}
+	ferr := d.injectWrite(o, 0, o.n)
+	cost := perf.DataMovement(d.cfg.Module, o.Bytes(), false).Scale(float64(d.pipe.repeat))
+	d.finishCopy(ev, "copy.h2d", o.Bytes(), cost, o.Bytes()*d.pipe.repeat, 0, 0)
+	return ferr
+}
+
+// CopyHostToDeviceFrom is the chunked (out-of-core) form of
+// CopyHostToDevice: next returns successive payload chunks and io.EOF at
+// end, and each chunk is written into the object as it arrives, so a
+// payload larger than memory streams straight from its source (a binary
+// stream decoder, a file reader) into device storage. Chunks may be reused
+// by next between calls. The operation's shape, cost, fault injection, and
+// recorded form are identical to a CopyHostToDevice of the concatenated
+// chunks — including that re-recording a functional replay materializes the
+// payload into the new record.
+func (d *Device) CopyHostToDeviceFrom(id ObjID, next func() ([]int64, error)) (err error) {
+	if d.guarded() {
+		defer guard(&err)
+	}
+	if err := d.start(); err != nil {
+		return err
+	}
+	o, err := d.res.lookup(id)
+	if err != nil {
+		return err
+	}
+	wantData := d.pipe.wantRecord() && d.cfg.Functional
+	var buffered []int64
+	var off int64
+	for {
+		chunk, cerr := next()
+		if cerr == io.EOF {
+			break
+		}
+		if cerr != nil {
+			return cerr
+		}
+		if d.cfg.Functional {
+			if off+int64(len(chunk)) > o.n {
+				return fmt.Errorf("%w: chunked copy of over %d values into object of %d",
+					ErrShapeMismatch, off+int64(len(chunk)), o.n)
+			}
+			for i, v := range chunk {
+				o.data[off+int64(i)] = o.dt.Truncate(v)
+			}
+		}
+		if wantData {
+			// The payload is captured pre-truncation and pre-injection,
+			// exactly as CopyHostToDevice records it.
+			buffered = append(buffered, chunk...)
+		}
+		off += int64(len(chunk))
+	}
+	if d.cfg.Functional && off != o.n {
+		return fmt.Errorf("%w: chunked copy of %d values into object of %d", ErrShapeMismatch, off, o.n)
+	}
+	ev := d.begin(ClassCopy)
+	if d.pipe.wantRecord() {
+		ev.Record = cmdstream.Record{Kind: cmdstream.KindCopyH2D, Obj: int64(id)}
+		if d.cfg.Functional {
+			ev.Record.Data = buffered
 		}
 	}
 	ferr := d.injectWrite(o, 0, o.n)

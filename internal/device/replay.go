@@ -6,29 +6,43 @@ import (
 	"pimeval/internal/cmdstream"
 )
 
-// NewFromStream builds a fresh device matching a recorded stream's header,
+// NewFromHeader builds a fresh device matching a recorded stream's header,
 // without executing any records — the caller may enable tracing or recording
 // on the new device before replaying. The header's target name must agree
 // with its enum value, guarding against streams from a build with a
 // different target numbering.
-func NewFromStream(s *cmdstream.Stream, workers int) (*Device, error) {
-	t := Target(s.Header.TargetID)
-	if !t.Valid() || t.String() != s.Header.Target {
+func NewFromHeader(h cmdstream.Header, workers int) (*Device, error) {
+	t := Target(h.TargetID)
+	if !t.Valid() || t.String() != h.Target {
 		return nil, fmt.Errorf("%w: stream target %q (id %d)", ErrBadArgument,
-			s.Header.Target, s.Header.TargetID)
+			h.Target, h.TargetID)
 	}
 	return New(Config{
 		Target:     t,
-		Module:     s.Header.Module,
-		Functional: s.Header.Functional,
+		Module:     h.Module,
+		Functional: h.Functional,
 		Workers:    workers,
 		// Carrying the recorded fault configuration makes replays fault
 		// bit-for-bit identically: injection is keyed by (seed, write
 		// sequence) and the stream fixes the operation order.
-		Faults: s.Header.Faults,
+		Faults: h.Faults,
 	})
+}
+
+// NewFromStream builds a fresh device matching a materialized stream's
+// header; see NewFromHeader.
+func NewFromStream(s *cmdstream.Stream, workers int) (*Device, error) {
+	return NewFromHeader(s.Header, workers)
 }
 
 // Replay re-executes a recorded stream against the device. *Device satisfies
 // cmdstream.Executor, so this is a thin wrapper kept for discoverability.
 func (d *Device) Replay(s *cmdstream.Stream) error { return cmdstream.Replay(d, s) }
+
+// ReplaySource re-executes a streaming source against the device with
+// bounded memory: only the current record (or repeat-scope body) is
+// resident, and chunked h2d payloads stream straight into device storage —
+// *Device satisfies cmdstream.ChunkedExecutor via CopyHostToDeviceFrom.
+func (d *Device) ReplaySource(src cmdstream.Source) error {
+	return cmdstream.ReplaySource(d, src)
+}

@@ -89,49 +89,109 @@ func (s *statsSink) Emit(ev *Event) {
 }
 
 // recorderSink captures the lowered IR records of every dispatched
-// operation, producing the stream behind record/replay.
+// operation, producing the stream behind record/replay. Records are fanned
+// out to any attached cmdstream.Sinks as they are produced (the streaming
+// recording path — a multi-GB trace flows straight to its encoder without
+// materializing), and optionally accumulated in memory for RecordedStream.
 type recorderSink struct {
-	recs []cmdstream.Record
-	seq  int64
+	recs    []cmdstream.Record
+	collect bool             // accumulate into recs (StartRecording)
+	sinks   []cmdstream.Sink // streaming destinations (StartRecordingTo)
+	seq     int64
+	err     error // first sink write failure, surfaced by FinishRecording
 }
 
-// Emit appends the event's record with the next stream sequence number.
+// Emit stamps the event's record with the next stream sequence number and
+// fans it out.
 func (r *recorderSink) Emit(ev *Event) {
 	rec := ev.Record
 	r.seq++
 	rec.Seq = r.seq
-	r.recs = append(r.recs, rec)
+	if r.collect {
+		r.recs = append(r.recs, rec)
+	}
+	for _, s := range r.sinks {
+		if r.err != nil {
+			break
+		}
+		r.err = s.Write(&rec)
+	}
+}
+
+// streamHeader describes this device as a command-stream header.
+func (d *Device) streamHeader() cmdstream.Header {
+	return cmdstream.Header{
+		Version:    cmdstream.Version,
+		Target:     d.cfg.Target.String(),
+		TargetID:   int(d.cfg.Target),
+		Module:     d.cfg.Module,
+		Functional: d.cfg.Functional,
+		Faults:     d.cfg.Faults,
+	}
 }
 
 // StartRecording attaches the stream recorder sink: every subsequently
-// dispatched operation is lowered into a command-stream record. Recording a
-// functional run captures host-to-device payloads and reduction results, so
-// the stream replays to bit-identical data and statistics.
+// dispatched operation is lowered into a command-stream record, accumulated
+// in memory for RecordedStream. Recording a functional run captures
+// host-to-device payloads and reduction results, so the stream replays to
+// bit-identical data and statistics.
 func (d *Device) StartRecording() {
 	if d.pipe.recorder == nil {
 		d.pipe.recorder = &recorderSink{}
 	}
+	d.pipe.recorder.collect = true
+}
+
+// StartRecordingTo attaches a streaming recording destination: the sink's
+// Begin is called immediately with this device's stream header, and every
+// subsequently dispatched operation's record is written to it as it is
+// produced, so the trace never materializes in memory. Multiple sinks (and
+// in-memory recording via StartRecording) may be active at once; sink
+// write failures are deferred to FinishRecording.
+func (d *Device) StartRecordingTo(sink cmdstream.Sink) error {
+	if err := sink.Begin(d.streamHeader()); err != nil {
+		return err
+	}
+	if d.pipe.recorder == nil {
+		d.pipe.recorder = &recorderSink{}
+	}
+	d.pipe.recorder.sinks = append(d.pipe.recorder.sinks, sink)
+	return nil
+}
+
+// FinishRecording closes every streaming recording sink, returning the
+// first error any of them reported (during writes or on close). In-memory
+// recording, if active, stays active. Calling it with no streaming sinks
+// attached is a no-op.
+func (d *Device) FinishRecording() error {
+	rec := d.pipe.recorder
+	if rec == nil {
+		return nil
+	}
+	err := rec.err
+	rec.err = nil
+	for _, s := range rec.sinks {
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+	}
+	rec.sinks = nil
+	return err
 }
 
 // Recording reports whether the stream recorder is attached.
 func (d *Device) Recording() bool { return d.pipe.recorder != nil }
 
-// RecordedStream returns a snapshot of the captured command stream with a
-// header describing this device, or nil if recording was never started.
+// RecordedStream returns a snapshot of the in-memory captured command
+// stream with a header describing this device, or nil if in-memory
+// recording (StartRecording) was never started.
 func (d *Device) RecordedStream() *cmdstream.Stream {
 	rec := d.pipe.recorder
-	if rec == nil {
+	if rec == nil || !rec.collect {
 		return nil
 	}
 	return &cmdstream.Stream{
-		Header: cmdstream.Header{
-			Version:    cmdstream.Version,
-			Target:     d.cfg.Target.String(),
-			TargetID:   int(d.cfg.Target),
-			Module:     d.cfg.Module,
-			Functional: d.cfg.Functional,
-			Faults:     d.cfg.Faults,
-		},
+		Header:  d.streamHeader(),
 		Records: append([]cmdstream.Record(nil), rec.recs...),
 	}
 }

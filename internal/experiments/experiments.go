@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -52,6 +54,24 @@ var Faults *pim.FaultConfig
 // Retries bounds the retry budget suite.RunResilient gets per benchmark
 // when Faults is set.
 var Retries = 2
+
+// RecordDir, when non-empty, streams the command stream of every sweepOps
+// point into a per-point file under this directory (created if needed) as
+// the operations dispatch — paper-scale model-only sweeps record without
+// materializing their traces. cmd/pimsweep threads its -record-dir flag
+// here.
+var RecordDir string
+
+// RecordFormat selects the RecordDir encoding: "bin" (default) or "json".
+var RecordFormat string
+
+// recordFormat resolves RecordFormat to a stream format.
+func recordFormat() (pim.StreamFormat, error) {
+	if RecordFormat == "" {
+		return pim.StreamBinary, nil
+	}
+	return pim.ParseStreamFormat(RecordFormat)
+}
 
 // RunSuite executes every benchmark at paper scale (model-only) on the
 // given target and rank count, returning results in registry order. With
@@ -213,6 +233,24 @@ func sweepOps(mutate func(*suite.Config, int), params []int) ([]SweepPoint, erro
 			if err != nil {
 				return nil, err
 			}
+			var streamFile *os.File
+			if RecordDir != "" {
+				format, err := recordFormat()
+				if err != nil {
+					return nil, err
+				}
+				if err := os.MkdirAll(RecordDir, 0o755); err != nil {
+					return nil, err
+				}
+				name := fmt.Sprintf("sweep_%s_%d.%s", tgt, p, format)
+				if streamFile, err = os.Create(filepath.Join(RecordDir, name)); err != nil {
+					return nil, err
+				}
+				if err := dev.RecordStreamTo(streamFile, format); err != nil {
+					streamFile.Close()
+					return nil, err
+				}
+			}
 			a, err := dev.Alloc(n, pim.Int32)
 			if err != nil {
 				return nil, err
@@ -245,6 +283,15 @@ func sweepOps(mutate func(*suite.Config, int), params []int) ([]SweepPoint, erro
 					Param:     p,
 					LatencyMS: dev.Metrics().KernelMS,
 				})
+			}
+			if streamFile != nil {
+				err := dev.FinishRecording()
+				if cerr := streamFile.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

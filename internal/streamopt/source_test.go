@@ -1,0 +1,179 @@
+package streamopt
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"pimeval/internal/cmdstream"
+	"pimeval/internal/fault"
+)
+
+// drain collects a Source into a slice plus its (possibly re-stamped)
+// header.
+func drain(t *testing.T, src cmdstream.Source) (cmdstream.Header, []cmdstream.Record) {
+	t.Helper()
+	var recs []cmdstream.Record
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if err := cmdstream.Materialize(src, rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, *rec)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return src.Header(), recs
+}
+
+// hoistableStream builds a stream with dead code and a hoistable invariant
+// inside a repeat scope, long enough to span several optimizer windows when
+// replicated.
+func hoistableStream(blocks int) *cmdstream.Stream {
+	s := &cmdstream.Stream{Header: header()}
+	base := int64(0)
+	for b := 0; b < blocks; b++ {
+		o := func(i int64) int64 { return base + i }
+		s.Records = append(s.Records,
+			alloc(o(1)), alloc(o(2)), alloc(o(3)), alloc(o(4)),
+			h2d(o(1)), h2d(o(2)),
+			// Dead: o(3) is written, never observed, then freed.
+			binRec("mul", o(1), o(2), o(3)),
+			free(o(3)),
+			repeatBegin(4),
+			// Invariant: inputs never written inside the scope → hoisted.
+			scalarRec("mul", o(1), 7, o(4)),
+			binRec("add", o(2), o(4), o(2)),
+			repeatEnd(),
+			d2h(o(2)),
+			free(o(1)), free(o(2)), free(o(4)),
+		)
+		base += 4
+	}
+	for i := range s.Records {
+		s.Records[i].Seq = int64(i + 1)
+	}
+	return s
+}
+
+// TestOptimizeSourceMatchesSlice is the differential check: the windowed
+// streaming optimizer (DCE+Hoist over bounded windows) must produce exactly
+// the records, header stamps, and counters of the slice-based Optimize on
+// the same stream — including streams long enough to cross window
+// boundaries.
+func TestOptimizeSourceMatchesSlice(t *testing.T) {
+	cfg := Config{DeadCode: true, Hoist: true}
+	// 2000 blocks × 16 records ≈ 32000 records: ~8 windows of 4096.
+	for _, blocks := range []int{1, 3, 2000} {
+		s := hoistableStream(blocks)
+		want, wantRes, err := Optimize(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, gotRes, err := OptimizeSource(cmdstream.FromStream(s), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotHeader, gotRecs := drain(t, src)
+		if !reflect.DeepEqual(gotRecs, want.Records) {
+			t.Errorf("blocks=%d: windowed records differ from slice optimizer (%d vs %d records)",
+				blocks, len(gotRecs), len(want.Records))
+		}
+		// The windowed pass stamps "deadcode.window" (its in-window
+		// liveness is a conservative variant of whole-stream deadcode).
+		if want := []string{"deadcode.window", "hoist"}; !reflect.DeepEqual(gotHeader.Optimized, want) {
+			t.Errorf("blocks=%d: header stamps %v, want %v", blocks, gotHeader.Optimized, want)
+		}
+		// Counters are final only after the source drains.
+		if gotRes.Eliminated != wantRes.Eliminated || gotRes.Hoisted != wantRes.Hoisted {
+			t.Errorf("blocks=%d: result %+v, want %+v", blocks, gotRes, wantRes)
+		}
+		if wantRes.Eliminated == 0 || wantRes.Hoisted == 0 {
+			t.Fatalf("blocks=%d: degenerate fixture (nothing eliminated/hoisted: %+v)", blocks, wantRes)
+		}
+	}
+}
+
+// TestOptimizeSourceSeqRenumbered: the windowed source must emit dense
+// 1-based sequence numbers after elimination, like the slice optimizer.
+func TestOptimizeSourceSeqRenumbered(t *testing.T) {
+	src, _, err := OptimizeSource(cmdstream.FromStream(hoistableStream(5)), Config{DeadCode: true, Hoist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recs := drain(t, src)
+	for i, rec := range recs {
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("record %d has seq %d, want %d", i, rec.Seq, i+1)
+		}
+	}
+}
+
+// TestOptimizeSourcePassthrough: no passes requested → the source is
+// returned unwrapped; corrupting fault configs → Skipped passthrough.
+func TestOptimizeSourcePassthrough(t *testing.T) {
+	s := hoistableStream(1)
+	src, res, err := OptimizeSource(cmdstream.FromStream(s), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Changed() || res.Skipped != "" {
+		t.Errorf("no-pass result = %+v, want untouched", res)
+	}
+	_, recs := drain(t, src)
+	if !reflect.DeepEqual(recs, s.Records) {
+		t.Error("no-pass OptimizeSource altered the stream")
+	}
+
+	h := header()
+	h.Faults = &fault.Config{Seed: 1, TransientBitRate: 1e-4}
+	f := hoistableStream(1)
+	f.Header = h
+	src, res, err = OptimizeSource(cmdstream.FromStream(f), All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped == "" {
+		t.Errorf("corrupting-fault result = %+v, want skipped", res)
+	}
+	gotHeader, recs := drain(t, src)
+	if !reflect.DeepEqual(recs, f.Records) || len(gotHeader.Optimized) != 0 {
+		t.Error("corrupting-fault stream was modified")
+	}
+}
+
+// TestOptimizeSourceValidates: malformed streams (nested scopes,
+// unterminated scopes) must be rejected mid-stream, not silently
+// optimized.
+func TestOptimizeSourceValidates(t *testing.T) {
+	bad := map[string][]cmdstream.Record{
+		"nested":       {repeatBegin(2), repeatBegin(2), repeatEnd(), repeatEnd()},
+		"unterminated": {alloc(1), repeatBegin(2), scalarRec("mul", 1, 3, 1)},
+		"zero-factor":  {repeatBegin(0), repeatEnd()},
+	}
+	for name, recs := range bad {
+		for i := range recs {
+			recs[i].Seq = int64(i + 1)
+		}
+		src, _, err := OptimizeSource(cmdstream.FromRecords(header(), recs), Config{DeadCode: true, Hoist: true})
+		if err != nil {
+			continue // eager rejection is fine too
+		}
+		for {
+			_, err = src.Next()
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF {
+			t.Errorf("%s: malformed stream optimized without error", name)
+		}
+	}
+}

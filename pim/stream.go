@@ -15,23 +15,63 @@ import (
 
 // Stream is a recorded command stream: a device header plus one IR record
 // per operation dispatched while recording was enabled. Serialize with
-// (*Stream).Encode and read back with DecodeStream.
+// (*Stream).Encode / EncodeFormat and read back with DecodeStream.
 type Stream = cmdstream.Stream
 
-// RecordStream starts capturing the device's command stream. Operations
-// issued before this call are not part of the stream, so start recording
-// before the first allocation to capture a self-contained, replayable run.
-// On a functional device the stream carries host-to-device payloads and
-// reduction results, making replays fully verifiable.
+// StreamSource is the streaming (iterator) face of a command stream: a
+// header plus one record at a time, so multi-GB traces decode, optimize,
+// and replay with bounded memory. Obtain one with OpenStreamSource.
+type StreamSource = cmdstream.Source
+
+// StreamFormat selects a stream wire encoding: StreamJSON (human-readable)
+// or StreamBinary (bit-packed, ~4-10x smaller, chunked payloads).
+type StreamFormat = cmdstream.Format
+
+// The stream wire encodings.
+const (
+	StreamJSON   = cmdstream.FormatJSON
+	StreamBinary = cmdstream.FormatBinary
+)
+
+// ParseStreamFormat maps "json" / "bin" onto a StreamFormat.
+func ParseStreamFormat(s string) (StreamFormat, error) { return cmdstream.ParseFormat(s) }
+
+// RecordStream starts capturing the device's command stream in memory.
+// Operations issued before this call are not part of the stream, so start
+// recording before the first allocation to capture a self-contained,
+// replayable run. On a functional device the stream carries host-to-device
+// payloads and reduction results, making replays fully verifiable.
 func (v *Device) RecordStream() { v.d.StartRecording() }
+
+// RecordStreamTo streams the device's command stream to w in the given
+// format as operations are dispatched, so the trace never materializes in
+// memory — the recording path for paper-scale functional runs. Call
+// FinishRecording when done to flush the encoder and surface any write
+// error. May be combined with RecordStream and with multiple destinations.
+func (v *Device) RecordStreamTo(w io.Writer, f StreamFormat) error {
+	return v.d.StartRecordingTo(cmdstream.NewWriter(w, f))
+}
+
+// FinishRecording closes every streaming recording destination, returning
+// the first deferred write/flush error. In-memory recording (RecordStream)
+// is unaffected.
+func (v *Device) FinishRecording() error { return v.d.FinishRecording() }
 
 // RecordedStream returns a snapshot of the captured command stream, or nil
 // if RecordStream was never called.
 func (v *Device) RecordedStream() *Stream { return v.d.RecordedStream() }
 
-// DecodeStream reads a JSON-encoded command stream (see Stream.Encode) and
-// validates its header.
+// DecodeStream reads an encoded command stream — JSON or binary,
+// auto-detected — fully into memory and validates it. Truncated input fails
+// with an error wrapping cmdstream.ErrTruncated. For streams too large to
+// materialize, use OpenStreamSource.
 func DecodeStream(r io.Reader) (*Stream, error) { return cmdstream.Decode(r) }
+
+// OpenStreamSource opens a streaming decoder over an encoded command
+// stream (JSON or binary, auto-detected from the first bytes). Records are
+// decoded incrementally as the source is consumed; binary h2d payloads
+// stream in bounded chunks. The source never closes r.
+func OpenStreamSource(r io.Reader) (StreamSource, error) { return cmdstream.OpenSource(r) }
 
 // ReplayConfig controls the device a stream is replayed onto. The
 // architecture, geometry, and functional mode always come from the stream's
@@ -61,6 +101,28 @@ func Replay(s *Stream, rc ReplayConfig) (*Device, error) {
 		d.StartRecording()
 	}
 	if err := d.Replay(s); err != nil {
+		return nil, err
+	}
+	return &Device{d: d}, nil
+}
+
+// ReplaySource builds a fresh device from the source's header and
+// re-executes records as they are decoded: only the current record (or
+// repeat-scope body) is resident, and binary h2d payloads stream straight
+// into device storage in bounded chunks — a stream far larger than memory
+// replays with O(chunk) peak usage. The source is consumed but not closed.
+func ReplaySource(src StreamSource, rc ReplayConfig) (*Device, error) {
+	d, err := device.NewFromHeader(src.Header(), rc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if rc.Trace {
+		d.EnableTrace()
+	}
+	if rc.Record {
+		d.StartRecording()
+	}
+	if err := d.ReplaySource(src); err != nil {
 		return nil, err
 	}
 	return &Device{d: d}, nil

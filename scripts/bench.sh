@@ -2,7 +2,7 @@
 # Benchmark runner: measures the specialized element kernels and the stream
 # optimizer, archiving the raw results.
 #
-#   scripts/bench.sh [kernels-output.json] [streamopt-output.json]
+#   scripts/bench.sh [kernels-output.json] [streamopt-output.json] [binstream-output.json]
 #
 # Step 1 runs BenchmarkExecKernels (micro kernel-vs-reference loops plus the
 # device-level vecadd at each worker count) and BenchmarkBuildCached (compile
@@ -11,16 +11,21 @@
 # paper-scale stream, plus sim-speedup / sim-ms-saved / sim-mJ-saved /
 # records-removed custom metrics from the optimized replay) and
 # BenchmarkReplayOptimized (baseline vs optimized replay wall-clock),
-# writing to BENCH_streamopt.json. Both outputs are JSONL in test2json
-# format: one JSON object per line with Action/Package/Test/Output fields;
-# benchmark measurements appear in the Output field of "output" actions.
-# Summarized numbers live in EXPERIMENTS.md.
+# writing to BENCH_streamopt.json. Step 3 runs the stream-encoding
+# benchmarks (BenchmarkBinaryStream*/BenchmarkJSONStream*: encode and decode
+# throughput plus bytes/record for the bit-packed binary format vs JSON over
+# a payload-heavy recorded stream), writing to BENCH_binstream.json. All
+# outputs are JSONL in test2json format: one JSON object per line with
+# Action/Package/Test/Output fields; benchmark measurements appear in the
+# Output field of "output" actions. Summarized numbers live in
+# EXPERIMENTS.md.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_kernels.json}"
 sout="${2:-BENCH_streamopt.json}"
+bout="${3:-BENCH_binstream.json}"
 
 echo "==> go test -bench ExecKernels|BuildCached -> $out"
 go test -run='^$' -bench='^(BenchmarkExecKernels|BenchmarkBuildCached)$' \
@@ -37,3 +42,11 @@ go test -run='^$' -bench='^(BenchmarkStreamOptimize|BenchmarkReplayOptimized)$' 
 
 echo "==> wrote $sout"
 grep -o '"Output":"Benchmark[^"]*ns/op[^"]*' "$sout" | sed 's/"Output":"//; s/\\t/\t/g; s/\\n$//' || true
+
+echo "==> go test -bench BinaryStream|JSONStream -> $bout"
+go test -run='^$' -bench='^(BenchmarkBinaryStream|BenchmarkJSONStream)' \
+    -benchtime=5x -count=1 -json \
+    ./internal/cmdstream/ >"$bout"
+
+echo "==> wrote $bout"
+grep -o '"Output":"[^"]*\(Benchmark[^"]*\|ns/op[^"]*\)' "$bout" | sed 's/"Output":"//; s/\\t/\t/g; s/\\n$//' | grep -v '^Benchmark[A-Za-z]*$' || true
