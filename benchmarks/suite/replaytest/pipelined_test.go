@@ -1,0 +1,147 @@
+package replaytest
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	_ "pimeval/benchmarks/all" // register the benchmark suite
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+// The fault configurations the pipelined battery crosses with every
+// benchmark: fault-free, a fault rate under SEC-DED ECC (correcting), and a
+// corrupting rate without ECC. Faults are keyed by (seed, write sequence),
+// so a pipelined replay that reordered anything observable would diverge
+// loudly here.
+var pipelineFaultConfigs = []struct {
+	name string
+	cfg  *pim.FaultConfig
+}{
+	{"nofault", nil},
+	{"ecc", &pim.FaultConfig{Seed: 7, TransientBitRate: 1e-7, ECC: true}},
+	{"corrupting", &pim.FaultConfig{Seed: 11, TransientBitRate: 1e-6}},
+}
+
+// pipelinedCase records one benchmark, encodes the stream, then replays it
+// twice from the same bytes — serial ReplaySource vs pipelined — and
+// requires every observable to be bit-identical: metrics, report, trace,
+// fault counters, and the re-recorded stream itself. With optimize set,
+// both replays read through a windowed DCE+hoist optimizer stage, so the
+// pipeline is proven to compose with streaming optimization.
+func pipelinedCase(t *testing.T, name string, target pim.Target, format pim.StreamFormat, optimize bool, faults *pim.FaultConfig) {
+	t.Helper()
+	b, err := suite.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := func() (res suite.Result, err error) {
+		// Corrupting faults can break a benchmark's host phase outright
+		// (e.g. a corrupted sort key used as an index) — deterministically,
+		// given the fixed seed. Such a run records no stream to replay, so
+		// the case is skipped rather than failed; pimbench handles the same
+		// situation with suite.RunResilient.
+		defer func() {
+			if r := recover(); r != nil {
+				t.Skipf("benchmark cannot complete under this fault config: %v", r)
+			}
+		}()
+		return b.Run(suite.Config{
+			Target: target, Functional: true, Workers: 1, Record: true,
+			Faults: faults,
+		})
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stream == nil || len(res.Stream.Records) == 0 {
+		t.Fatal("run recorded no stream")
+	}
+	var buf bytes.Buffer
+	if err := res.Stream.EncodeFormat(&buf, format); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	replay := func(pipelined bool) *pim.Device {
+		t.Helper()
+		src, err := pim.OpenStreamSource(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optimize {
+			src, _, err = pim.OptimizeSource(src, pim.OptimizeConfig{DeadCode: true, Hoist: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		dev, err := pim.ReplaySource(src, pim.ReplayConfig{
+			Workers: 1, Trace: true, Record: true, Pipelined: pipelined,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dev
+	}
+
+	serial := replay(false)
+	piped := replay(true)
+
+	if got, want := piped.Metrics(), serial.Metrics(); !metricsBitIdentical(got, want) {
+		t.Errorf("metrics diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := piped.Report(), serial.Report(); got != want {
+		t.Errorf("report diverged:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := piped.TraceString(), serial.TraceString(); got != want {
+		t.Error("trace diverged")
+	}
+	if got, want := piped.FaultStats(), serial.FaultStats(); !reflect.DeepEqual(got, want) {
+		t.Errorf("fault counters diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := piped.RecordedStream(), serial.RecordedStream(); !reflect.DeepEqual(got, want) {
+		t.Errorf("re-recorded streams diverged (%d records vs %d)",
+			len(got.Records), len(want.Records))
+	}
+}
+
+// TestPipelinedReplayBattery is the pipelined-vs-serial differential
+// battery: every suite benchmark x binary/JSON encodings x optimized
+// (DCE+hoist) replay on/off x fault configurations. In -short mode a
+// representative benchmark per architecture runs the full inner cross; the
+// whole suite runs otherwise. Architectures rotate across benchmarks so
+// all three digital targets stay covered.
+func TestPipelinedReplayBattery(t *testing.T) {
+	type pair struct {
+		name   string
+		target pim.Target
+	}
+	var cases []pair
+	if testing.Short() {
+		cases = []pair{
+			{"vecadd", pim.BitSerial},
+			{"kmeans", pim.Fulcrum},
+			{"gemv", pim.BankLevel},
+		}
+	} else {
+		rot := []pim.Target{pim.BitSerial, pim.Fulcrum, pim.BankLevel}
+		for i, b := range suite.All() {
+			cases = append(cases, pair{b.Info().Name, rot[i%len(rot)]})
+		}
+	}
+	for _, c := range cases {
+		for _, format := range []pim.StreamFormat{pim.StreamBinary, pim.StreamJSON} {
+			for _, optimize := range []bool{false, true} {
+				for _, fc := range pipelineFaultConfigs {
+					c, format, optimize, fc := c, format, optimize, fc
+					label := fmt.Sprintf("%s/%v/%v/opt=%v/%s", c.name, c.target, format, optimize, fc.name)
+					t.Run(label, func(t *testing.T) {
+						pipelinedCase(t, c.name, c.target, format, optimize, fc.cfg)
+					})
+				}
+			}
+		}
+	}
+}

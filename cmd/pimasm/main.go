@@ -41,6 +41,7 @@ import (
 	"pimeval/internal/dram"
 	"pimeval/internal/isa"
 	"pimeval/internal/par"
+	"pimeval/internal/prof"
 	"pimeval/pim"
 )
 
@@ -91,20 +92,32 @@ func run(args []string, out io.Writer) error {
 		ecc        = fs.Bool("ecc", false, "enable the SEC-DED (72,64) ECC model for -record")
 		optimize   = fs.Bool("opt", false, "run the stream optimizer (all passes) on the command stream before writing (-record) or replaying (-replay)")
 		formatName = fs.String("format", "json", "stream encoding for -record: json or bin (replay auto-detects)")
+		pipeline   = fs.Bool("pipeline", false, "for -replay: decode on a pipeline stage overlapping I/O with execution (bit-identical results)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	format, err := pim.ParseStreamFormat(*formatName)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "pimasm:", perr)
+		}
+	}()
+	format, ferr := pim.ParseStreamFormat(*formatName)
+	if ferr != nil {
+		return ferr
 	}
 	var fcfg *pim.FaultConfig
 	if *faultRate > 0 || *ecc {
 		fcfg = &pim.FaultConfig{Seed: *faultSeed, TransientBitRate: *faultRate, ECC: *ecc}
 	}
 	if *replayPath != "" {
-		return replayStream(out, *replayPath, *workers, *optimize)
+		return replayStream(out, *replayPath, *workers, *optimize, *pipeline)
 	}
 	op, ok := opsByName[*opName]
 	if !ok {
@@ -304,7 +317,7 @@ func recordStream(out io.Writer, path string, format pim.StreamFormat, target pi
 // prints the device report. Without -opt the stream is replayed record by
 // record as it decodes (bounded memory, whatever the stream size); with
 // -opt it is materialized, optimized, and then replayed.
-func replayStream(out io.Writer, path string, workers int, optimize bool) error {
+func replayStream(out io.Writer, path string, workers int, optimize, pipeline bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -330,7 +343,7 @@ func replayStream(out io.Writer, path string, workers int, optimize bool) error 
 			return err
 		}
 		cs := &countingSource{Source: src}
-		if dev, err = pim.ReplaySource(cs, pim.ReplayConfig{Workers: workers}); err != nil {
+		if dev, err = pim.ReplaySource(cs, pim.ReplayConfig{Workers: workers, Pipelined: pipeline}); err != nil {
 			return err
 		}
 		replayed = cs.n

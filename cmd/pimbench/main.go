@@ -23,6 +23,7 @@ import (
 
 	_ "pimeval/benchmarks/all"
 	"pimeval/benchmarks/suite"
+	"pimeval/internal/prof"
 	"pimeval/pim"
 )
 
@@ -70,10 +71,22 @@ func run(args []string, out io.Writer) error {
 		stuck       = fs.Int("stuck", 0, "number of persistent stuck-at bit faults")
 		failedCores = fs.Int("failed-cores", 0, "number of failed PIM cores (subarrays/banks)")
 		retries     = fs.Int("retries", 2, "retry budget per benchmark for transient fault verdicts")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "pimbench:", perr)
+		}
+	}()
 	var fcfg *pim.FaultConfig
 	if *faultRate > 0 || *ecc || *stuck > 0 || *failedCores > 0 {
 		fcfg = &pim.FaultConfig{

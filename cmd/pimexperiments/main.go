@@ -15,6 +15,7 @@ import (
 
 	"pimeval/benchmarks/suite"
 	"pimeval/internal/experiments"
+	"pimeval/internal/prof"
 	"pimeval/pim"
 )
 
@@ -58,10 +59,22 @@ func run(args []string, stdout io.Writer) error {
 		batching = fs.Bool("batching", false, "small-problem batching study")
 		gdl      = fs.Bool("gdl", false, "bank-level GDL width ablation")
 		binstrm  = fs.Bool("binstream", false, "binary vs JSON stream encoding comparison")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "pimexperiments:", perr)
+		}
+	}()
 	experiments.Workers = *workers
 	if *faults > 0 || *ecc {
 		experiments.Faults = &pim.FaultConfig{

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"pimeval/internal/experiments"
+	"pimeval/internal/prof"
 	"pimeval/pim"
 )
 
@@ -42,10 +43,22 @@ func run(args []string, out io.Writer) error {
 		faultRate = fs.Float64("faults", 0, "transient bit-flip probability per written bit (enables fault injection)")
 		faultSeed = fs.Int64("fault-seed", 1, "seed driving every fault decision (fixed seed = reproducible faults)")
 		ecc       = fs.Bool("ecc", false, "enable the SEC-DED (72,64) ECC model")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "pimsweep:", perr)
+		}
+	}()
 	experiments.Workers = *workers
 	experiments.RecordDir = *recordDir
 	experiments.RecordFormat = *format

@@ -144,6 +144,10 @@ type Device struct {
 	res     resourceManager
 	pipe    pipeline
 	workers int
+	// pool is the device's handle on the persistent shared worker engine,
+	// sized once from Config.Workers; every functional dispatch reuses it
+	// instead of spawning goroutines.
+	pool *par.Pool
 	// ctx, when non-nil, cancels in-flight and subsequent operations
 	// (SetContext). nil means "never canceled" and costs nothing.
 	ctx context.Context
@@ -174,11 +178,13 @@ func New(cfg Config) (*Device, error) {
 	case TargetAnalogBitSerial:
 		arch = analog.NewModel()
 	}
+	pool := par.NewPool(cfg.Workers)
 	d := &Device{
 		cfg:     cfg,
 		arch:    arch,
 		em:      energy.NewModel(cfg.Module),
-		workers: par.Resolve(cfg.Workers),
+		workers: pool.Workers(),
+		pool:    pool,
 	}
 	if cfg.Faults.Enabled() {
 		inj, err := fault.NewInjector(*cfg.Faults, arch.Cores(cfg.Module.Geometry))

@@ -2,8 +2,6 @@ package device
 
 import (
 	"fmt"
-
-	"pimeval/internal/par"
 )
 
 // Parallel functional execution engine.
@@ -48,7 +46,7 @@ const tasksPerWorker = 4
 // error wrapped alongside) and the destination holds partial output.
 func (d *Device) forSpans(o *Object, fn func(lo, hi int64)) error {
 	sp := d.res.spans(o, d.workers)
-	err := par.ForCtx(d.ctx, d.workers, len(sp), func(i int) { fn(sp[i].lo, sp[i].hi) })
+	err := d.pool.ForCtx(d.ctx, len(sp), func(i int) { fn(sp[i].lo, sp[i].hi) })
 	if err != nil {
 		return fmt.Errorf("%w: functional execution interrupted: %w", ErrCanceled, err)
 	}
@@ -62,7 +60,7 @@ func (d *Device) forSpans(o *Object, fn func(lo, hi int64)) error {
 func spansCollect[T any](d *Device, o *Object, fn func(lo, hi int64) T) ([]T, error) {
 	sp := d.res.spans(o, d.workers)
 	parts := make([]T, len(sp))
-	err := par.ForCtx(d.ctx, d.workers, len(sp), func(i int) { parts[i] = fn(sp[i].lo, sp[i].hi) })
+	err := d.pool.ForCtx(d.ctx, len(sp), func(i int) { parts[i] = fn(sp[i].lo, sp[i].hi) })
 	if err != nil {
 		return nil, fmt.Errorf("%w: functional execution interrupted: %w", ErrCanceled, err)
 	}

@@ -46,3 +46,16 @@ func (d *Device) Replay(s *cmdstream.Stream) error { return cmdstream.Replay(d, 
 func (d *Device) ReplaySource(src cmdstream.Source) error {
 	return cmdstream.ReplaySource(d, src)
 }
+
+// ReplayPipelined re-executes a streaming source like ReplaySource, but
+// runs decode on its own goroutine behind a bounded queue
+// (cmdstream.PipelineSource), overlapping I/O + decode with execution.
+// Record order — and therefore the device's write sequence, fault
+// injection, statistics, latency, and energy — is exactly that of the
+// serial path; only wall-clock time changes. The source is left open, as
+// with ReplaySource.
+func (d *Device) ReplayPipelined(src cmdstream.Source) error {
+	ps := cmdstream.NewPipelineSource(src, 0)
+	defer ps.Close()
+	return cmdstream.ReplaySource(d, ps)
+}

@@ -41,6 +41,11 @@ type resourceManager struct {
 	freed    map[ObjID]bool
 	nextID   ObjID
 	usedBits int64
+	// spanBuf is the reusable span slice handed out by spans(). The
+	// dispatcher is single-threaded and every forSpans/spansCollect batch
+	// drains before the next dispatch, so one buffer per device suffices
+	// and the per-command allocation disappears from the hot path.
+	spanBuf []span
 }
 
 // init prepares an empty object table.
@@ -157,7 +162,8 @@ type span struct{ lo, hi int64 }
 func (rm *resourceManager) spans(o *Object, workers int) []span {
 	n := o.n
 	if workers <= 1 || n < parallelGrain {
-		return []span{{0, n}}
+		rm.spanBuf = append(rm.spanBuf[:0], span{0, n})
+		return rm.spanBuf
 	}
 	epc := o.elemsPerCore
 	if epc <= 0 {
@@ -170,7 +176,7 @@ func (rm *resourceManager) spans(o *Object, workers int) []span {
 		coresPerTask = minCores
 	}
 	step := coresPerTask * epc
-	out := make([]span, 0, (n+step-1)/step)
+	out := rm.spanBuf[:0]
 	for lo := int64(0); lo < n; lo += step {
 		hi := lo + step
 		if hi > n {
@@ -178,5 +184,6 @@ func (rm *resourceManager) spans(o *Object, workers int) []span {
 		}
 		out = append(out, span{lo, hi})
 	}
+	rm.spanBuf = out
 	return out
 }

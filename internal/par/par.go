@@ -8,6 +8,14 @@
 // task must write only state owned by its index (disjoint output ranges,
 // per-task partial results), and any cross-task merge must happen after For
 // returns, in task-index order.
+//
+// Workers are persistent: the package keeps a process-wide pool of parked
+// goroutines (grown lazily, never shrunk) and every For call hands its batch
+// to them, so per-dispatch cost is a channel send per borrowed worker rather
+// than a goroutine spawn plus WaitGroup churn. The calling goroutine always
+// participates in its own batch, which makes dispatch deadlock-free even if
+// every pooled worker is busy with another batch: the pool is grown so that
+// parked workers always cover every outstanding borrowed share.
 package par
 
 import (
@@ -29,89 +37,212 @@ func Resolve(workers int) int {
 	return workers
 }
 
+// ctxStride is how many claimed indices a participant runs between full
+// ctx.Err() checks. Every claim still observes the shared canceled flag (one
+// atomic load), so cancellation noticed by any participant stops the whole
+// batch within one index; the stride only bounds how often the context
+// itself — a mutex-guarded tree walk in the stdlib — is consulted.
+const ctxStride = 1024
+
+// Pool is a sized handle on the shared persistent worker engine. A Pool does
+// not own goroutines — it only fixes the parallelism width (via Resolve), so
+// handles are cheap, long-lived, and safe for concurrent use. One Pool per
+// device is the intended shape: the device resolves its Workers knob once
+// and every dispatch reuses the same handle.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a handle that runs batches at most Resolve(workers) wide.
+func NewPool(workers int) *Pool {
+	return &Pool{workers: Resolve(workers)}
+}
+
+// Workers reports the resolved parallelism width.
+func (p *Pool) Workers() int { return p.workers }
+
+// For runs fn(i) for every i in [0, n) at the pool's width. See For.
+func (p *Pool) For(n int, fn func(i int)) {
+	run(nil, p.workers, n, fn)
+}
+
+// ForCtx runs fn(i) for every i in [0, n) at the pool's width, stopping
+// early when ctx is canceled. See ForCtx.
+func (p *Pool) ForCtx(ctx context.Context, n int, fn func(i int)) error {
+	return ForCtx(ctx, p.workers, n, fn)
+}
+
 // ForCtx runs fn(i) for every i in [0, n) like For, but stops handing out
 // new indices once ctx is canceled or its deadline passes, and returns the
 // context's error. Tasks already claimed run to completion (fn is never
 // interrupted mid-element), so on a nil error every index was executed and
 // on a non-nil error the caller must treat any partially written output as
-// invalid. A nil ctx or a context that can never be canceled delegates to
-// For with no per-task overhead.
+// invalid. Cancellation is observed at every index through a shared atomic
+// flag, but ctx.Err() itself is polled only every ctxStride claims per
+// participant. A nil ctx or a context that can never be canceled delegates
+// to For with no per-task overhead.
 func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	if ctx == nil || ctx.Done() == nil {
-		For(workers, n, fn)
-		return nil
+		return run(nil, workers, n, fn)
 	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	var canceled atomic.Bool
-	For(workers, n, func(i int) {
-		if canceled.Load() {
-			return
-		}
-		if ctx.Err() != nil {
-			canceled.Store(true)
-			return
-		}
-		fn(i)
-	})
-	return ctx.Err()
+	return run(ctx, workers, n, fn)
 }
 
 // For runs fn(i) for every i in [0, n), dispatching indices across at most
-// `workers` goroutines. With workers <= 1 (or n <= 1) it degenerates to the
-// plain serial loop in index order — the reference execution path.
+// `workers` participants (the caller plus workers-1 pooled goroutines). With
+// workers <= 1 (or n <= 1) it degenerates to the plain serial loop in index
+// order — the reference execution path.
 //
 // Indices are handed out through a shared atomic counter, so task order
 // across workers is nondeterministic; callers must keep tasks independent.
 // A panic inside fn is captured and re-raised on the calling goroutine after
-// all workers have drained.
+// all participants have drained; the pool itself survives and the next For
+// call runs normally.
 func For(workers, n int, fn func(i int)) {
+	run(nil, workers, n, fn)
+}
+
+// run is the common core. ctx == nil means uncancelable.
+func run(ctx context.Context, workers, n int, fn func(i int)) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicked any
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicMu.Lock()
-					if panicked == nil {
-						panicked = r
-					}
-					panicMu.Unlock()
-					// Drain remaining indices so sibling workers exit
-					// promptly instead of processing a poisoned batch.
-					next.Store(int64(n))
-				}
-			}()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
+		if ctx == nil {
+			for i := 0; i < n; i++ {
 				fn(i)
 			}
-		}()
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if i&(ctxStride-1) == 0 && ctx.Err() != nil {
+				break
+			}
+			fn(i)
+		}
+		return ctx.Err()
 	}
-	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
+	b := &batch{fn: fn, n: int64(n), ctx: ctx, done: make(chan struct{})}
+	b.active.Store(int32(workers))
+	borrow(b, workers-1)
+	b.participate()
+	<-b.done
+	if b.panicked != nil {
+		panic(b.panicked)
+	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// batch is the shared state of one parallel For invocation.
+type batch struct {
+	fn func(i int)
+	n  int64
+	// next is the claim counter: participants take indices with Add(1)-1
+	// until it passes n. A panicking participant stores n to drain the
+	// batch so siblings exit promptly instead of processing poisoned work.
+	next atomic.Int64
+	// active counts participants (caller + borrowed workers) that have not
+	// finished; the last one out closes done.
+	active atomic.Int32
+	done   chan struct{}
+
+	ctx      context.Context // nil when uncancelable
+	canceled atomic.Bool
+
+	panicMu  sync.Mutex
+	panicked any
+}
+
+// participate claims and runs indices until the batch drains, then signals
+// completion. It never lets a panic escape: the first panic value is kept
+// for the batch's caller to re-raise.
+func (b *batch) participate() {
+	defer func() {
+		if r := recover(); r != nil {
+			b.panicMu.Lock()
+			if b.panicked == nil {
+				b.panicked = r
+			}
+			b.panicMu.Unlock()
+			b.next.Store(b.n)
+		}
+		if b.active.Add(-1) == 0 {
+			close(b.done)
+		}
+	}()
+	if b.ctx == nil {
+		for {
+			i := b.next.Add(1) - 1
+			if i >= b.n {
+				return
+			}
+			b.fn(int(i))
+		}
+	}
+	claims := 0
+	for {
+		if b.canceled.Load() {
+			return
+		}
+		if claims&(ctxStride-1) == ctxStride-1 && b.ctx.Err() != nil {
+			b.canceled.Store(true)
+			return
+		}
+		claims++
+		i := b.next.Add(1) - 1
+		if i >= b.n {
+			return
+		}
+		b.fn(int(i))
+	}
+}
+
+// engine is the process-wide persistent worker pool. Workers are spawned
+// lazily and never exit; the invariant is spawned >= demand, where demand is
+// the number of borrowed (dispatched, unfinished) batch shares across all
+// concurrent For calls. Since a busy worker accounts for exactly one share
+// of demand, parked workers always cover every queued share, so every share
+// is picked up promptly and no batch waits on a worker that will never come.
+var engine = struct {
+	work    chan *batch
+	demand  atomic.Int64
+	spawned atomic.Int64
+	mu      sync.Mutex
+}{
+	work: make(chan *batch, 128),
+}
+
+// borrow hands `shares` participation slots of b to pooled workers, growing
+// the pool first so the sends can always be absorbed.
+func borrow(b *batch, shares int) {
+	need := engine.demand.Add(int64(shares))
+	if engine.spawned.Load() < need {
+		engine.mu.Lock()
+		for engine.spawned.Load() < need {
+			engine.spawned.Add(1)
+			go workerLoop()
+		}
+		engine.mu.Unlock()
+	}
+	for i := 0; i < shares; i++ {
+		engine.work <- b
+	}
+}
+
+func workerLoop() {
+	for b := range engine.work {
+		b.participate()
+		engine.demand.Add(-1)
 	}
 }

@@ -3,7 +3,9 @@ package par
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -119,4 +121,143 @@ func TestForPanicPropagates(t *testing.T) {
 		}
 	})
 	t.Error("For returned instead of panicking")
+}
+
+func TestPoolWorkers(t *testing.T) {
+	if got := NewPool(0).Workers(); got != runtime.NumCPU() {
+		t.Errorf("NewPool(0).Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := NewPool(-2).Workers(); got != 1 {
+		t.Errorf("NewPool(-2).Workers() = %d, want 1", got)
+	}
+	if got := NewPool(6).Workers(); got != 6 {
+		t.Errorf("NewPool(6).Workers() = %d, want 6", got)
+	}
+}
+
+func TestPoolForCoversEveryIndexOnce(t *testing.T) {
+	p := NewPool(5)
+	const n = 2000
+	var hits [n]atomic.Int32
+	p.For(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if c := hits[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestPoolSurvivesPanic is the pool-reuse contract: a panicking batch
+// re-raises exactly once on the caller, and the persistent workers stay
+// healthy for the next call (repeatedly, to catch poisoned-worker leaks).
+func TestPoolSurvivesPanic(t *testing.T) {
+	p := NewPool(8)
+	for round := 0; round < 10; round++ {
+		raised := 0
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != "boom" {
+						t.Fatalf("round %d: recovered %v, want boom", round, r)
+					}
+					raised++
+				}
+			}()
+			p.For(1000, func(i int) {
+				if i%97 == 13 {
+					panic("boom")
+				}
+			})
+		}()
+		if raised != 1 {
+			t.Fatalf("round %d: panic raised %d times, want 1", round, raised)
+		}
+		// The pool must run a clean batch to completion right after.
+		var hits [500]atomic.Int32
+		p.For(len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("round %d: post-panic index %d ran %d times", round, i, c)
+			}
+		}
+	}
+}
+
+// TestPoolSurvivesCancellation runs a canceled batch and then a clean one on
+// the same pool, checking the cancellation neither leaks into nor starves
+// the next call.
+func TestPoolSurvivesCancellation(t *testing.T) {
+	p := NewPool(4)
+	for round := 0; round < 10; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var count atomic.Int32
+		const n = 200000
+		err := p.ForCtx(ctx, n, func(i int) {
+			if count.Add(1) == 10 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: got %v, want context.Canceled", round, err)
+		}
+		if c := count.Load(); c >= n {
+			t.Fatalf("round %d: all %d tasks ran despite cancellation", round, c)
+		}
+		var hits [500]atomic.Int32
+		if err := p.ForCtx(context.Background(), len(hits), func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatalf("round %d: clean batch after cancel: %v", round, err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("round %d: post-cancel index %d ran %d times", round, i, c)
+			}
+		}
+	}
+}
+
+// TestConcurrentBatches drives many For calls from independent goroutines at
+// once — the shared engine must keep every batch's index space isolated and
+// must not deadlock even when demand far exceeds NumCPU.
+func TestConcurrentBatches(t *testing.T) {
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := NewPool(3 + c%4)
+			const n = 3000
+			var hits [n]atomic.Int32
+			p.For(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					errs <- fmt.Errorf("caller %d: index %d ran %d times", c, i, got)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// BenchmarkParFor measures raw dispatch overhead for span-sized batches —
+// the per-command cost the persistent pool exists to shrink.
+func BenchmarkParFor(b *testing.B) {
+	for _, n := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("spans=%d", n), func(b *testing.B) {
+			p := NewPool(0)
+			var sink atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.For(n, func(j int) { sink.Add(int64(j)) })
+			}
+		})
+	}
 }

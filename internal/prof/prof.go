@@ -1,0 +1,60 @@
+// Package prof wires the standard -cpuprofile / -memprofile flags into the
+// command-line tools. It is a thin wrapper over runtime/pprof with the
+// lifecycle every tool needs: start CPU profiling immediately, and on stop
+// flush the CPU profile and snapshot the heap after a final GC — the
+// sequence `go tool pprof` expects.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two (possibly empty) file paths and
+// returns a stop function that finalizes whichever profiles were enabled.
+// With both paths empty it is a no-op returning a nil-error stop. The stop
+// function must run on the tool's main goroutine before exit (a deferred
+// call in run() is the intended shape); it is safe to call once.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("mem profile: %w", err)
+				}
+				return firstErr
+			}
+			// An up-to-date heap picture: collect garbage so the profile
+			// reflects live objects, not transient allocation noise.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

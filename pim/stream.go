@@ -45,11 +45,14 @@ func (v *Device) RecordStream() { v.d.StartRecording() }
 
 // RecordStreamTo streams the device's command stream to w in the given
 // format as operations are dispatched, so the trace never materializes in
-// memory — the recording path for paper-scale functional runs. Call
-// FinishRecording when done to flush the encoder and surface any write
-// error. May be combined with RecordStream and with multiple destinations.
+// memory — the recording path for paper-scale functional runs. Encoding and
+// writing run on a background stage (an AsyncSink) so they overlap the
+// execution producing the records; the bytes written are identical to a
+// synchronous encoder's. Call FinishRecording when done to drain the stage,
+// flush the encoder, and surface any deferred write error. May be combined
+// with RecordStream and with multiple destinations.
 func (v *Device) RecordStreamTo(w io.Writer, f StreamFormat) error {
-	return v.d.StartRecordingTo(cmdstream.NewWriter(w, f))
+	return v.d.StartRecordingTo(cmdstream.NewAsyncSink(cmdstream.NewWriter(w, f), 0))
 }
 
 // FinishRecording closes every streaming recording destination, returning
@@ -83,6 +86,12 @@ type ReplayConfig struct {
 	Trace bool
 	// Record re-records the replayed stream (for round-trip verification).
 	Record bool
+	// Pipelined runs decode on its own goroutine behind a bounded queue
+	// (ReplaySource only), overlapping I/O + decode with execution. Record
+	// order is exactly the serial path's, so every observable — data,
+	// statistics, trace, latency, energy, fault injection — is bit-identical;
+	// only wall-clock time changes.
+	Pipelined bool
 }
 
 // Replay builds a fresh device from the stream's header and re-executes
@@ -122,8 +131,23 @@ func ReplaySource(src StreamSource, rc ReplayConfig) (*Device, error) {
 	if rc.Record {
 		d.StartRecording()
 	}
-	if err := d.ReplaySource(src); err != nil {
+	replay := d.ReplaySource
+	if rc.Pipelined {
+		replay = d.ReplayPipelined
+	}
+	if err := replay(src); err != nil {
 		return nil, err
 	}
 	return &Device{d: d}, nil
+}
+
+// PipelineStreamSource wraps a StreamSource in a decode-ahead pipeline
+// stage: the wrapped source runs on its own goroutine and stays a bounded
+// window (depth records, <= 0 selects the default) ahead of the consumer.
+// Records, payload frames, and errors arrive in exactly the wrapped
+// source's order. Close the returned source when done — the wrapped source
+// stays open and owned by the caller, so a pipeline can be layered around
+// any stage (a decoder, an optimizer window, …).
+func PipelineStreamSource(src StreamSource, depth int) *cmdstream.PipelineSource {
+	return cmdstream.NewPipelineSource(src, depth)
 }

@@ -2,7 +2,8 @@
 # Benchmark runner: measures the specialized element kernels and the stream
 # optimizer, archiving the raw results.
 #
-#   scripts/bench.sh [kernels-output.json] [streamopt-output.json] [binstream-output.json]
+#   scripts/bench.sh [kernels-output.json] [streamopt-output.json] \
+#                    [binstream-output.json] [pipeline-output.json]
 #
 # Step 1 runs BenchmarkExecKernels (micro kernel-vs-reference loops plus the
 # device-level vecadd at each worker count) and BenchmarkBuildCached (compile
@@ -14,7 +15,13 @@
 # writing to BENCH_streamopt.json. Step 3 runs the stream-encoding
 # benchmarks (BenchmarkBinaryStream*/BenchmarkJSONStream*: encode and decode
 # throughput plus bytes/record for the bit-packed binary format vs JSON over
-# a payload-heavy recorded stream), writing to BENCH_binstream.json. All
+# a payload-heavy recorded stream), writing to BENCH_binstream.json. Step 4
+# runs the pipelined-execution benchmarks (BenchmarkPipelinedReplay: serial
+# vs pipelined out-of-core replay, in-memory and through a paced 150 MB/s
+# link; BenchmarkRecordStream / BenchmarkPipelineSourceDecode: async-sink
+# recording and decode-ahead throughput; BenchmarkDispatch and
+# BenchmarkParFor: dispatch-path ns/op + allocs/op and the reusable worker
+# pool), writing to BENCH_pipeline.json. All
 # outputs are JSONL in test2json format: one JSON object per line with
 # Action/Package/Test/Output fields; benchmark measurements appear in the
 # Output field of "output" actions. Summarized numbers live in
@@ -26,6 +33,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_kernels.json}"
 sout="${2:-BENCH_streamopt.json}"
 bout="${3:-BENCH_binstream.json}"
+pout="${4:-BENCH_pipeline.json}"
 
 echo "==> go test -bench ExecKernels|BuildCached -> $out"
 go test -run='^$' -bench='^(BenchmarkExecKernels|BenchmarkBuildCached)$' \
@@ -50,3 +58,15 @@ go test -run='^$' -bench='^(BenchmarkBinaryStream|BenchmarkJSONStream)' \
 
 echo "==> wrote $bout"
 grep -o '"Output":"[^"]*\(Benchmark[^"]*\|ns/op[^"]*\)' "$bout" | sed 's/"Output":"//; s/\\t/\t/g; s/\\n$//' | grep -v '^Benchmark[A-Za-z]*$' || true
+
+echo "==> go test -bench PipelinedReplay|RecordStream|PipelineSourceDecode|Dispatch|ParFor -> $pout"
+go test -run='^$' \
+    -bench='^(BenchmarkPipelinedReplay|BenchmarkRecordStream|BenchmarkPipelineSourceDecode)$' \
+    -benchtime=5x -count=1 -json \
+    ./internal/cmdstream/ >"$pout"
+go test -run='^$' -bench='^(BenchmarkDispatch|BenchmarkParFor)$' \
+    -benchtime=1s -count=1 -json \
+    . ./internal/par/ >>"$pout"
+
+echo "==> wrote $pout"
+grep -o '"Output":"[^"]*\(Benchmark[^"]*\|ns/op[^"]*\)' "$pout" | sed 's/"Output":"//; s/\\t/\t/g; s/\\n$//' | grep -v '^Benchmark[A-Za-z]*$' || true
