@@ -1,0 +1,26 @@
+package suite
+
+import (
+	"fmt"
+
+	"pimeval/pim"
+)
+
+// RecordStream runs b once under cfg with in-memory stream recording forced
+// on and returns the recorded command stream alongside the run's result.
+// This is the producer side of the serving workflow: a recorded stream is a
+// self-contained session a client can encode (Stream.EncodeFormat) and
+// submit to the stream-execution server — or replay locally with
+// pim.ReplaySource — and the load generator (cmd/pimload) uses it to turn
+// any suite benchmark into server traffic.
+func RecordStream(b Benchmark, cfg Config) (*pim.Stream, Result, error) {
+	cfg.Record = true
+	res, err := b.Run(cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	if res.Stream == nil || len(res.Stream.Records) == 0 {
+		return nil, res, fmt.Errorf("suite: %s recorded no command stream", b.Info().Name)
+	}
+	return res.Stream, res, nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadInProcess runs the full generator against an in-process server
+// with verification on and checks the emitted report.
+func TestLoadInProcess(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-benchmarks", "vecadd",
+		"-sessions", "8",
+		"-concurrency", "4",
+		"-tenants", "2",
+		"-devices", "2",
+		"-verify",
+		"-out", outPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verified: all 8 responses bit-identical") {
+		t.Errorf("verification line missing:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 8 || rep.Failed != 0 || rep.Rejected != 0 {
+		t.Errorf("report counts: %+v", rep)
+	}
+	if !rep.Verified || rep.Mismatch != 0 {
+		t.Errorf("report not verified: %+v", rep)
+	}
+	if rep.SessionsPerSec <= 0 || rep.LatencyP99MS < rep.LatencyP50MS {
+		t.Errorf("report rates malformed: %+v", rep)
+	}
+	if rep.ServerEnd == nil {
+		t.Error("report is missing the final server metrics snapshot")
+	}
+}
+
+// TestLoadJSONFormat exercises the JSON wire format path.
+func TestLoadJSONFormat(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-benchmarks", "vecadd",
+		"-format", "json",
+		"-sessions", "4",
+		"-concurrency", "2",
+		"-verify",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+}
+
+// TestLoadBadInput pins CLI error handling.
+func TestLoadBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-benchmarks", "no-such-benchmark"}, &out); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-format", "xml"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-target", "cray"}, &out); err == nil {
+		t.Error("unknown target accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pimeval/internal/server"
+	"pimeval/pim"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while run() writes to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// recordStream builds a small session via the public API.
+func recordStream(t *testing.T) []byte {
+	t.Helper()
+	dev, err := pim.NewDevice(pim.Config{Target: pim.Fulcrum, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.RecordStream()
+	x, err := dev.Alloc(64, pim.Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := dev.AllocAssociated(x)
+	data := make([]int32, 64)
+	for i := range data {
+		data[i] = int32(i)
+	}
+	if err := pim.CopyToDevice(dev, x, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Add(x, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.RedSum(y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dev.RecordedStream().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServeLifecycle drives the daemon loop end to end: serve on a loopback
+// port, submit a session, check /metrics saw it, then cancel the context
+// and check serve drains and returns cleanly.
+func TestServeLifecycle(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, server.Config{Devices: 2}, 5*time.Second) }()
+
+	base := "http://" + l.Addr().String()
+	enc := recordStream(t)
+
+	// The listener is live before serve is called, so the first request
+	// needs no readiness polling.
+	resp, err := http.Post(base+"/v1/submit", "application/octet-stream", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr server.SubmitResult
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sr.Records == 0 {
+		t.Fatalf("submit: status %d, records %d", resp.StatusCode, sr.Records)
+	}
+
+	mr, err := http.Get(base + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap server.Snapshot
+	if err := json.NewDecoder(mr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	if snap.SessionsTotal != 1 {
+		t.Errorf("sessions_total = %d, want 1", snap.SessionsTotal)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after context cancellation")
+	}
+}
+
+// TestRunFlagHandling pins the CLI contract for bad input.
+func TestRunFlagHandling(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "not-a-real-address:nope"}, &out); err == nil {
+		t.Error("unusable listen address accepted")
+	}
+}
+
+// TestRunServesUntilCanceled covers run() itself on an ephemeral port.
+func TestRunServesUntilCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-devices", "1"}, &out) }()
+
+	// Wait for the listen line so the listener exists, then shut down.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !strings.Contains(out.String(), "listening") {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+	if !strings.Contains(out.String(), "pimserved listening on http://127.0.0.1:") {
+		t.Errorf("missing listen banner in output: %q", out.String())
+	}
+}

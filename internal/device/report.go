@@ -1,0 +1,31 @@
+package device
+
+import "fmt"
+
+// ParamsHeader renders the device-parameters block that heads the
+// artifact-style statistics report (Listing 3). It depends only on the
+// device configuration, so a device reconstructed from a stream header
+// renders the identical block — the server and the public pim.Device.Report
+// both build their reports from it, keeping the two byte-identical.
+func (d *Device) ParamsHeader() string {
+	mod := d.cfg.Module
+	g := mod.Geometry
+	return fmt.Sprintf(
+		"PIM Params:\n"+
+			"  PIM Simulation Target : %s\n"+
+			"  Rank, Bank, Subarray, Row, Col : %d, %d, %d, %d, %d\n"+
+			"  Number of PIM Cores : %d\n"+
+			"  Typical Rank BW : %f GB/s\n"+
+			"  Row Read (ns) : %f\n"+
+			"  Row Write (ns) : %f\n"+
+			"  tCCD (ns) : %f",
+		d.arch.Name(), g.Ranks, g.BanksPerRank, g.SubarraysPerBank,
+		g.RowsPerSubarray, g.ColsPerRow, d.Cores(), mod.RankBandwidthGBs,
+		mod.Timing.RowReadNS, mod.Timing.RowWriteNS, mod.Timing.TCCDNS)
+}
+
+// ReportString renders the full artifact-style report: the parameters
+// header followed by the accumulated statistics.
+func (d *Device) ReportString() string {
+	return d.Stats().Report(d.ParamsHeader())
+}

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pimeval/pim"
+)
+
+// TestConcurrentTenantsIsolated floods a small device pool with many
+// parallel tenants running two different workloads and checks session
+// isolation end to end: every response must exactly equal the local replay
+// of the tenant's own stream (no cross-tenant statistics or device
+// namespace bleed), and the /metrics aggregate must equal the sum over all
+// sessions. Run under -race this is also the server's data-race battery.
+func TestConcurrentTenantsIsolated(t *testing.T) {
+	srv := New(Config{Devices: 3, Queue: 1 << 20, Workers: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	streamA := recordStream(t, pim.Config{Target: pim.Fulcrum, Functional: true})
+	streamB := recordStream(t, pim.Config{Target: pim.BankLevel, Functional: true, Ranks: 8})
+	encA := encodeStream(t, streamA, pim.StreamBinary)
+	encB := encodeStream(t, streamB, pim.StreamJSON)
+	wantA := localExpected(t, encA, 1)
+	wantB := localExpected(t, encB, 1)
+
+	const tenants = 16
+	const sessionsPer = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, tenants*sessionsPer)
+	var h2dTotal atomic.Int64
+	for i := 0; i < tenants; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			enc, want := encA, wantA
+			if i%2 == 1 {
+				enc, want = encB, wantB
+			}
+			for j := 0; j < sessionsPer; j++ {
+				resp, sr, errMsg := submitQuiet(ts, enc, fmt.Sprintf("tenant-%02d", i))
+				if resp == nil || resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("tenant %d session %d: status %v: %s", i, j, resp, errMsg)
+					continue
+				}
+				got := pim.Metrics{
+					KernelMS: sr.Metrics.KernelMS, HostMS: sr.Metrics.HostMS, CopyMS: sr.Metrics.CopyMS,
+					KernelMJ: sr.Metrics.KernelMJ, HostMJ: sr.Metrics.HostMJ, CopyMJ: sr.Metrics.CopyMJ,
+					HostToDeviceBytes:   sr.Metrics.HostToDeviceBytes,
+					DeviceToHostBytes:   sr.Metrics.DeviceToHostBytes,
+					DeviceToDeviceBytes: sr.Metrics.DeviceToDeviceBytes,
+				}
+				if got != want.metrics || sr.Report != want.report || sr.CommandCSV != want.csv {
+					errc <- fmt.Errorf("tenant %d session %d: response diverged from local replay (isolation broken)", i, j)
+					continue
+				}
+				h2dTotal.Add(sr.Metrics.HostToDeviceBytes)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	snap := srv.snapshot()
+	if snap.SessionsTotal != tenants*sessionsPer {
+		t.Errorf("sessions_total = %d, want %d", snap.SessionsTotal, tenants*sessionsPer)
+	}
+	if snap.SessionsFailed != 0 || snap.RejectedCapacity != 0 || snap.RejectedQuota != 0 {
+		t.Errorf("unexpected failures/rejects: %+v", snap)
+	}
+	if snap.ActiveSessions != 0 || snap.QueueDepth != 0 {
+		t.Errorf("slots leaked: active %d queue %d", snap.ActiveSessions, snap.QueueDepth)
+	}
+	if snap.HostToDeviceBytes != h2dTotal.Load() {
+		t.Errorf("aggregate h2d bytes %d != sum over sessions %d", snap.HostToDeviceBytes, h2dTotal.Load())
+	}
+}
+
+// TestSaturationDeterministic429 pins the admission contract: with one
+// device slot held and no queue, the next submit is rejected immediately
+// with 429 + Retry-After — deterministically, not timing-dependently — and
+// the slot's release restores service.
+func TestSaturationDeterministic429(t *testing.T) {
+	srv := New(Config{Devices: 1, Queue: -1, Workers: 1})
+	started := make(chan struct{})
+	releaseHold := make(chan struct{})
+	var once sync.Once
+	srv.testHookReplayStart = func(ctx context.Context, tenant, session string) {
+		once.Do(func() {
+			close(started)
+			<-releaseHold
+		})
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	enc := encodeStream(t, recordStream(t, pim.Config{Target: pim.Fulcrum, Functional: true}), pim.StreamBinary)
+
+	// Session 1 acquires the only slot and parks in the test hook.
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, _, _ := submitQuiet(ts, enc, "holder")
+		code := 0
+		if resp != nil {
+			code = resp.StatusCode
+		}
+		firstDone <- code
+	}()
+	<-started
+
+	// With the slot held and no queue, rejection is immediate and exact.
+	resp, _, _ := submitQuiet(ts, enc, "rejected")
+	if resp == nil || resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: got %v, want 429", resp)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 lacks Retry-After header")
+	}
+	snap := srv.snapshot()
+	if snap.RejectedCapacity != 1 {
+		t.Errorf("rejected_capacity = %d, want 1", snap.RejectedCapacity)
+	}
+	if snap.ActiveSessions != 1 {
+		t.Errorf("active_sessions = %d, want 1 (holder)", snap.ActiveSessions)
+	}
+
+	close(releaseHold)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("holder session: status %d, want 200", code)
+	}
+	if resp, _, errMsg := submitQuiet(ts, enc, "after"); resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release submit: %v %s", resp, errMsg)
+	}
+}
+
+// TestQueueAdmitsBurst checks the bounded queue: with 1 slot and queue 1, a
+// burst of 2 both complete (one waits), while a third is rejected.
+func TestQueueAdmitsBurst(t *testing.T) {
+	srv := New(Config{Devices: 1, Queue: 1, Workers: 1})
+	started := make(chan struct{})
+	releaseHold := make(chan struct{})
+	var once sync.Once
+	srv.testHookReplayStart = func(ctx context.Context, tenant, session string) {
+		once.Do(func() {
+			close(started)
+			<-releaseHold
+		})
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	enc := encodeStream(t, recordStream(t, pim.Config{Target: pim.Fulcrum, Functional: true}), pim.StreamBinary)
+
+	codes := make(chan int, 2)
+	go func() { // holder
+		resp, _, _ := submitQuiet(ts, enc, "t")
+		codes <- resp.StatusCode
+	}()
+	<-started
+	go func() { // queued
+		resp, _, _ := submitQuiet(ts, enc, "t")
+		codes <- resp.StatusCode
+	}()
+	// Wait until the second request is actually queued.
+	waitFor(t, func() bool { return srv.queue.Load() == 1 })
+
+	resp, _, _ := submitQuiet(ts, enc, "t") // queue full -> reject
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %d, want 429", resp.StatusCode)
+	}
+	close(releaseHold)
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("burst session %d: status %d, want 200", i, code)
+		}
+	}
+}
+
+// TestQuotaEnforcement drives the per-tenant token bucket with a fake
+// clock: burst admits, the next session is rejected with an exact
+// Retry-After, other tenants are unaffected, and refill restores admission.
+func TestQuotaEnforcement(t *testing.T) {
+	srv := New(Config{Devices: 4, Workers: 1, TenantRate: 1, TenantBurst: 2})
+	now := time.Unix(1_700_000_000, 0)
+	var nowMu sync.Mutex
+	srv.now = func() time.Time { nowMu.Lock(); defer nowMu.Unlock(); return now }
+	advance := func(d time.Duration) { nowMu.Lock(); now = now.Add(d); nowMu.Unlock() }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	enc := encodeStream(t, recordStream(t, pim.Config{Target: pim.Fulcrum, Functional: true}), pim.StreamBinary)
+
+	for i := 0; i < 2; i++ {
+		if resp, _, errMsg := submitQuiet(ts, enc, "hot"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst submit %d: %d %s", i, resp.StatusCode, errMsg)
+		}
+	}
+	resp, _, _ := submitQuiet(ts, enc, "hot")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\" (bucket refills in exactly 1s)", ra)
+	}
+	// A different tenant has its own bucket.
+	if resp, _, _ := submitQuiet(ts, enc, "cold"); resp.StatusCode != http.StatusOK {
+		t.Errorf("other tenant: %d, want 200", resp.StatusCode)
+	}
+	// One second later the hot tenant has exactly one token again.
+	advance(time.Second)
+	if resp, _, _ := submitQuiet(ts, enc, "hot"); resp.StatusCode != http.StatusOK {
+		t.Errorf("post-refill submit: %d, want 200", resp.StatusCode)
+	}
+	if resp, _, _ := submitQuiet(ts, enc, "hot"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("second post-refill submit: %d, want 429", resp.StatusCode)
+	}
+	snap := srv.snapshot()
+	if snap.RejectedQuota != 2 {
+		t.Errorf("rejected_quota = %d, want 2", snap.RejectedQuota)
+	}
+}
+
+// TestCancelMidReplayFreesSlot covers client disconnect: the request
+// context is canceled while the replay holds the only device slot; the
+// replay must abort with ErrCanceled (not run to completion), the slot must
+// come free, and the next session must succeed.
+func TestCancelMidReplayFreesSlot(t *testing.T) {
+	srv := New(Config{Devices: 1, Queue: -1, Workers: 1})
+	started := make(chan struct{})
+	canceled := make(chan struct{})
+	var once sync.Once
+	srv.testHookReplayStart = func(ctx context.Context, tenant, session string) {
+		once.Do(func() {
+			close(started)
+			// Hold the replay until the client's disconnect has propagated
+			// into the request context, so the cancellation deterministically
+			// lands mid-session rather than racing the replay.
+			<-canceled
+			<-ctx.Done()
+		})
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	enc := encodeStream(t, recordStream(t, pim.Config{Target: pim.Fulcrum, Functional: true}), pim.StreamBinary)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/submit", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-PIM-Tenant", "goner")
+	clientDone := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		clientDone <- err
+	}()
+	<-started
+	cancel()
+	if err := <-clientDone; err == nil {
+		t.Fatal("client request unexpectedly succeeded despite cancellation")
+	}
+	close(canceled)
+
+	// The handler observes the canceled context, aborts the replay, and
+	// releases the slot.
+	waitFor(t, func() bool { return srv.active() == 0 })
+	snap := srv.snapshot()
+	if snap.SessionsTotal != 0 {
+		t.Errorf("canceled session counted as completed: %+v", snap)
+	}
+	if snap.SessionsFailed != 1 {
+		t.Errorf("sessions_failed = %d, want 1 (the canceled replay)", snap.SessionsFailed)
+	}
+	if resp, _, errMsg := submitQuiet(ts, enc, "next"); resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit after cancellation: %v %s (device slot leaked?)", resp, errMsg)
+	}
+}
+
+// --- helpers ---
+
+// submitQuiet is submit without t (usable from goroutines): errors surface
+// as a nil response.
+func submitQuiet(ts *httptest.Server, enc []byte, tenant string) (*http.Response, *SubmitResult, string) {
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/submit", bytes.NewReader(enc))
+	if err != nil {
+		return nil, nil, err.Error()
+	}
+	req.Header.Set("X-PIM-Tenant", tenant)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return nil, nil, err.Error()
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er errorResult
+		json.NewDecoder(resp.Body).Decode(&er)
+		return resp, nil, er.Error
+	}
+	var sr SubmitResult
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return resp, nil, err.Error()
+	}
+	return resp, &sr, ""
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pimeval/pim"
+)
+
+// FuzzSubmit fuzzes the submit handler end to end: arbitrary bodies must
+// never panic the server, never leak a device slot or queue entry, and must
+// answer with either a success or a documented 4xx/5xx JSON error.
+func FuzzSubmit(f *testing.F) {
+	// Seeds: both wire formats of a real recorded session, plus the shapes
+	// the hostile battery already maps to specific statuses.
+	cfg := pim.Config{Target: pim.Fulcrum, Functional: true}
+	bin := encodeStream(f, recordStream(f, cfg), pim.StreamBinary)
+	jsn := encodeStream(f, recordStream(f, cfg), pim.StreamJSON)
+	f.Add(bin)
+	f.Add(jsn)
+	f.Add(bin[:len(bin)/2])
+	f.Add(jsn[:len(jsn)/2])
+	f.Add([]byte("PIMB"))
+	f.Add([]byte("{"))
+	f.Add([]byte{})
+	f.Add([]byte("totally unstructured noise \x00\xff"))
+
+	srv := New(Config{Devices: 2, Workers: 1, MaxBodyBytes: 1 << 24})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/submit", bytes.NewReader(body))
+		req.Header.Set("X-PIM-Tenant", "fuzz")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req) // must not panic
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity,
+			http.StatusRequestEntityTooLarge, http.StatusInternalServerError:
+		default:
+			t.Fatalf("undocumented status %d for fuzzed body (%d bytes)", rec.Code, len(body))
+		}
+		if a := srv.active(); a != 0 {
+			t.Fatalf("device slot leaked: active = %d", a)
+		}
+		if q := srv.queue.Load(); q != 0 {
+			t.Fatalf("queue entry leaked: depth = %d", q)
+		}
+	})
+}

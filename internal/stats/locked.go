@@ -1,0 +1,43 @@
+package stats
+
+import "sync"
+
+// Locked is a mutex-guarded statistics aggregate for concurrent producers
+// and readers. A bare *Stats is single-writer by contract (the simulator
+// charges costs from one dispatcher goroutine); once several goroutines
+// fold per-session or per-retry collectors into one shared aggregate — the
+// server's /metrics endpoint, suite retry paths — the map and float updates
+// inside Merge race. Locked serializes Merge against Snapshot so the
+// aggregate stays exactly the serial fold of everything merged into it, in
+// any arrival order (the commutativity property tested in merge_test.go).
+type Locked struct {
+	mu sync.Mutex
+	st *Stats
+}
+
+// NewLocked returns an empty guarded aggregate.
+func NewLocked() *Locked { return &Locked{st: New()} }
+
+// Merge folds o into the aggregate. o is read but not retained, so the
+// caller may keep mutating it after Merge returns (from one goroutine, per
+// the Stats single-writer contract).
+func (l *Locked) Merge(o *Stats) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.st.Merge(o)
+}
+
+// Snapshot returns an independent copy of the aggregate; the caller may
+// read it freely while further merges proceed.
+func (l *Locked) Snapshot() *Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.Clone()
+}
+
+// Reset clears the aggregate.
+func (l *Locked) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.st.Reset()
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"pimeval/internal/perf"
@@ -142,6 +143,61 @@ func TestMergeDoesNotModifySource(t *testing.T) {
 	dst.RecordCmd("poison", "add", 1, perf.Cost{TimeNS: 1})
 	if !equal(t, src, before) {
 		t.Error("Merge or later writes to dst modified the source collector")
+	}
+}
+
+// TestConcurrentMergesCommute is the property behind every shared-stats
+// reader in the repo — the server's /metrics aggregate and the resilient
+// retry paths both fold per-run collectors into one accumulator while other
+// goroutines read it. Bare Stats.Merge is not safe for that (concurrent map
+// writes); the guarded Locked aggregate must make concurrent merges from
+// many goroutines — with snapshots interleaved mid-merge — land on exactly
+// the serial aggregate, independent of arrival order. Dyadic costs make the
+// float sums round-free, so equality is bitwise. Run under -race this also
+// proves the aggregate is data-race-clean.
+func TestConcurrentMergesCommute(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		nShards := 2 + r.Intn(14)
+		shards := make([]*Stats, nShards)
+		serial := New()
+		for i := range shards {
+			shards[i] = New()
+			for _, rec := range randRecords(r, 1+r.Intn(40)) {
+				rec.apply(shards[i])
+				rec.apply(serial)
+			}
+		}
+
+		agg := NewLocked()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh *Stats) {
+				defer wg.Done()
+				<-start
+				agg.Merge(sh)
+			}(sh)
+		}
+		// Concurrent readers: snapshots taken mid-merge must be internally
+		// consistent (Clone never observes a torn map) — -race plus the
+		// absence of panics is the assertion here.
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				_ = agg.Snapshot().Commands()
+			}()
+		}
+		close(start)
+		wg.Wait()
+
+		if got := agg.Snapshot(); !equal(t, got, serial) {
+			t.Fatalf("trial %d: concurrent merge of %d shards != serial aggregate\ngot:    %+v\nserial: %+v",
+				trial, nShards, got.Commands(), serial.Commands())
+		}
 	}
 }
 

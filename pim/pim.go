@@ -368,21 +368,8 @@ func (v *Device) TraceString() string { return v.d.TraceString() }
 // ResetStats clears the device's accumulated statistics.
 func (v *Device) ResetStats() { v.d.Stats().Reset() }
 
-// Report renders the artifact-style statistics report (Listing 3).
-func (v *Device) Report() string {
-	mod := v.d.Config().Module
-	g := mod.Geometry
-	header := fmt.Sprintf(
-		"PIM Params:\n"+
-			"  PIM Simulation Target : %s\n"+
-			"  Rank, Bank, Subarray, Row, Col : %d, %d, %d, %d, %d\n"+
-			"  Number of PIM Cores : %d\n"+
-			"  Typical Rank BW : %f GB/s\n"+
-			"  Row Read (ns) : %f\n"+
-			"  Row Write (ns) : %f\n"+
-			"  tCCD (ns) : %f",
-		v.d.Arch().Name(), g.Ranks, g.BanksPerRank, g.SubarraysPerBank,
-		g.RowsPerSubarray, g.ColsPerRow, v.d.Cores(), mod.RankBandwidthGBs,
-		mod.Timing.RowReadNS, mod.Timing.RowWriteNS, mod.Timing.TCCDNS)
-	return v.d.Stats().Report(header)
-}
+// Report renders the artifact-style statistics report (Listing 3). The
+// rendering lives on the internal device (ParamsHeader/ReportString) so
+// every consumer — this API, the tools, the stream-execution server —
+// produces byte-identical reports for the same device state.
+func (v *Device) Report() string { return v.d.ReportString() }

@@ -7,6 +7,7 @@ package pim
 // trace, latency, and energy bit-for-bit (DESIGN.md §9).
 
 import (
+	"context"
 	"io"
 
 	"pimeval/internal/cmdstream"
@@ -92,6 +93,12 @@ type ReplayConfig struct {
 	// statistics, trace, latency, energy, fault injection — is bit-identical;
 	// only wall-clock time changes.
 	Pipelined bool
+	// Context, when non-nil, installs a cancellation context on the replay
+	// device before the first record executes (Device.SetContext): once it
+	// is canceled or its deadline passes, the replay stops cooperatively and
+	// fails with an error matching both ErrCanceled and the context's own
+	// error. This is how a server aborts a replay when its client goes away.
+	Context context.Context
 }
 
 // Replay builds a fresh device from the stream's header and re-executes
@@ -102,6 +109,9 @@ func Replay(s *Stream, rc ReplayConfig) (*Device, error) {
 	d, err := device.NewFromStream(s, rc.Workers)
 	if err != nil {
 		return nil, err
+	}
+	if rc.Context != nil {
+		d.SetContext(rc.Context)
 	}
 	if rc.Trace {
 		d.EnableTrace()
@@ -124,6 +134,9 @@ func ReplaySource(src StreamSource, rc ReplayConfig) (*Device, error) {
 	d, err := device.NewFromHeader(src.Header(), rc.Workers)
 	if err != nil {
 		return nil, err
+	}
+	if rc.Context != nil {
+		d.SetContext(rc.Context)
 	}
 	if rc.Trace {
 		d.EnableTrace()

@@ -3,7 +3,8 @@
 # optimizer, archiving the raw results.
 #
 #   scripts/bench.sh [kernels-output.json] [streamopt-output.json] \
-#                    [binstream-output.json] [pipeline-output.json]
+#                    [binstream-output.json] [pipeline-output.json] \
+#                    [server-output.json]
 #
 # Step 1 runs BenchmarkExecKernels (micro kernel-vs-reference loops plus the
 # device-level vecadd at each worker count) and BenchmarkBuildCached (compile
@@ -21,7 +22,11 @@
 # link; BenchmarkRecordStream / BenchmarkPipelineSourceDecode: async-sink
 # recording and decode-ahead throughput; BenchmarkDispatch and
 # BenchmarkParFor: dispatch-path ns/op + allocs/op and the reusable worker
-# pool), writing to BENCH_pipeline.json. All
+# pool), writing to BENCH_pipeline.json. Step 5 runs the stream-execution
+# server load benchmark (cmd/pimload against an in-process cmd/pimserved
+# core: concurrent tenant sessions with bit-identical verification),
+# writing sessions/sec and latency percentiles to BENCH_server.json — this
+# output is a single JSON report, not test2json JSONL. All other
 # outputs are JSONL in test2json format: one JSON object per line with
 # Action/Package/Test/Output fields; benchmark measurements appear in the
 # Output field of "output" actions. Summarized numbers live in
@@ -34,6 +39,7 @@ out="${1:-BENCH_kernels.json}"
 sout="${2:-BENCH_streamopt.json}"
 bout="${3:-BENCH_binstream.json}"
 pout="${4:-BENCH_pipeline.json}"
+svout="${5:-BENCH_server.json}"
 
 echo "==> go test -bench ExecKernels|BuildCached -> $out"
 go test -run='^$' -bench='^(BenchmarkExecKernels|BenchmarkBuildCached)$' \
@@ -70,3 +76,10 @@ go test -run='^$' -bench='^(BenchmarkDispatch|BenchmarkParFor)$' \
 
 echo "==> wrote $pout"
 grep -o '"Output":"[^"]*\(Benchmark[^"]*\|ns/op[^"]*\)' "$pout" | sed 's/"Output":"//; s/\\t/\t/g; s/\\n$//' | grep -v '^Benchmark[A-Za-z]*$' || true
+
+echo "==> pimload server benchmark -> $svout"
+go run ./cmd/pimload -benchmarks vecadd,axpy,gemv \
+    -sessions 256 -concurrency 64 -tenants 16 -devices 8 -verify \
+    -out "$svout"
+
+echo "==> wrote $svout"

@@ -23,4 +23,7 @@ fi
 echo "==> optimizer differential battery (race)"
 go test -race ./internal/streamopt/ ./internal/streamopt/difftest/
 
+echo "==> server battery (race)"
+go test -race ./internal/server/ ./internal/stats/ ./cmd/pimserved/ ./cmd/pimload/
+
 echo "OK"
