@@ -1,0 +1,160 @@
+package replaytest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	_ "pimeval/benchmarks/all" // register the benchmark suite
+	"pimeval/benchmarks/suite"
+	"pimeval/pim"
+)
+
+// recordEncoded records one suite benchmark (at size, 0 = functional
+// default) and returns its binary stream.
+func recordEncoded(tb testing.TB, name string, target pim.Target, size int64) []byte {
+	tb.Helper()
+	b, err := suite.ByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := b.Run(suite.Config{Target: target, Functional: true, Workers: 1, Record: true, Size: size})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Stream.EncodeFormat(&buf, pim.StreamBinary); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// countWriter discards while counting, so snapshot cost is measured without
+// buffer-growth noise.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
+
+// BenchmarkCheckpointOverhead measures what periodic checkpointing costs a
+// replay: an uninterrupted baseline vs the same replay snapshotting the
+// device at quarter-stream intervals. Custom metrics report the snapshot
+// size and how many checkpoints fired per replay.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	enc := recordEncoded(b, "kmeans", pim.Fulcrum, 512)
+	s, err := pim.DecodeStream(bytes.NewReader(enc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := int64(len(s.Records))
+	every := total / 4
+	if every < 1 {
+		every = 1
+	}
+
+	open := func() pim.StreamSource {
+		src, err := pim.OpenStreamSource(bytes.NewReader(enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return src
+	}
+
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pim.ReplaySource(open(), pim.ReplayConfig{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("checkpointed", func(b *testing.B) {
+		var snapBytes, checkpoints int64
+		for i := 0; i < b.N; i++ {
+			checkpoints = 0
+			_, err := pim.ReplaySource(open(), pim.ReplayConfig{
+				Workers:         1,
+				CheckpointEvery: every,
+				Checkpoint: func(cursor int64, d *pim.Device) error {
+					var cw countWriter
+					if err := d.WriteSnapshot(&cw, cursor); err != nil {
+						return err
+					}
+					snapBytes = cw.n
+					checkpoints++
+					return nil
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(snapBytes), "snapshot-bytes")
+		b.ReportMetric(float64(checkpoints), "checkpoints/op")
+	})
+}
+
+// BenchmarkRecoveryResume measures time-to-recover: restoring a snapshot
+// taken at ~1/4, ~1/2, and ~3/4 of the stream and replaying only the tail,
+// against replaying the whole stream from scratch — the trade the server's
+// checkpoint interval buys.
+func BenchmarkRecoveryResume(b *testing.B) {
+	enc := recordEncoded(b, "kmeans", pim.Fulcrum, 512)
+	s, err := pim.DecodeStream(bytes.NewReader(enc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := int64(len(s.Records))
+	every := total / 4
+	if every < 1 {
+		every = 1
+	}
+
+	open := func() pim.StreamSource {
+		src, err := pim.OpenStreamSource(bytes.NewReader(enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return src
+	}
+
+	type checkpoint struct {
+		cursor int64
+		snap   []byte
+	}
+	var checkpoints []checkpoint
+	if _, err := pim.ReplaySource(open(), pim.ReplayConfig{
+		Workers:         1,
+		CheckpointEvery: every,
+		Checkpoint: func(cursor int64, d *pim.Device) error {
+			var sb bytes.Buffer
+			if err := d.WriteSnapshot(&sb, cursor); err != nil {
+				return err
+			}
+			checkpoints = append(checkpoints, checkpoint{cursor, sb.Bytes()})
+			return nil
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pim.ReplaySource(open(), pim.ReplayConfig{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, cp := range checkpoints {
+		cp := cp
+		pct := 100 * cp.cursor / total
+		b.Run(fmt.Sprintf("resume-%02d%%", pct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := pim.ResumeReplaySource(bytes.NewReader(cp.snap), open(),
+					pim.ReplayConfig{Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(cp.snap)), "snapshot-bytes")
+		})
+	}
+}

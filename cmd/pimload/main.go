@@ -16,13 +16,17 @@ package main
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,13 +63,22 @@ type Report struct {
 	LatencyP99MS   float64 `json:"latency_p99_ms"`
 	LatencyMaxMS   float64 `json:"latency_max_ms"`
 
-	OK        int            `json:"ok"`
-	Rejected  int            `json:"rejected"` // 429/503, retried until accepted? no: counted and not retried
-	Failed    int            `json:"failed"`   // transport errors and 4xx/5xx outside admission
-	ByStatus  map[string]int `json:"by_status"`
-	Verified  bool           `json:"verified"`
-	Mismatch  int            `json:"mismatches"`
-	ServerEnd any            `json:"server_metrics"`
+	OK       int            `json:"ok"`
+	Rejected int            `json:"rejected"` // final 429/503 after retries were exhausted (or disabled)
+	Failed   int            `json:"failed"`   // transport errors and 4xx/5xx outside admission
+	ByStatus map[string]int `json:"by_status"`
+	Verified bool           `json:"verified"`
+	Mismatch int            `json:"mismatches"`
+
+	// Retry/idempotency accounting (-retries > 0). Deduplicated counts 200s
+	// the server answered from its idempotency store instead of re-executing;
+	// ExactlyOnce reports that the in-process server executed exactly one
+	// session per successful response — no retry was double-counted.
+	Retries      int  `json:"retries"`
+	Deduplicated int  `json:"deduplicated"`
+	ExactlyOnce  bool `json:"exactly_once,omitempty"`
+
+	ServerEnd any `json:"server_metrics"`
 }
 
 func parseTarget(name string) (pim.Target, error) {
@@ -98,6 +111,8 @@ func run(args []string, out io.Writer) error {
 		verify      = fs.Bool("verify", false, "compare every response against a local replay (bit-identical)")
 		devices     = fs.Int("devices", 4, "device slots for the in-process server")
 		workers     = fs.Int("workers", 1, "functional workers per session device")
+		retries     = fs.Int("retries", 0, "max resubmissions per session on transport errors and 429/503/504")
+		backoff     = fs.Duration("retry-backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, plus jitter; Retry-After wins when larger)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -181,16 +196,21 @@ func run(args []string, out io.Writer) error {
 	}
 	baseURL := "http://" + base
 
-	// Load phase: *concurrency clients drain a shared session counter.
+	// Load phase: *concurrency clients drain a shared session counter. Every
+	// session carries a run-unique Idempotency-Key, so retried submissions
+	// are executed (and counted) by the server at most once.
+	runID := newRunID()
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency}}
 	var (
-		next       atomic.Int64
-		mu         sync.Mutex
-		latMS      []float64
-		byStatus   = map[string]int{}
-		ok, rej    int
-		failed     int
-		mismatches int
+		next         atomic.Int64
+		mu           sync.Mutex
+		latMS        []float64
+		byStatus     = map[string]int{}
+		ok, rej      int
+		failed       int
+		mismatches   int
+		totalRetries int
+		dedupd       int
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -205,23 +225,28 @@ func run(args []string, out io.Writer) error {
 				}
 				wl := workloads[i%len(workloads)]
 				tenant := fmt.Sprintf("tenant-%02d", i%*tenants)
+				key := fmt.Sprintf("%s-%06d", runID, i)
 				t0 := time.Now()
-				sr, status, err := submit(client, baseURL, wl.enc, tenant)
+				oc := submitRetry(client, baseURL, wl.enc, tenant, key, *retries, *backoff)
 				lat := float64(time.Since(t0)) / 1e6
 				mu.Lock()
-				if err != nil {
+				totalRetries += oc.retries
+				if oc.dedup {
+					dedupd++
+				}
+				if oc.err != nil {
 					failed++
 					byStatus["transport-error"]++
 				} else {
-					byStatus[fmt.Sprint(status)]++
+					byStatus[fmt.Sprint(oc.status)]++
 					switch {
-					case status == http.StatusOK:
+					case oc.status == http.StatusOK:
 						ok++
 						latMS = append(latMS, lat)
-						if wl.expected != nil && !matches(sr, wl.expected) {
+						if wl.expected != nil && !matches(oc.sr, wl.expected) {
 							mismatches++
 						}
-					case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+					case oc.status == http.StatusTooManyRequests || oc.status == http.StatusServiceUnavailable:
 						rej++
 					default:
 						failed++
@@ -235,19 +260,21 @@ func run(args []string, out io.Writer) error {
 	elapsed := time.Since(start)
 
 	rep := Report{
-		Benchmarks:  want,
-		Target:      *target,
-		Format:      *format,
-		Sessions:    *sessions,
-		Concurrency: *concurrency,
-		Tenants:     *tenants,
-		ElapsedS:    elapsed.Seconds(),
-		OK:          ok,
-		Rejected:    rej,
-		Failed:      failed,
-		ByStatus:    byStatus,
-		Verified:    *verify && mismatches == 0 && ok > 0,
-		Mismatch:    mismatches,
+		Benchmarks:   want,
+		Target:       *target,
+		Format:       *format,
+		Sessions:     *sessions,
+		Concurrency:  *concurrency,
+		Tenants:      *tenants,
+		ElapsedS:     elapsed.Seconds(),
+		OK:           ok,
+		Rejected:     rej,
+		Failed:       failed,
+		ByStatus:     byStatus,
+		Verified:     *verify && mismatches == 0 && ok > 0,
+		Mismatch:     mismatches,
+		Retries:      totalRetries,
+		Deduplicated: dedupd,
 	}
 	if *addr == "" {
 		rep.Devices = *devices
@@ -261,11 +288,22 @@ func run(args []string, out io.Writer) error {
 	rep.LatencyP99MS = server.Percentile(latMS, 99)
 	rep.LatencyMaxMS = server.Percentile(latMS, 100)
 
-	// The server's own view of the run.
+	// The server's own view of the run. For the in-process server the typed
+	// snapshot also proves exactly-once accounting: the number of sessions
+	// the server executed equals the successful responses — retried work was
+	// answered from the idempotency store, never replayed (or counted) twice.
 	if resp, err := client.Get(baseURL + "/metrics?format=json"); err == nil {
-		var snap any
-		if json.NewDecoder(resp.Body).Decode(&snap) == nil {
-			rep.ServerEnd = snap
+		if data, rerr := io.ReadAll(resp.Body); rerr == nil {
+			var snap any
+			if json.Unmarshal(data, &snap) == nil {
+				rep.ServerEnd = snap
+			}
+			if *addr == "" {
+				var typed server.Snapshot
+				if json.Unmarshal(data, &typed) == nil {
+					rep.ExactlyOnce = typed.SessionsTotal == int64(ok) && typed.ActiveSessions == 0
+				}
+			}
 		}
 		resp.Body.Close()
 	}
@@ -274,6 +312,10 @@ func run(args []string, out io.Writer) error {
 		*sessions, ok, rej, failed, elapsed.Seconds(), rep.SessionsPerSec)
 	fmt.Fprintf(out, "latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 		rep.LatencyP50MS, rep.LatencyP90MS, rep.LatencyP99MS, rep.LatencyMaxMS)
+	if *retries > 0 {
+		fmt.Fprintf(out, "retries: %d resubmissions, %d answered from idempotency store\n",
+			totalRetries, dedupd)
+	}
 	if *verify {
 		if mismatches > 0 {
 			fmt.Fprintf(out, "VERIFY FAILED: %d responses diverged from local replay\n", mismatches)
@@ -301,27 +343,96 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// newRunID returns a short random tag that makes this run's idempotency
+// keys unique across pimload invocations sharing a server.
+func newRunID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// outcome is one session's final result after retries.
+type outcome struct {
+	sr      *server.SubmitResult
+	status  int
+	dedup   bool // the server answered from its idempotency store
+	retries int  // resubmissions beyond the first attempt
+	err     error
+}
+
+// retryable reports whether an attempt's result warrants a resubmission:
+// transport-level failures (the connection died; the server may or may not
+// have executed the session — the idempotency key makes resubmission safe)
+// and explicit try-again statuses.
+func retryable(status int, err error) bool {
+	if err != nil {
+		return true
+	}
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// submitRetry submits one session with exponential backoff: the wait after
+// attempt a is backoff·2^a plus up to 50% jitter, or the server's
+// Retry-After when that is larger.
+func submitRetry(client *http.Client, baseURL string, enc []byte, tenant, key string, retries int, backoff time.Duration) outcome {
+	var oc outcome
+	for attempt := 0; ; attempt++ {
+		var retryAfter time.Duration
+		oc.sr, oc.status, oc.dedup, retryAfter, oc.err = submit(client, baseURL, enc, tenant, key)
+		if attempt >= retries || !retryable(oc.status, oc.err) {
+			oc.retries = attempt
+			return oc
+		}
+		shift := attempt
+		if shift > 16 {
+			shift = 16
+		}
+		wait := backoff << uint(shift)
+		if wait > 0 {
+			wait += time.Duration(mrand.Int63n(int64(wait)/2 + 1))
+		}
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		time.Sleep(wait)
+	}
+}
+
 // submit posts one encoded stream and decodes the response body.
-func submit(client *http.Client, baseURL string, enc []byte, tenant string) (*server.SubmitResult, int, error) {
+func submit(client *http.Client, baseURL string, enc []byte, tenant, key string) (*server.SubmitResult, int, bool, time.Duration, error) {
 	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/submit", bytes.NewReader(enc))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, 0, err
 	}
 	req.Header.Set("X-PIM-Tenant", tenant)
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, 0, err
 	}
 	defer resp.Body.Close()
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, perr := strconv.Atoi(s); perr == nil && n >= 0 {
+			retryAfter = time.Duration(n) * time.Second
+		}
+	}
+	dedup := resp.Header.Get("X-PIM-Deduplicated") == "1"
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return nil, resp.StatusCode, nil
+		return nil, resp.StatusCode, dedup, retryAfter, nil
 	}
 	var sr server.SubmitResult
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, resp.StatusCode, err
+		return nil, resp.StatusCode, dedup, retryAfter, err
 	}
-	return &sr, resp.StatusCode, nil
+	return &sr, resp.StatusCode, dedup, retryAfter, nil
 }
 
 // localReference replays enc locally through the public API and shapes the

@@ -57,20 +57,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxBody = fs.Int64("max-body", 0, "max stream size in bytes (0 = 1 GiB)")
 		pipe    = fs.Bool("pipelined", false, "decode-ahead replay by default (?pipelined=0/1 overrides per request)")
 		drain   = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown")
+
+		stateDir  = fs.String("state-dir", "", "durability directory: session journal + idempotency store (empty disables)")
+		ckptEvery = fs.Int64("checkpoint-every", 0, "records between session checkpoints (0 = 4096, negative disables)")
+		sessionTO = fs.Duration("session-timeout", 0, "per-session replay deadline (0 = none)")
+		readTO    = fs.Duration("read-timeout", 5*time.Minute, "max time to read one request (slow-client bound, 0 = none)")
+		headerTO  = fs.Duration("read-header-timeout", 10*time.Second, "max time to read request headers (slow-loris bound, 0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	cfg := server.Config{
-		Devices:      *devices,
-		Queue:        *queue,
-		Workers:      *workers,
-		TenantRate:   *rate,
-		TenantBurst:  *burst,
-		MaxBodyBytes: *maxBody,
-		Pipelined:    *pipe,
-		Logger:       logger,
+		Devices:         *devices,
+		Queue:           *queue,
+		Workers:         *workers,
+		TenantRate:      *rate,
+		TenantBurst:     *burst,
+		MaxBodyBytes:    *maxBody,
+		Pipelined:       *pipe,
+		Logger:          logger,
+		StateDir:        *stateDir,
+		CheckpointEvery: *ckptEvery,
+		SessionTimeout:  *sessionTO,
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -78,14 +87,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "pimserved listening on http://%s (devices %d, queue %d)\n",
 		l.Addr(), *devices, *queue)
-	return serve(ctx, l, cfg, *drain)
+	return serve(ctx, l, cfg, *drain, *readTO, *headerTO)
 }
 
 // serve runs a server.New(cfg) on l until ctx is canceled, then drains
 // in-flight sessions (bounded by drainTimeout) before closing the listener.
-func serve(ctx context.Context, l net.Listener, cfg server.Config, drainTimeout time.Duration) error {
+// With a state directory configured, journaled sessions from a previous
+// instance are recovered before the listener starts accepting.
+func serve(ctx context.Context, l net.Listener, cfg server.Config, drainTimeout, readTimeout, headerTimeout time.Duration) error {
 	srv := server.New(cfg)
-	hs := &http.Server{Handler: srv}
+	if rs, err := srv.Recover(ctx); err != nil {
+		return fmt.Errorf("recover journaled sessions: %w", err)
+	} else if rs.Recovered > 0 || rs.Discarded > 0 {
+		fmt.Fprintf(os.Stderr, "pimserved: recovered %d journaled sessions, discarded %d\n",
+			rs.Recovered, rs.Discarded)
+	}
+	hs := &http.Server{
+		Handler:           srv,
+		ReadTimeout:       readTimeout,
+		ReadHeaderTimeout: headerTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(l) }()
 	select {

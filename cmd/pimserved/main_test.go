@@ -76,7 +76,7 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, l, server.Config{Devices: 2}, 5*time.Second) }()
+	go func() { done <- serve(ctx, l, server.Config{Devices: 2}, 5*time.Second, 0, 0) }()
 
 	base := "http://" + l.Addr().String()
 	enc := recordStream(t)

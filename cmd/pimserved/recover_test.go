@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pimeval/internal/server"
+	"pimeval/pim"
+)
+
+// localRef replays enc locally; the observables every server response must
+// match bit for bit.
+func localRef(t *testing.T, enc []byte) (pim.Metrics, string) {
+	t.Helper()
+	src, err := pim.OpenStreamSource(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dev, err := pim.ReplaySource(src, pim.ReplayConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev.Metrics(), dev.Report()
+}
+
+// postKey submits enc with an idempotency key, returning status, decoded
+// result, dedup flag, and transport error.
+func postKey(client *http.Client, baseURL string, enc []byte, key string) (int, *server.SubmitResult, bool, error) {
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/submit", bytes.NewReader(enc))
+	if err != nil {
+		return 0, nil, false, err
+	}
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	defer resp.Body.Close()
+	dedup := resp.Header.Get("X-PIM-Deduplicated") == "1"
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil, dedup, nil
+	}
+	var sr server.SubmitResult
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return resp.StatusCode, nil, dedup, err
+	}
+	return resp.StatusCode, &sr, dedup, nil
+}
+
+// snapshotOf reads a handler's /metrics without a live listener.
+func snapshotOf(t *testing.T, h http.Handler) server.Snapshot {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil)
+	h.ServeHTTP(rec, req)
+	var snap server.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	return snap
+}
+
+// TestKillRecover is the end-to-end crash-recovery acceptance test: a
+// loaded pimserved instance is killed mid-run; a second instance on the
+// same state directory and address recovers the journal and takes over;
+// retrying clients complete every session exactly once with responses
+// bit-identical to a local replay, and nothing leaks.
+func TestKillRecover(t *testing.T) {
+	dir := t.TempDir()
+	cfg := server.Config{Devices: 2, StateDir: dir, CheckpointEvery: 64}
+	enc := recordStream(t)
+	wantMetrics, wantReport := localRef(t, enc)
+
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l1.Addr().String()
+	baseURL := "http://" + addr
+
+	srv1 := server.New(cfg)
+	hs1 := &http.Server{Handler: srv1}
+	go hs1.Serve(l1)
+
+	// Plant one journaled session as a previous instance's crash artifact —
+	// the layout DESIGN.md §16 documents — so the restart also exercises
+	// journal recovery, not just client retries.
+	meta := []byte(`{"session":"s-planted","tenant":"default","key":"planted-key"}`)
+	if err := os.WriteFile(filepath.Join(dir, "journal", "dead-s-planted.meta.json"), meta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal", "dead-s-planted.stream"), enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions = 24
+	var completed atomic.Int64
+	killAt := int64(sessions / 3)
+	killed := make(chan struct{})    // closed when the kill begins
+	recovered := make(chan struct{}) // closed when server 2 is serving
+
+	type result struct {
+		key string
+		sr  *server.SubmitResult
+	}
+	results := make(chan result, sessions+1)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 30 * time.Second}
+	submitWithRetry := func(key string) {
+		defer wg.Done()
+		for attempt := 0; attempt < 60; attempt++ {
+			st, sr, _, err := postKey(client, baseURL, enc, key)
+			if err == nil && st == http.StatusOK {
+				completed.Add(1)
+				results <- result{key, sr}
+				return
+			}
+			// Transport errors and 429/503/504 during the restart window:
+			// back off and retry idempotently.
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Errorf("session %s never completed", key)
+	}
+	var next atomic.Int64
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= sessions {
+					return
+				}
+				wg.Add(1)
+				submitWithRetry(fmt.Sprintf("key-%03d", i))
+				if completed.Load() >= killAt {
+					select {
+					case <-killed:
+					default:
+						// Stall until the new instance is up so the kill
+						// happens with sessions still outstanding.
+						<-recovered
+					}
+				}
+			}
+		}()
+	}
+
+	// Kill server 1 mid-load: close the listener and every live connection.
+	for completed.Load() < killAt {
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(killed)
+	hs1.Close()
+	// Wait for aborted in-flight handlers to unwind so their accounting is
+	// final before the successor starts.
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	srv1.Drain(dctx)
+
+	// Server 2: same state directory, same address. Recover, then serve.
+	srv2 := server.New(cfg)
+	rs, err := srv2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Recovered < 1 {
+		t.Errorf("recovery stats %+v, want the planted session recovered", rs)
+	}
+	var l2 net.Listener
+	for attempt := 0; attempt < 100; attempt++ {
+		if l2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	hs2 := &http.Server{Handler: srv2}
+	go hs2.Serve(l2)
+	defer hs2.Close()
+	close(recovered)
+
+	// The planted session's retry must be answered from the recovered store
+	// without re-executing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for attempt := 0; attempt < 60; attempt++ {
+			st, sr, dedup, err := postKey(client, baseURL, enc, "planted-key")
+			if err == nil && st == http.StatusOK {
+				if !dedup {
+					t.Error("planted session was re-executed instead of deduplicated")
+				}
+				results <- result{"planted-key", sr}
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Error("planted session retry never completed")
+	}()
+
+	wg.Wait()
+	close(results)
+
+	// Every response bit-identical to the local reference, one per key.
+	seen := map[string]bool{}
+	n := 0
+	for r := range results {
+		n++
+		if seen[r.key] {
+			t.Errorf("key %s completed more than once", r.key)
+		}
+		seen[r.key] = true
+		got := pim.Metrics{
+			KernelMS: r.sr.Metrics.KernelMS, HostMS: r.sr.Metrics.HostMS, CopyMS: r.sr.Metrics.CopyMS,
+			KernelMJ: r.sr.Metrics.KernelMJ, HostMJ: r.sr.Metrics.HostMJ, CopyMJ: r.sr.Metrics.CopyMJ,
+			HostToDeviceBytes:   r.sr.Metrics.HostToDeviceBytes,
+			DeviceToHostBytes:   r.sr.Metrics.DeviceToHostBytes,
+			DeviceToDeviceBytes: r.sr.Metrics.DeviceToDeviceBytes,
+		}
+		if got != wantMetrics {
+			t.Errorf("%s: metrics diverged from local replay", r.key)
+		}
+		if r.sr.Report != wantReport {
+			t.Errorf("%s: report diverged from local replay", r.key)
+		}
+	}
+	if n != sessions+1 {
+		t.Fatalf("completed %d sessions, want %d", n, sessions+1)
+	}
+
+	// Exactly once: every session the two instances executed is accounted
+	// for precisely one completion — no double replay survived dedup, no
+	// session leaked a device slot or a journal file.
+	s1, s2 := snapshotOf(t, srv1), snapshotOf(t, srv2)
+	if total := s1.SessionsTotal + s2.SessionsTotal; total != sessions+1 {
+		t.Errorf("executed sessions across instances = %d (%d + %d), want %d",
+			total, s1.SessionsTotal, s2.SessionsTotal, sessions+1)
+	}
+	if s1.ActiveSessions != 0 || s2.ActiveSessions != 0 {
+		t.Errorf("active sessions leaked: %d + %d", s1.ActiveSessions, s2.ActiveSessions)
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "journal", "*"))
+	if len(left) != 0 {
+		t.Errorf("journal files leaked: %v", left)
+	}
+}
+
+// TestSlowLorisHeaderTimeout: a client that dribbles its request header is
+// disconnected once ReadHeaderTimeout fires, instead of pinning server
+// resources forever.
+func TestSlowLorisHeaderTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, l, server.Config{Devices: 1}, time.Second,
+			0, 200*time.Millisecond) // readTimeout off, headerTimeout 200ms
+	}()
+
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Send a partial request line and stall — never finish the headers.
+	if _, err := io.WriteString(c, "POST /v1/submit HTTP/1.1\r\nHost: x\r\nX-Slow:"); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("expected the server to close the dribbling connection")
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Errorf("connection closed after %v; ReadHeaderTimeout did not bound it", waited)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after cancellation")
+	}
+}

@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriterTorn(t *testing.T) {
+	var dst bytes.Buffer
+	w := &Writer{W: &dst, FailAfter: 10, Torn: true}
+	if n, err := w.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("first write: %d, %v", n, err)
+	}
+	n, err := w.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: %d, %v", n, err)
+	}
+	if got := dst.String(); got != "12345678ab" {
+		t.Fatalf("delivered %q, want torn prefix", got)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after failure: %v", err)
+	}
+}
+
+func TestWriterClean(t *testing.T) {
+	var dst bytes.Buffer
+	w := &Writer{W: &dst, FailAfter: 4, Torn: false}
+	if _, err := w.Write([]byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := w.Write([]byte("56")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("failing write: %d, %v", n, err)
+	}
+	if dst.String() != "1234" {
+		t.Fatalf("delivered %q", dst.String())
+	}
+	unlimited := &Writer{W: &dst, FailAfter: -1}
+	if _, err := unlimited.Write(bytes.Repeat([]byte("z"), 1<<16)); err != nil {
+		t.Fatalf("unlimited writer failed: %v", err)
+	}
+}
+
+func TestReaderShortReads(t *testing.T) {
+	payload := strings.Repeat("the quick brown fox ", 512)
+	r := &Reader{R: strings.NewReader(payload), Rand: NewRand(1), FailAfter: -1}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatal("short reads corrupted the data")
+	}
+}
+
+func TestReaderBudget(t *testing.T) {
+	r := &Reader{R: strings.NewReader("0123456789"), FailAfter: 4}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if string(got) != "0123" {
+		t.Fatalf("delivered %q before failing", got)
+	}
+}
+
+func TestFileFsyncLoss(t *testing.T) {
+	f := &File{}
+	io.WriteString(f, "committed ")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(f, "lost")
+	if got := string(f.Bytes()); got != "committed lost" {
+		t.Fatalf("pre-crash contents %q", got)
+	}
+	if got := string(f.Crash()); got != "committed " {
+		t.Fatalf("post-crash contents %q", got)
+	}
+	// A second crash with nothing new lost is stable.
+	if got := string(f.Crash()); got != "committed " {
+		t.Fatalf("second crash contents %q", got)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds collided on first draw")
+	}
+}
+
+func TestListenerKillsConnection(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Listener{Listener: inner, KillAfter: func(i int) int64 {
+		if i == 0 {
+			return 16 // first connection dies quickly
+		}
+		return -1 // retries survive
+	}}
+	defer l.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c) // echo until the chaos layer kills us
+			}(c)
+		}
+	}()
+
+	payload := bytes.Repeat([]byte("x"), 64)
+	c1, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Write(payload)
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(c1, buf); err == nil {
+		t.Fatal("first connection survived past its budget")
+	}
+	c1.Close()
+
+	c2, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Write(payload)
+	if _, err := io.ReadFull(c2, buf); err != nil {
+		t.Fatalf("second connection failed: %v", err)
+	}
+	c2.Close()
+	l.Close()
+	<-done
+}
+
+func TestRoundTripperInjection(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	rt := &RoundTripper{Fail: func(i int) bool { return i < 2 }}
+	client := &http.Client{Transport: rt}
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(srv.URL); err == nil || !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: err = %v", i, err)
+		}
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("surviving attempt: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body %q", body)
+	}
+	if rt.Attempts() != 3 {
+		t.Fatalf("attempts = %d", rt.Attempts())
+	}
+}

@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Listener wraps a net.Listener so every accepted connection dies after a
+// byte budget — the mid-transfer connection reset a recovering server must
+// tolerate. Budgets are assigned per connection from KillAfter via the
+// connection index, so a test can kill the first connection early and let
+// the retry through.
+type Listener struct {
+	net.Listener
+	// KillAfter returns the combined read+write byte budget for the i-th
+	// accepted connection (0-based); a negative budget disables the kill
+	// for that connection. Nil disables injection entirely.
+	KillAfter func(i int) int64
+	// Latency is an optional fixed delay injected before every Read.
+	Latency time.Duration
+
+	n atomic.Int64
+}
+
+// Accept wraps the accepted connection with this listener's fault plan.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	budget := int64(-1)
+	if l.KillAfter != nil {
+		budget = l.KillAfter(int(l.n.Add(1) - 1))
+	}
+	return &killConn{Conn: c, budget: budget, latency: l.Latency}, nil
+}
+
+// killConn counts bytes both ways and closes the underlying connection once
+// the budget is exhausted, surfacing ErrInjected to the local caller (the
+// remote peer sees a plain reset/EOF, as with a real crash).
+type killConn struct {
+	net.Conn
+	budget  int64 // negative: unlimited
+	latency time.Duration
+
+	mu     sync.Mutex
+	moved  int64
+	killed bool
+}
+
+// consume charges n transferred bytes and reports whether the connection
+// just crossed its budget.
+func (c *killConn) consume(n int) bool {
+	if c.budget < 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.moved += int64(n)
+	if !c.killed && c.moved >= c.budget {
+		c.killed = true
+		return true
+	}
+	return false
+}
+
+func (c *killConn) dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+func (c *killConn) Read(p []byte) (int, error) {
+	if c.dead() {
+		return 0, fmt.Errorf("%w: connection killed", ErrInjected)
+	}
+	if c.latency > 0 {
+		time.Sleep(c.latency)
+	}
+	n, err := c.Conn.Read(p)
+	if c.consume(n) {
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: connection killed after %d bytes", ErrInjected, c.moved)
+	}
+	return n, err
+}
+
+func (c *killConn) Write(p []byte) (int, error) {
+	if c.dead() {
+		return 0, fmt.Errorf("%w: connection killed", ErrInjected)
+	}
+	n, err := c.Conn.Write(p)
+	if c.consume(n) {
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: connection killed after %d bytes", ErrInjected, c.moved)
+	}
+	return n, err
+}
+
+// RoundTripper wraps an http.RoundTripper with per-attempt failure
+// injection: Fail is consulted with the 0-based global attempt index before
+// each request, and a true verdict drops the request with ErrInjected —
+// the transport-level connection failure a retrying client must absorb.
+// With Latency set, surviving requests are additionally delayed.
+type RoundTripper struct {
+	Base http.RoundTripper
+	// Fail reports whether attempt i should fail before reaching the
+	// server. Nil never fails.
+	Fail func(i int) bool
+	// Latency delays every surviving request.
+	Latency time.Duration
+
+	n atomic.Int64
+}
+
+// Attempts returns the number of round trips attempted so far.
+func (rt *RoundTripper) Attempts() int64 { return rt.n.Load() }
+
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := int(rt.n.Add(1) - 1)
+	if rt.Fail != nil && rt.Fail(i) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: attempt %d dropped", ErrInjected, i)
+	}
+	if rt.Latency > 0 {
+		time.Sleep(rt.Latency)
+	}
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -1,0 +1,163 @@
+package cmdstream
+
+import (
+	"fmt"
+	"io"
+)
+
+// ReplayOptions configures resumable replay (ReplaySourceOpts). The zero
+// value replays the whole source with no checkpoints — exactly ReplaySource.
+type ReplayOptions struct {
+	// Skip is the resume cursor: the number of leading records (counting
+	// every record, including repeat.begin/repeat.end) to consume without
+	// executing before replay starts. It is the cursor a checkpoint reported.
+	// A cursor that points past the end of the stream or into the middle of
+	// a repeat scope is rejected.
+	Skip int64
+	// CheckpointEvery is the minimum number of records between checkpoint
+	// callbacks. Checkpoints fire only at unit boundaries — never inside a
+	// repeat scope — so the executor's state is always self-contained when
+	// the callback runs. Zero disables checkpointing.
+	CheckpointEvery int64
+	// Checkpoint is called with the total record count consumed so far
+	// (Skip included): the cursor a later resume passes as Skip. An error
+	// aborts the replay.
+	Checkpoint func(consumed int64) error
+}
+
+// ReplaySourceOpts is ReplaySource with resume and checkpoint control: it
+// skips opts.Skip records, then re-executes the remainder, invoking
+// opts.Checkpoint at unit boundaries every opts.CheckpointEvery records.
+// Because every layer of the stack is deterministic, a replay resumed from a
+// restored executor at cursor N is bit-identical to an uninterrupted replay —
+// the property the recovery battery in benchmarks/suite/replaytest proves.
+func ReplaySourceOpts(x Executor, src Source, opts ReplayOptions) error {
+	if opts.Skip < 0 {
+		return fmt.Errorf("cmdstream: negative resume cursor %d", opts.Skip)
+	}
+	if opts.CheckpointEvery < 0 {
+		return fmt.Errorf("cmdstream: negative checkpoint interval %d", opts.CheckpointEvery)
+	}
+	h := src.Header()
+	verify := h.Functional
+	optimized := len(h.Optimized) > 0
+	cs, _ := src.(ChunkedSource)
+	ce, _ := x.(ChunkedExecutor)
+
+	var consumed int64 // records pulled from src, skipped ones included
+	depth := 0
+
+	// Skip phase: consume the resume prefix without executing. Structure is
+	// still validated (unknown kinds, scope nesting) so a corrupt stream or
+	// cursor fails cleanly; undrained chunked payloads are discarded by the
+	// source's own Next contract.
+	for consumed < opts.Skip {
+		rec, err := src.Next()
+		if err == io.EOF {
+			return fmt.Errorf("cmdstream: %w: stream ends at record %d, resume cursor %d",
+				ErrTruncated, consumed, opts.Skip)
+		}
+		if err != nil {
+			return err
+		}
+		consumed++
+		if !knownKinds[rec.Kind] {
+			return fmt.Errorf("cmdstream: seq %d: unknown record kind %q", rec.Seq, rec.Kind)
+		}
+		switch rec.Kind {
+		case KindRepeatBegin:
+			if depth != 0 {
+				return fmt.Errorf("cmdstream: seq %d: nested repeat scope", rec.Seq)
+			}
+			if rec.Repeat < 1 {
+				return fmt.Errorf("cmdstream: seq %d: repeat scope with factor %d", rec.Seq, rec.Repeat)
+			}
+			depth = 1
+		case KindRepeatEnd:
+			if depth == 0 {
+				return fmt.Errorf("cmdstream: seq %d: repeat.end without matching begin", rec.Seq)
+			}
+			depth = 0
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("cmdstream: %w: resume cursor %d inside repeat scope", ErrFormat, opts.Skip)
+	}
+
+	lastCheckpoint := consumed
+	var scope []Record // buffered body of the open repeat scope
+	var factor int64
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		consumed++
+		if !knownKinds[rec.Kind] {
+			return fmt.Errorf("cmdstream: seq %d: unknown record kind %q", rec.Seq, rec.Kind)
+		}
+		switch rec.Kind {
+		case KindRepeatBegin:
+			if depth != 0 {
+				return fmt.Errorf("cmdstream: seq %d: nested repeat scope", rec.Seq)
+			}
+			if rec.Repeat < 1 {
+				return fmt.Errorf("cmdstream: seq %d: repeat scope with factor %d", rec.Seq, rec.Repeat)
+			}
+			depth, factor, scope = 1, rec.Repeat, scope[:0]
+			continue
+		case KindRepeatEnd:
+			if depth == 0 {
+				return fmt.Errorf("cmdstream: seq %d: repeat.end without matching begin", rec.Seq)
+			}
+			depth = 0
+			body := scope
+			if err := x.WithRepeat(factor, func() error {
+				return replay(x, body, verify, optimized)
+			}); err != nil {
+				return err
+			}
+		default:
+			if depth > 0 {
+				// Scope bodies replay through WithRepeat as one unit, so the
+				// body is buffered (scopes are bounded; payloads inside them
+				// materialize).
+				if err := Materialize(src, rec); err != nil {
+					return err
+				}
+				scope = append(scope, *rec)
+				continue
+			}
+			if rec.Kind == KindCopyH2D && cs != nil && ce != nil && cs.PendingPayload() {
+				// The out-of-core h2d path: the payload flows source → device
+				// in bounded chunks and is never materialized.
+				if err := ce.CopyHostToDeviceFrom(ObjID(rec.Obj), cs.NextPayloadChunk); err != nil {
+					return fmt.Errorf("cmdstream: seq %d (%s): %w", rec.Seq, rec.Kind, err)
+				}
+			} else {
+				if err := Materialize(src, rec); err != nil {
+					return err
+				}
+				if err := replayOne(x, rec, verify, optimized); err != nil {
+					return fmt.Errorf("cmdstream: seq %d (%s): %w", rec.Seq, rec.Kind, err)
+				}
+			}
+		}
+		// A unit (single record or whole repeat scope) just completed at
+		// depth 0: a valid resume point.
+		if opts.Checkpoint != nil && opts.CheckpointEvery > 0 &&
+			consumed-lastCheckpoint >= opts.CheckpointEvery {
+			if err := opts.Checkpoint(consumed); err != nil {
+				return fmt.Errorf("cmdstream: checkpoint at record %d: %w", consumed, err)
+			}
+			lastCheckpoint = consumed
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("cmdstream: %w: unterminated repeat scope", ErrTruncated)
+	}
+	return nil
+}

@@ -1,9 +1,6 @@
 package cmdstream
 
-import (
-	"fmt"
-	"io"
-)
+import "io"
 
 // Source is the streaming producer side of the record pipeline: a header
 // plus an iterator over records. Every stream consumer in the repo (replay,
@@ -190,75 +187,5 @@ func Pump(dst Sink, src Source) error {
 // materialized stream up front — a malformed suffix is only detected after
 // the preceding records have executed.
 func ReplaySource(x Executor, src Source) error {
-	h := src.Header()
-	verify := h.Functional
-	optimized := len(h.Optimized) > 0
-	cs, _ := src.(ChunkedSource)
-	ce, _ := x.(ChunkedExecutor)
-
-	var scope []Record // buffered body of the open repeat scope
-	var factor int64
-	depth := 0
-	for {
-		rec, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		if !knownKinds[rec.Kind] {
-			return fmt.Errorf("cmdstream: seq %d: unknown record kind %q", rec.Seq, rec.Kind)
-		}
-		switch rec.Kind {
-		case KindRepeatBegin:
-			if depth != 0 {
-				return fmt.Errorf("cmdstream: seq %d: nested repeat scope", rec.Seq)
-			}
-			if rec.Repeat < 1 {
-				return fmt.Errorf("cmdstream: seq %d: repeat scope with factor %d", rec.Seq, rec.Repeat)
-			}
-			depth, factor, scope = 1, rec.Repeat, scope[:0]
-		case KindRepeatEnd:
-			if depth == 0 {
-				return fmt.Errorf("cmdstream: seq %d: repeat.end without matching begin", rec.Seq)
-			}
-			depth = 0
-			body := scope
-			if err := x.WithRepeat(factor, func() error {
-				return replay(x, body, verify, optimized)
-			}); err != nil {
-				return err
-			}
-		default:
-			if depth > 0 {
-				// Scope bodies replay through WithRepeat as one unit, so the
-				// body is buffered (scopes are bounded; payloads inside them
-				// materialize).
-				if err := Materialize(src, rec); err != nil {
-					return err
-				}
-				scope = append(scope, *rec)
-				continue
-			}
-			if rec.Kind == KindCopyH2D && cs != nil && ce != nil && cs.PendingPayload() {
-				// The out-of-core h2d path: the payload flows source → device
-				// in bounded chunks and is never materialized.
-				if err := ce.CopyHostToDeviceFrom(ObjID(rec.Obj), cs.NextPayloadChunk); err != nil {
-					return fmt.Errorf("cmdstream: seq %d (%s): %w", rec.Seq, rec.Kind, err)
-				}
-				continue
-			}
-			if err := Materialize(src, rec); err != nil {
-				return err
-			}
-			if err := replayOne(x, rec, verify, optimized); err != nil {
-				return fmt.Errorf("cmdstream: seq %d (%s): %w", rec.Seq, rec.Kind, err)
-			}
-		}
-	}
-	if depth != 0 {
-		return fmt.Errorf("cmdstream: %w: unterminated repeat scope", ErrTruncated)
-	}
-	return nil
+	return ReplaySourceOpts(x, src, ReplayOptions{})
 }

@@ -1,7 +1,10 @@
 package device
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"pimeval/internal/cmdstream"
 )
@@ -55,7 +58,77 @@ func (d *Device) ReplaySource(src cmdstream.Source) error {
 // serial path; only wall-clock time changes. The source is left open, as
 // with ReplaySource.
 func (d *Device) ReplayPipelined(src cmdstream.Source) error {
+	return d.ReplayPipelinedOpts(src, cmdstream.ReplayOptions{})
+}
+
+// ReplaySourceOpts is ReplaySource with resume and checkpoint control: it
+// skips opts.Skip records before executing and invokes opts.Checkpoint at
+// unit boundaries. Pair the checkpoint callback with WriteSnapshot to
+// produce recovery points a later ReplayFrom can resume from.
+func (d *Device) ReplaySourceOpts(src cmdstream.Source, opts cmdstream.ReplayOptions) error {
+	return cmdstream.ReplaySourceOpts(d, src, opts)
+}
+
+// ReplayPipelinedOpts is ReplayPipelined with resume and checkpoint control;
+// see ReplaySourceOpts. Skipping happens on the decoded record sequence, so
+// cursors are interchangeable between the serial and pipelined paths.
+func (d *Device) ReplayPipelinedOpts(src cmdstream.Source, opts cmdstream.ReplayOptions) error {
 	ps := cmdstream.NewPipelineSource(src, 0)
 	defer ps.Close()
-	return cmdstream.ReplaySource(d, ps)
+	return cmdstream.ReplaySourceOpts(d, ps, opts)
+}
+
+// ReplayFrom restores a device from a snapshot and resumes replaying src
+// from the snapshot's cursor: the device skips the records the snapshotted
+// run already executed and continues with the tail. src must be the same
+// stream the snapshot was taken during — its header must describe the same
+// device — and the result is bit-identical to an uninterrupted replay.
+// Further checkpoints fire per opts; opts.Skip is overridden by the
+// snapshot's cursor.
+func ReplayFrom(snapshot io.Reader, src cmdstream.Source, workers int, opts cmdstream.ReplayOptions) (*Device, error) {
+	d, cursor, err := RestoreSnapshot(snapshot, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.CheckResume(src); err != nil {
+		return nil, err
+	}
+	opts.Skip = cursor
+	if err := cmdstream.ReplaySourceOpts(d, src, opts); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// CheckResume verifies that src is a stream this device may resume: its
+// header must describe the same device (see compatibleHeader). Callers that
+// restore a snapshot and drive the tail replay themselves run this check
+// first; ReplayFrom does it automatically.
+func (d *Device) CheckResume(src cmdstream.Source) error {
+	return compatibleHeader(d.streamHeader(), src.Header())
+}
+
+// compatibleHeader verifies that the stream being resumed describes the same
+// device as the snapshot it resumes from: target, module geometry,
+// functional mode, and fault configuration must all agree. Optimizer pass
+// names are excluded — a device header never records them — so resuming a
+// stream whose record sequence differs from the snapshotted replay's is the
+// caller's responsibility (cursors are positions in one specific sequence).
+func compatibleHeader(snap, stream cmdstream.Header) error {
+	snapJSON, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	// Normalize the fields a snapshot header never carries.
+	norm := stream
+	norm.Optimized = nil
+	streamJSON, err := json.Marshal(norm)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(snapJSON, streamJSON) {
+		return fmt.Errorf("%w: stream header does not match snapshot (snapshot %s, stream %s)",
+			ErrBadArgument, snapJSON, streamJSON)
+	}
+	return nil
 }

@@ -1,0 +1,38 @@
+package fault
+
+import "fmt"
+
+// State is the injector's mutable state: everything that evolves as writes
+// are injected. The planted stuck bits and failed-core map are a pure
+// function of (seed, core count) and are replanted by NewInjector, so a
+// checkpoint needs only the write-sequence counter (which seeds every
+// transient draw) and the accumulated counters to resume injection
+// bit-for-bit.
+type State struct {
+	// Seq is the write-sequence counter: the number of InjectWrite calls
+	// consumed so far. Every transient draw hashes (seed, seq), so restoring
+	// Seq makes the next injected write identical to what the uninterrupted
+	// run would have produced.
+	Seq uint64 `json:"seq"`
+	// Counts are the accumulated fault and ECC statistics at the checkpoint.
+	Counts Counts `json:"counts"`
+}
+
+// State returns the injector's mutable state for checkpointing.
+func (in *Injector) State() State {
+	return State{Seq: in.seq, Counts: in.counts}
+}
+
+// SetState restores a state previously captured with State on an injector
+// built from the same configuration and core count. The next InjectWrite
+// call behaves exactly as it would have on the checkpointed injector.
+func (in *Injector) SetState(st State) error {
+	if st.Counts.TransientFlips < 0 || st.Counts.StuckFaults < 0 ||
+		st.Counts.FailedWords < 0 || st.Counts.Corrected < 0 ||
+		st.Counts.Detected < 0 || st.Counts.Silent < 0 {
+		return fmt.Errorf("fault: negative counter in restored state")
+	}
+	in.seq = st.Seq
+	in.counts = st.Counts
+	return nil
+}

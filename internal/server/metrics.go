@@ -25,6 +25,13 @@ type metrics struct {
 	rejectCapacity atomic.Int64
 	rejectDraining atomic.Int64
 
+	// Durability-layer counters (DESIGN.md §16).
+	dedupHits         atomic.Int64 // retried submissions answered from the done store
+	sessionsRecovered atomic.Int64 // journaled sessions completed by Recover
+	recoveryDiscarded atomic.Int64 // journals dropped during Recover
+	journalErrors     atomic.Int64 // deferred journal/done-store write failures
+	checkpointErrors  atomic.Int64 // deferred checkpoint write failures
+
 	mu  sync.Mutex
 	lat []float64 // replay latencies (ms), ring of the most recent latCap
 	pos int
@@ -98,6 +105,13 @@ type Snapshot struct {
 	RejectedCapacity int64 `json:"rejected_capacity"`
 	RejectedDraining int64 `json:"rejected_draining"`
 
+	// Durability-layer counters.
+	DedupHits         int64 `json:"dedup_hits"`
+	SessionsRecovered int64 `json:"sessions_recovered"`
+	RecoveryDiscarded int64 `json:"recovery_discarded"`
+	JournalErrors     int64 `json:"journal_errors"`
+	CheckpointErrors  int64 `json:"checkpoint_errors"`
+
 	// Replay-latency percentiles over the most recent sessions (ms).
 	LatencySamples int64   `json:"latency_samples"`
 	LatencyP50MS   float64 `json:"latency_p50_ms"`
@@ -133,6 +147,12 @@ func (s *Server) snapshot() Snapshot {
 		RejectedQuota:    s.met.rejectQuota.Load(),
 		RejectedCapacity: s.met.rejectCapacity.Load(),
 		RejectedDraining: s.met.rejectDraining.Load(),
+
+		DedupHits:         s.met.dedupHits.Load(),
+		SessionsRecovered: s.met.sessionsRecovered.Load(),
+		RecoveryDiscarded: s.met.recoveryDiscarded.Load(),
+		JournalErrors:     s.met.journalErrors.Load(),
+		CheckpointErrors:  s.met.checkpointErrors.Load(),
 
 		LatencySamples: n,
 		LatencyP50MS:   Percentile(lat, 50),
@@ -183,6 +203,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "pimserved_rejected_total{reason=%q} %d\n", "quota", snap.RejectedQuota)
 	fmt.Fprintf(w, "pimserved_rejected_total{reason=%q} %d\n", "capacity", snap.RejectedCapacity)
 	fmt.Fprintf(w, "pimserved_rejected_total{reason=%q} %d\n", "draining", snap.RejectedDraining)
+	fmt.Fprintf(w, "pimserved_dedup_hits_total %d\n", snap.DedupHits)
+	fmt.Fprintf(w, "pimserved_sessions_recovered_total %d\n", snap.SessionsRecovered)
+	fmt.Fprintf(w, "pimserved_recovery_discarded_total %d\n", snap.RecoveryDiscarded)
+	fmt.Fprintf(w, "pimserved_journal_errors_total %d\n", snap.JournalErrors)
+	fmt.Fprintf(w, "pimserved_checkpoint_errors_total %d\n", snap.CheckpointErrors)
 	fmt.Fprintf(w, "pimserved_latency_samples %d\n", snap.LatencySamples)
 	fmt.Fprintf(w, "pimserved_replay_latency_ms{quantile=%q} %g\n", "0.5", snap.LatencyP50MS)
 	fmt.Fprintf(w, "pimserved_replay_latency_ms{quantile=%q} %g\n", "0.9", snap.LatencyP90MS)

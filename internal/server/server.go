@@ -64,6 +64,18 @@ type Config struct {
 	Pipelined bool
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
+	// StateDir enables the durability layer: a write-ahead session journal,
+	// periodic device checkpoints, and a done-record store that answers
+	// retried idempotent submissions after a restart (see Recover). Empty
+	// keeps dedup in memory only and journals nothing.
+	StateDir string
+	// CheckpointEvery is the record interval between device checkpoints for
+	// journaled sessions. 0 selects 4096; negative disables checkpoints
+	// (recovery then replays journaled sessions from scratch).
+	CheckpointEvery int64
+	// SessionTimeout bounds one session's wall-clock replay time; an
+	// exceeded deadline fails the session with 504. 0 disables the bound.
+	SessionTimeout time.Duration
 }
 
 func (c Config) devices() int {
@@ -97,6 +109,16 @@ func (c Config) maxBody() int64 {
 	return c.MaxBodyBytes
 }
 
+func (c Config) checkpointEvery() int64 {
+	if c.CheckpointEvery < 0 {
+		return 0
+	}
+	if c.CheckpointEvery == 0 {
+		return 4096
+	}
+	return c.CheckpointEvery
+}
+
 // Server is one stream-execution service instance. Create with New; it
 // serves HTTP via ServeHTTP (it is an http.Handler).
 type Server struct {
@@ -109,7 +131,9 @@ type Server struct {
 
 	quotas *quotas
 	met    *metrics
+	dur    *durability
 
+	instance string       // random tag namespacing this process's journal files
 	sessions atomic.Int64 // session-id counter
 
 	mu       sync.Mutex
@@ -134,14 +158,16 @@ func New(cfg Config) *Server {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		cfg:     cfg,
-		log:     log,
-		slots:   make(chan struct{}, cfg.devices()),
-		met:     newMetrics(),
-		idle:    make(chan struct{}),
-		drainCh: make(chan struct{}),
-		now:     time.Now,
+		cfg:      cfg,
+		log:      log,
+		slots:    make(chan struct{}, cfg.devices()),
+		met:      newMetrics(),
+		idle:     make(chan struct{}),
+		drainCh:  make(chan struct{}),
+		now:      time.Now,
+		instance: newInstanceID(),
 	}
+	s.dur = newDurability(cfg.StateDir, log, s.met)
 	s.quotas = newQuotas(cfg.TenantRate, cfg.TenantBurst, func() time.Time { return s.now() })
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/submit", s.handleSubmit)
@@ -275,6 +301,9 @@ func statusFor(err error) int {
 		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, cmdstream.ErrTruncated), errors.Is(err, cmdstream.ErrFormat):
 		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		// The session timeout fired server-side: the client may retry.
+		return http.StatusGatewayTimeout
 	case errors.Is(err, device.ErrCanceled):
 		return StatusClientClosedRequest
 	case errors.Is(err, device.ErrBadArgument), errors.Is(err, device.ErrBadObject),

@@ -2,8 +2,10 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -47,6 +49,10 @@ type SubmitResult struct {
 	Report     string             `json:"report"`
 	CommandCSV string             `json:"command_csv"`
 	ElapsedMS  float64            `json:"elapsed_ms"`
+	// Warnings surfaces deferred failures that did not fail the session —
+	// journal spool or checkpoint errors that degrade crash recovery but
+	// leave the replayed result itself intact.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // errorResult is the JSON error body.
@@ -64,7 +70,7 @@ func reject(w http.ResponseWriter, status int, retryAfter time.Duration, msg str
 	json.NewEncoder(w).Encode(errorResult{Error: msg})
 }
 
-// handleSubmit executes one session: admit, decode, replay, respond.
+// handleSubmit executes one session: admit, dedup, decode, replay, respond.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodPost {
@@ -75,6 +81,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = "default"
 	}
+	key := r.Header.Get("Idempotency-Key")
 	session := fmt.Sprintf("s-%06d", s.sessions.Add(1))
 	logger := s.log.With(
 		slog.String("session", session),
@@ -97,6 +104,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.end()
 
+	ctx := r.Context()
+	if s.cfg.SessionTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SessionTimeout)
+		defer cancel()
+	}
+
+	// Idempotency: a known key replays the stored response verbatim (so a
+	// retried session is never executed — or counted — twice); a key whose
+	// primary is still running waits for it; otherwise this request becomes
+	// the key's primary. Dedup runs before quota admission so retries of
+	// completed work never burn quota.
+	var tok *primaryToken
+	if key != "" {
+		k := dedupKey(tenant, key)
+		rec, wait, t := s.dur.claim(k)
+		if rec == nil && wait != nil {
+			select {
+			case <-wait:
+				rec = s.dur.lookup(k)
+			case <-ctx.Done():
+				finish(StatusClientClosedRequest, 0, "canceled awaiting duplicate")
+				return
+			}
+			if rec == nil {
+				// The primary failed after we started waiting; tell the
+				// client to retry rather than re-executing here with a
+				// half-consumed body race.
+				reject(w, http.StatusServiceUnavailable, time.Second,
+					"concurrent duplicate submission failed; retry")
+				finish(http.StatusServiceUnavailable, 0, "dup primary failed")
+				return
+			}
+		}
+		if rec != nil {
+			s.met.dedupHits.Add(1)
+			io.Copy(io.Discard, r.Body) // drain so the connection stays reusable
+			w.Header().Set("X-PIM-Deduplicated", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(rec.Status)
+			w.Write(rec.Body)
+			io.WriteString(w, "\n")
+			finish(rec.Status, 0, "deduplicated")
+			return
+		}
+		tok = t
+	}
+	// Any exit without a stored success releases duplicate waiters so they
+	// can retry; resolve is idempotent, so the success path's explicit call
+	// wins. tok is nil without a key — resolve tolerates that.
+	defer func() { tok.resolve(nil) }()
+
 	// Per-tenant quota, then the bounded device pool.
 	if ok, retry := s.quotas.admit(tenant); !ok {
 		s.met.rejectQuota.Add(1)
@@ -105,7 +164,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		finish(http.StatusTooManyRequests, 0, "quota")
 		return
 	}
-	release, status := s.acquire(r.Context())
+	release, status := s.acquire(ctx)
 	if release == nil {
 		switch status {
 		case http.StatusTooManyRequests:
@@ -130,9 +189,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Decode incrementally straight off the request body: the stream never
 	// materializes server-side, and binary h2d payloads flow into device
-	// storage in bounded chunks.
+	// storage in bounded chunks. With a state directory the raw bytes are
+	// additionally teed into the write-ahead journal spool as they arrive;
+	// spool failures warn but never fail the session.
 	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
-	src, err := cmdstream.OpenSource(body)
+	var stream io.Reader = body
+	j, jerr := s.dur.beginJournal(s.instance+"-"+session,
+		sessionMeta{Session: session, Tenant: tenant, Key: key, Pipelined: pipelined})
+	if jerr != nil {
+		s.met.journalErrors.Add(1)
+		logger.Warn("session journal unavailable", "err", jerr)
+	}
+	if j != nil {
+		defer j.discard()
+		stream = io.TeeReader(body, j)
+	}
+	src, err := cmdstream.OpenSource(stream)
 	if err != nil {
 		st := statusForOpen(err)
 		s.met.sessionsFailed.Add(1)
@@ -153,15 +225,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		finish(http.StatusBadRequest, 0, err.Error())
 		return
 	}
-	d.SetContext(r.Context())
+	d.SetContext(ctx)
 	if s.testHookReplayStart != nil {
-		s.testHookReplayStart(r.Context(), tenant, session)
+		s.testHookReplayStart(ctx, tenant, session)
 	}
-	replay := d.ReplaySource
+	var opts cmdstream.ReplayOptions
+	if j != nil && s.cfg.checkpointEvery() > 0 {
+		opts.CheckpointEvery = s.cfg.checkpointEvery()
+		opts.Checkpoint = func(cursor int64) error {
+			j.checkpoint(d, cursor) // failures disable checkpoints, never abort
+			return nil
+		}
+	}
 	if pipelined {
-		replay = d.ReplayPipelined
+		err = d.ReplayPipelinedOpts(cs, opts)
+	} else {
+		err = d.ReplaySourceOpts(cs, opts)
 	}
-	err = replay(cs)
 	elapsedMS := float64(time.Since(start)) / 1e6
 	if err != nil {
 		st := statusFor(err)
@@ -178,9 +258,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		finish(http.StatusInternalServerError, cs.n, err.Error())
 		return
 	}
+	j.close()
+	res.Warnings = j.warnings()
+	payload, err := json.Marshal(res)
+	if err != nil {
+		s.met.sessionsFailed.Add(1)
+		reject(w, http.StatusInternalServerError, 0, err.Error())
+		finish(http.StatusInternalServerError, cs.n, err.Error())
+		return
+	}
+	// Publish the result for retries before the journal is dropped and the
+	// response leaves: a crash in between still answers the retry from the
+	// done store instead of replaying twice.
+	if tok != nil {
+		tok.resolve(&doneRecord{Key: key, Status: http.StatusOK, Body: payload})
+	}
+	if j != nil {
+		j.discard()
+	}
 	s.met.finish(d.Stats(), elapsedMS)
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(res)
+	w.Write(payload)
+	io.WriteString(w, "\n")
 	finish(http.StatusOK, cs.n, "ok")
 }
 

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+
+	"pimeval/internal/fault"
+	"pimeval/internal/perf"
+)
+
+// State is the serializable form of a collector: every accumulator, shaped
+// for deterministic encoding. Commands are sorted by name and map keys
+// encode in sorted order under encoding/json, so the same collector always
+// serializes to the same bytes — the property the device snapshot format's
+// byte-stability guarantee rests on.
+type State struct {
+	Commands []CmdStat        `json:"commands,omitempty"`
+	OpCounts map[string]int64 `json:"op_counts,omitempty"`
+	Copies   CopyStats        `json:"copies"`
+	Host     perf.Cost        `json:"host"`
+	Faults   fault.Counts     `json:"faults"`
+	ECC      perf.Cost        `json:"ecc"`
+}
+
+// State captures the collector's full accumulated state.
+func (s *Stats) State() State {
+	st := State{
+		Copies: s.copies,
+		Host:   s.host,
+		Faults: s.faults,
+		ECC:    s.ecc,
+	}
+	if cmds := s.Commands(); len(cmds) > 0 {
+		st.Commands = cmds
+	}
+	if len(s.opCount) > 0 {
+		st.OpCounts = s.OpCounts()
+	}
+	return st
+}
+
+// FromState rebuilds a collector from a captured state. The result is
+// indistinguishable from the original: reports, CSV output, breakdowns, and
+// all further accumulation continue bit-for-bit.
+func FromState(st State) (*Stats, error) {
+	s := New()
+	for _, c := range st.Commands {
+		if c.Name == "" {
+			return nil, fmt.Errorf("stats: command entry with empty name")
+		}
+		if _, ok := s.cmds[c.Name]; ok {
+			return nil, fmt.Errorf("stats: duplicate command entry %q", c.Name)
+		}
+		cc := c
+		s.cmds[c.Name] = &cc
+	}
+	for k, n := range st.OpCounts {
+		s.opCount[k] = n
+	}
+	s.copies = st.Copies
+	s.host = st.Host
+	s.faults = st.Faults
+	s.ecc = st.ECC
+	return s, nil
+}

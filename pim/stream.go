@@ -99,6 +99,19 @@ type ReplayConfig struct {
 	// fails with an error matching both ErrCanceled and the context's own
 	// error. This is how a server aborts a replay when its client goes away.
 	Context context.Context
+	// CheckpointEvery is the minimum number of stream records between
+	// Checkpoint callbacks (ReplaySource and ResumeReplaySource only).
+	// Checkpoints fire at unit boundaries — never inside a repeat scope —
+	// so the device state a callback observes is always self-contained.
+	// Zero disables checkpointing.
+	CheckpointEvery int64
+	// Checkpoint, when non-nil, is called during replay with the resume
+	// cursor (total records consumed so far) and the replaying device;
+	// pair it with Device.WriteSnapshot to produce recovery points a later
+	// ResumeReplaySource continues from. An error aborts the replay.
+	// Incompatible with Record: a snapshot cannot be taken while a stream
+	// recorder is attached.
+	Checkpoint func(cursor int64, d *Device) error
 }
 
 // Replay builds a fresh device from the stream's header and re-executes
@@ -144,14 +157,75 @@ func ReplaySource(src StreamSource, rc ReplayConfig) (*Device, error) {
 	if rc.Record {
 		d.StartRecording()
 	}
-	replay := d.ReplaySource
-	if rc.Pipelined {
-		replay = d.ReplayPipelined
-	}
-	if err := replay(src); err != nil {
+	v := &Device{d: d}
+	if err := replayOpts(d, src, rc, v, 0); err != nil {
 		return nil, err
 	}
-	return &Device{d: d}, nil
+	return v, nil
+}
+
+// replayOpts drives the serial or pipelined resumable replay path with the
+// checkpoint knobs from rc, skipping the first skip records.
+func replayOpts(d *device.Device, src StreamSource, rc ReplayConfig, v *Device, skip int64) error {
+	opts := cmdstream.ReplayOptions{Skip: skip, CheckpointEvery: rc.CheckpointEvery}
+	if rc.Checkpoint != nil {
+		opts.Checkpoint = func(cursor int64) error { return rc.Checkpoint(cursor, v) }
+	}
+	if rc.Pipelined {
+		return d.ReplayPipelinedOpts(src, opts)
+	}
+	return d.ReplaySourceOpts(src, opts)
+}
+
+// WriteSnapshot serializes the device's complete state — object table,
+// memory contents, statistics, trace, and fault-injection sequence — to w
+// in the deterministic PIMS snapshot format (DESIGN.md §16), recording
+// cursor as the resume position within the stream being replayed. The
+// encoding is byte-stable: snapshotting a restored device reproduces the
+// exact snapshot bytes. Snapshots cannot be taken inside WithRepeat or
+// while stream recording is active.
+func (v *Device) WriteSnapshot(w io.Writer, cursor int64) error {
+	return v.d.WriteSnapshot(w, cursor)
+}
+
+// RestoreSnapshot rebuilds a device from a snapshot written by
+// WriteSnapshot and returns it with the recorded resume cursor. workers is
+// observational, as with replay. Damaged input fails with an error wrapping
+// device.ErrSnapshotFormat, ErrSnapshotTruncated, or ErrSnapshotCorrupt —
+// never a panic, never a silently different device.
+func RestoreSnapshot(r io.Reader, workers int) (*Device, int64, error) {
+	d, cursor, err := device.RestoreSnapshot(r, workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Device{d: d}, cursor, nil
+}
+
+// ResumeReplaySource restores a device from a snapshot and resumes
+// replaying src from the snapshot's cursor: records the snapshotted run
+// already executed are skipped, the tail executes, and the final device is
+// bit-identical — data, statistics, report, trace, fault counters — to an
+// uninterrupted replay of the whole stream. src must be the same stream the
+// snapshot was taken during. rc's Trace and Record are ignored (trace state
+// comes from the snapshot; a recorder cannot reproduce skipped records);
+// Workers, Context, Pipelined, and the checkpoint knobs apply as in
+// ReplaySource.
+func ResumeReplaySource(snapshot io.Reader, src StreamSource, rc ReplayConfig) (*Device, error) {
+	d, cursor, err := device.RestoreSnapshot(snapshot, rc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.CheckResume(src); err != nil {
+		return nil, err
+	}
+	if rc.Context != nil {
+		d.SetContext(rc.Context)
+	}
+	v := &Device{d: d}
+	if err := replayOpts(d, src, rc, v, cursor); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // PipelineStreamSource wraps a StreamSource in a decode-ahead pipeline

@@ -4,7 +4,7 @@
 #
 #   scripts/bench.sh [kernels-output.json] [streamopt-output.json] \
 #                    [binstream-output.json] [pipeline-output.json] \
-#                    [server-output.json]
+#                    [server-output.json] [recovery-output.json]
 #
 # Step 1 runs BenchmarkExecKernels (micro kernel-vs-reference loops plus the
 # device-level vecadd at each worker count) and BenchmarkBuildCached (compile
@@ -26,7 +26,12 @@
 # server load benchmark (cmd/pimload against an in-process cmd/pimserved
 # core: concurrent tenant sessions with bit-identical verification),
 # writing sessions/sec and latency percentiles to BENCH_server.json — this
-# output is a single JSON report, not test2json JSONL. All other
+# output is a single JSON report, not test2json JSONL. Step 6 runs the
+# checkpoint/recovery benchmarks (BenchmarkCheckpointOverhead: uninterrupted
+# replay vs the same replay snapshotting at quarter-stream intervals, with
+# snapshot-bytes and checkpoints/op custom metrics; BenchmarkRecoveryResume:
+# time-to-recover from each captured checkpoint vs replaying from scratch),
+# writing to BENCH_recovery.json. All other
 # outputs are JSONL in test2json format: one JSON object per line with
 # Action/Package/Test/Output fields; benchmark measurements appear in the
 # Output field of "output" actions. Summarized numbers live in
@@ -40,6 +45,7 @@ sout="${2:-BENCH_streamopt.json}"
 bout="${3:-BENCH_binstream.json}"
 pout="${4:-BENCH_pipeline.json}"
 svout="${5:-BENCH_server.json}"
+rout="${6:-BENCH_recovery.json}"
 
 echo "==> go test -bench ExecKernels|BuildCached -> $out"
 go test -run='^$' -bench='^(BenchmarkExecKernels|BenchmarkBuildCached)$' \
@@ -83,3 +89,11 @@ go run ./cmd/pimload -benchmarks vecadd,axpy,gemv \
     -out "$svout"
 
 echo "==> wrote $svout"
+
+echo "==> go test -bench CheckpointOverhead|RecoveryResume -> $rout"
+go test -run='^$' -bench='^(BenchmarkCheckpointOverhead|BenchmarkRecoveryResume)$' \
+    -benchtime=20x -count=1 -json \
+    ./benchmarks/suite/replaytest/ >"$rout"
+
+echo "==> wrote $rout"
+grep -o '"Output":"[^"]*\(Benchmark[^"]*\|ns/op[^"]*\)' "$rout" | sed 's/"Output":"//; s/\\t/\t/g; s/\\n$//' | grep -v '^Benchmark[A-Za-z]*$' || true

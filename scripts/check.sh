@@ -26,4 +26,9 @@ go test -race ./internal/streamopt/ ./internal/streamopt/difftest/
 echo "==> server battery (race)"
 go test -race ./internal/server/ ./internal/stats/ ./cmd/pimserved/ ./cmd/pimload/
 
+echo "==> recovery battery (race, short)"
+go test -race -short -run 'TestRecoveryBattery' ./benchmarks/suite/replaytest/
+go test -race -run 'TestSnapshot' ./internal/device/
+go test -race ./internal/chaos/
+
 echo "OK"
